@@ -1,0 +1,55 @@
+//! Figure 10 — estimated vs real cost, bucketed by the quartile of the real
+//! cost, for PGCost, the no-rule embedding model and the rule+pooling model.
+use bench::Pipeline;
+use estimator_core::{PredicateModelKind, RepresentationCellKind, TaskMode};
+use pgest::TraditionalEstimator;
+use strembed::StringEncoding;
+use workloads::WorkloadKind;
+
+fn print_scatter(label: &str, pairs: &[(f64, f64)]) {
+    // Bucket the queries by quartile of the real cost and report the mean
+    // estimated cost per bucket (the "series" of the paper's scatter plot).
+    let mut sorted: Vec<(f64, f64)> = pairs.to_vec();
+    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    println!("{label}:");
+    let q = (sorted.len() / 4).max(1);
+    for (i, chunk) in sorted.chunks(q).take(4).enumerate() {
+        let real_mean = chunk.iter().map(|p| p.0).sum::<f64>() / chunk.len() as f64;
+        let est_mean = chunk.iter().map(|p| p.1).sum::<f64>() / chunk.len() as f64;
+        println!("  quartile {i}: real≈{real_mean:>12.1}  estimated≈{est_mean:>12.1}");
+    }
+}
+
+fn main() {
+    let pipeline = Pipeline::new();
+    let suite = pipeline.suite(WorkloadKind::JobStrings);
+
+    let pg = TraditionalEstimator::analyze(&pipeline.db);
+    let pg_pairs: Vec<(f64, f64)> = suite
+        .test
+        .iter()
+        .map(|s| {
+            let mut plan = s.plan.clone();
+            let (_, cost) = pg.estimate_plan(&mut plan);
+            (s.true_cost(), cost)
+        })
+        .collect();
+    print_scatter("PGCost", &pg_pairs);
+
+    for (label, encoding, predicate) in [
+        ("TLSTMEmbNRMCost", StringEncoding::EmbedNoRule, PredicateModelKind::TreeLstm),
+        ("TPoolEmbRMCost", StringEncoding::EmbedRule, PredicateModelKind::MinMaxPool),
+    ] {
+        let (est, test) = pipeline.train_tree_model(
+            &suite,
+            RepresentationCellKind::Lstm,
+            predicate,
+            TaskMode::Multitask,
+            Some(encoding),
+            true,
+        );
+        let pairs: Vec<(f64, f64)> =
+            test.iter().map(|p| (p.true_cost, est.estimate_encoded(p).0)).collect();
+        print_scatter(label, &pairs);
+    }
+}

@@ -1,0 +1,50 @@
+//! Figure 9 — distribution (25th/50th/75th percentile box plots) of the
+//! cardinality and cost errors on the JOB workload for PG, the hash-bitmap
+//! tree model and the rule-embedding + pooling tree model.
+use bench::Pipeline;
+use estimator_core::{PredicateModelKind, RepresentationCellKind, TaskMode};
+use metrics::ErrorSummary;
+use strembed::StringEncoding;
+use workloads::WorkloadKind;
+
+fn print_box(label: &str, errors: &[f64]) {
+    let p25 = ErrorSummary::percentile_of(errors, 0.25);
+    let p50 = ErrorSummary::percentile_of(errors, 0.50);
+    let p75 = ErrorSummary::percentile_of(errors, 0.75);
+    println!("{label:<18} p25 {p25:>10.2}   p50 {p50:>10.2}   p75 {p75:>10.2}");
+}
+
+fn main() {
+    let pipeline = Pipeline::new();
+    let suite = pipeline.suite(WorkloadKind::JobStrings);
+    let (pg_card, pg_cost) = pipeline.pg_errors(&suite);
+
+    let (hash_est, hash_test) = pipeline.train_tree_model(
+        &suite,
+        RepresentationCellKind::Lstm,
+        PredicateModelKind::TreeLstm,
+        TaskMode::Multitask,
+        Some(StringEncoding::Hash),
+        true,
+    );
+    let (hash_card, hash_cost) = pipeline.tree_errors(&hash_est, &hash_test);
+
+    let (pool_est, pool_test) = pipeline.train_tree_model(
+        &suite,
+        RepresentationCellKind::Lstm,
+        PredicateModelKind::MinMaxPool,
+        TaskMode::Multitask,
+        Some(StringEncoding::EmbedRule),
+        true,
+    );
+    let (pool_card, pool_cost) = pipeline.tree_errors(&pool_est, &pool_test);
+
+    println!("== Figure 9(a) — cardinality error distribution on JOB ==");
+    print_box("PgCard", &pg_card);
+    print_box("TLSTMHashMCard", &hash_card);
+    print_box("TPoolEmbRMCard", &pool_card);
+    println!("\n== Figure 9(b) — cost error distribution on JOB ==");
+    print_box("PgCost", &pg_cost);
+    print_box("TLSTMHashMCost", &hash_cost);
+    print_box("TPoolEmbRMCost", &pool_cost);
+}

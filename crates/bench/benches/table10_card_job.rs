@@ -1,0 +1,33 @@
+//! Table 10 — cardinality q-errors on the JOB (string-predicate) workload:
+//! PGCard, TLSTMHashCard, TLSTMEmbNRCard, TLSTMEmbRCard, TPoolEmbRCard.
+use bench::Pipeline;
+use estimator_core::{PredicateModelKind, RepresentationCellKind, TaskMode};
+use metrics::ReportTable;
+use strembed::StringEncoding;
+use workloads::WorkloadKind;
+
+fn main() {
+    let pipeline = Pipeline::new();
+    let suite = pipeline.suite(WorkloadKind::JobStrings);
+    let mut table = ReportTable::new("Table 10 — cardinality q-errors on the JOB (strings) workload");
+    let (pg_card, _) = pipeline.pg_errors(&suite);
+    table.add_errors("PGCard", &pg_card);
+    let variants: [(&str, StringEncoding, PredicateModelKind); 4] = [
+        ("TLSTMHashCard", StringEncoding::Hash, PredicateModelKind::TreeLstm),
+        ("TLSTMEmbNRCard", StringEncoding::EmbedNoRule, PredicateModelKind::TreeLstm),
+        ("TLSTMEmbRCard", StringEncoding::EmbedRule, PredicateModelKind::TreeLstm),
+        ("TPoolEmbRCard", StringEncoding::EmbedRule, PredicateModelKind::MinMaxPool),
+    ];
+    for (label, encoding, predicate) in variants {
+        let (est, test) = pipeline.train_tree_model(
+            &suite,
+            RepresentationCellKind::Lstm,
+            predicate,
+            TaskMode::Multitask,
+            Some(encoding),
+            true,
+        );
+        table.add_errors(label, &pipeline.tree_errors(&est, &test).0);
+    }
+    table.print();
+}

@@ -1,0 +1,77 @@
+//! Table 12 — estimation efficiency (milliseconds per query) on the JOB
+//! workload: the traditional estimator, MSCN, and the tree models with and
+//! without level-wise batched inference.
+use bench::Pipeline;
+use estimator_core::{PredicateModelKind, RepresentationCellKind, TaskMode};
+use mscn::{MscnConfig, MscnFeaturizer, MscnModel, MscnTrainer};
+use pgest::TraditionalEstimator;
+use std::time::Instant;
+use strembed::StringEncoding;
+use workloads::WorkloadKind;
+
+fn report(label: &str, total_ms: f64, queries: usize) {
+    println!("{label:<14} {:>10.3} ms/query   ({queries} queries)", total_ms / queries as f64);
+}
+
+fn main() {
+    let pipeline = Pipeline::new();
+    let suite = pipeline.suite(WorkloadKind::JobStrings);
+    let n = suite.test.len();
+    println!("== Table 12 — estimation efficiency ==");
+
+    // PostgreSQL-style estimator.
+    let pg = TraditionalEstimator::analyze(&pipeline.db);
+    let start = Instant::now();
+    for s in &suite.test {
+        let mut plan = s.plan.clone();
+        pg.estimate_plan(&mut plan);
+    }
+    report("PostgreSQL", start.elapsed().as_secs_f64() * 1e3, n);
+
+    // MSCN (one by one vs whole-set timing; MSCN has no tree to batch, so the
+    // "batch" variant just amortizes featurization).
+    let fx = MscnFeaturizer::new(pipeline.db.clone(), pipeline.enc_config.clone());
+    let train: Vec<_> = suite.train.iter().map(|s| fx.featurize(&s.plan)).collect();
+    let test: Vec<_> = suite.test.iter().map(|s| fx.featurize(&s.plan)).collect();
+    let model = MscnModel::new(
+        fx.table_dim(),
+        fx.join_dim(),
+        fx.predicate_dim(),
+        MscnConfig { epochs: 2, ..Default::default() },
+    );
+    let mut mscn = MscnTrainer::new(model, &train);
+    mscn.train(&train);
+    let start = Instant::now();
+    for s in &suite.test {
+        let sets = fx.featurize(&s.plan);
+        mscn.estimate(&sets);
+    }
+    report("MSCN", start.elapsed().as_secs_f64() * 1e3, n);
+    let start = Instant::now();
+    for s in &test {
+        mscn.estimate(s);
+    }
+    report("MSCNBatch", start.elapsed().as_secs_f64() * 1e3, n);
+
+    // Tree models: TLSTM and TPool, one-by-one vs level-batched.
+    for (label, predicate) in
+        [("TLSTM", PredicateModelKind::TreeLstm), ("TPool", PredicateModelKind::MinMaxPool)]
+    {
+        let (est, test_encoded) = pipeline.train_tree_model(
+            &suite,
+            RepresentationCellKind::Lstm,
+            predicate,
+            TaskMode::Multitask,
+            Some(StringEncoding::EmbedRule),
+            true,
+        );
+        let start = Instant::now();
+        for plan in &test_encoded {
+            est.estimate_encoded(plan);
+        }
+        report(label, start.elapsed().as_secs_f64() * 1e3, n);
+        let start = Instant::now();
+        est.estimate_encoded_batch(&test_encoded);
+        report(&format!("{label}Batch"), start.elapsed().as_secs_f64() * 1e3, n);
+    }
+}

@@ -1,0 +1,31 @@
+//! Table 8 — cost q-errors on the numeric workloads for PGCost, MSCNCost,
+//! TLSTMCost (single task), TNNMCost and TLSTMMCost (multitask).
+use bench::Pipeline;
+use estimator_core::{PredicateModelKind, RepresentationCellKind, TaskMode};
+use metrics::ReportTable;
+use workloads::WorkloadKind;
+
+fn main() {
+    let pipeline = Pipeline::new();
+    for (name, kind) in [
+        ("JOB-light", WorkloadKind::JobLight),
+        ("Synthetic", WorkloadKind::Synthetic),
+        ("Scale", WorkloadKind::Scale),
+    ] {
+        let suite = pipeline.suite(kind);
+        let mut table = ReportTable::new(format!("Table 8 — cost q-errors, {name} workload"));
+        let (_, pg_cost) = pipeline.pg_errors(&suite);
+        table.add_errors("PGCost", &pg_cost);
+        table.add_errors("MSCNCost", &pipeline.mscn_errors(&suite, true, true));
+        for (label, cell, task) in [
+            ("TLSTMCost", RepresentationCellKind::Lstm, TaskMode::CostOnly),
+            ("TNNMCost", RepresentationCellKind::Nn, TaskMode::Multitask),
+            ("TLSTMMCost", RepresentationCellKind::Lstm, TaskMode::Multitask),
+        ] {
+            let (est, test) =
+                pipeline.train_tree_model(&suite, cell, PredicateModelKind::TreeLstm, task, None, true);
+            table.add_errors(label, &pipeline.tree_errors(&est, &test).1);
+        }
+        table.print();
+    }
+}

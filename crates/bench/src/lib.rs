@@ -1,0 +1,206 @@
+//! Shared experiment pipeline for the reproduction benchmarks.
+//!
+//! Every bench binary (one per table/figure of the paper) drives the same
+//! pipeline: generate the synthetic IMDB database, build a workload suite,
+//! train the competing estimators and print the paper's rows.  Scale is
+//! controlled by the `E2E_SCALE` (database size multiplier), `E2E_QUERIES`
+//! (training queries) and `E2E_EPOCHS` environment variables so the same
+//! harness can run as a quick smoke test or a longer, closer-to-paper run.
+
+use engine::CostModel;
+use estimator_core::{
+    CostEstimator, ModelConfig, PredicateModelKind, RepresentationCellKind, TaskMode, TrainConfig,
+};
+use featurize::{EncodedPlan, EncodingConfig, FeatureExtractor};
+use imdb::{generate_imdb, Database, GeneratorConfig};
+use metrics::q_error;
+use mscn::{MscnConfig, MscnFeaturizer, MscnModel, MscnTrainer};
+use pgest::TraditionalEstimator;
+use std::sync::Arc;
+use strembed::{build_string_encoder, EmbedderConfig, HashBitmapEncoder, StringEncoding};
+use workloads::{workload_strings, QuerySample, SuiteConfig, WorkloadKind, WorkloadSuite};
+
+/// Experiment scale knobs (read from the environment with small defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct BenchScale {
+    pub n_titles: usize,
+    pub train_queries: usize,
+    pub test_queries: usize,
+    pub epochs: usize,
+}
+
+impl BenchScale {
+    /// Read the scale from `E2E_SCALE` / `E2E_QUERIES` / `E2E_EPOCHS`.
+    pub fn from_env() -> Self {
+        let scale: f64 = std::env::var("E2E_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0);
+        let train_queries =
+            std::env::var("E2E_QUERIES").ok().and_then(|s| s.parse().ok()).unwrap_or((120.0 * scale) as usize);
+        let epochs = std::env::var("E2E_EPOCHS").ok().and_then(|s| s.parse().ok()).unwrap_or(5);
+        BenchScale {
+            n_titles: (2000.0 * scale) as usize,
+            train_queries: train_queries.max(40),
+            test_queries: ((train_queries / 4).max(20)).min(200),
+            epochs,
+        }
+    }
+}
+
+/// One experiment environment: database, feature configuration, workloads.
+pub struct Pipeline {
+    pub db: Arc<Database>,
+    pub scale: BenchScale,
+    pub enc_config: EncodingConfig,
+}
+
+impl Pipeline {
+    /// Build the database and encoding configuration at the current scale.
+    pub fn new() -> Self {
+        let scale = BenchScale::from_env();
+        let db = Arc::new(generate_imdb(GeneratorConfig { n_titles: scale.n_titles, sample_size: 128, seed: 42 }));
+        let enc_config = EncodingConfig::from_database(&db, 16, 128);
+        Pipeline { db, scale, enc_config }
+    }
+
+    /// Build a workload suite of the given kind.
+    pub fn suite(&self, kind: WorkloadKind) -> WorkloadSuite {
+        WorkloadSuite::build(
+            &self.db,
+            kind,
+            SuiteConfig { train_queries: self.scale.train_queries, test_queries: self.scale.test_queries, seed: 1000 },
+        )
+    }
+
+    /// PG baseline errors (cardinality, cost) on the test set of a suite.
+    pub fn pg_errors(&self, suite: &WorkloadSuite) -> (Vec<f64>, Vec<f64>) {
+        let est = TraditionalEstimator::analyze(&self.db);
+        let mut card = Vec::new();
+        let mut cost = Vec::new();
+        for s in &suite.test {
+            let mut plan = s.plan.clone();
+            let (ec, ecost) = est.estimate_plan(&mut plan);
+            card.push(q_error(ec, s.true_cardinality().max(1.0)));
+            cost.push(q_error(ecost, s.true_cost().max(1.0)));
+        }
+        (card, cost)
+    }
+
+    /// Train an MSCN model and return its test q-errors for the chosen target.
+    pub fn mscn_errors(&self, suite: &WorkloadSuite, predict_cost: bool, use_samples: bool) -> Vec<f64> {
+        let fx = {
+            let mut f = MscnFeaturizer::new(self.db.clone(), self.enc_config.clone());
+            f.use_sample_bitmap = use_samples;
+            f
+        };
+        let train: Vec<_> = suite.train.iter().map(|s| fx.featurize(&s.plan)).collect();
+        let test: Vec<_> = suite.test.iter().map(|s| fx.featurize(&s.plan)).collect();
+        let config = MscnConfig {
+            epochs: self.scale.epochs,
+            hidden_dim: 32,
+            predict_cost,
+            learning_rate: 0.003,
+            ..Default::default()
+        };
+        let model = MscnModel::new(fx.table_dim(), fx.join_dim(), fx.predicate_dim(), config);
+        let mut trainer = MscnTrainer::new(model, &train);
+        trainer.train(&train);
+        test.iter()
+            .map(|s| q_error(trainer.estimate(s), if predict_cost { s.true_cost } else { s.true_cardinality }))
+            .collect()
+    }
+
+    /// Construct a feature extractor with the requested string encoding.
+    pub fn extractor(
+        &self,
+        encoding: Option<StringEncoding>,
+        workload: &[QuerySample],
+        use_samples: bool,
+    ) -> FeatureExtractor {
+        let string_encoder: Arc<dyn strembed::StringEncoder> = match encoding {
+            None => Arc::new(HashBitmapEncoder::new(16)),
+            Some(kind) => {
+                let strings = workload_strings(workload);
+                build_string_encoder(
+                    &self.db,
+                    &strings,
+                    kind,
+                    EmbedderConfig { dim: 16, max_rows_per_table: 300, epochs: 2, ..Default::default() },
+                )
+            }
+        };
+        let mut fx = FeatureExtractor::new(self.db.clone(), self.enc_config.clone(), string_encoder);
+        fx.use_sample_bitmap = use_samples;
+        fx
+    }
+
+    /// Train a tree model variant and return its fitted estimator plus the
+    /// encoded test plans.
+    pub fn train_tree_model(
+        &self,
+        suite: &WorkloadSuite,
+        cell: RepresentationCellKind,
+        predicate: PredicateModelKind,
+        task: TaskMode,
+        encoding: Option<StringEncoding>,
+        use_samples: bool,
+    ) -> (CostEstimator, Vec<EncodedPlan>) {
+        let fx = self.extractor(encoding, &suite.train, use_samples);
+        let model_config = ModelConfig {
+            cell,
+            predicate,
+            task,
+            feature_embed_dim: 16,
+            hidden_dim: 32,
+            estimation_hidden_dim: 16,
+            ..Default::default()
+        };
+        let train_config = TrainConfig {
+            epochs: self.scale.epochs,
+            batch_size: 16,
+            learning_rate: 0.003,
+            validation_fraction: 0.1,
+            seed: 7,
+        };
+        let mut estimator = CostEstimator::new(fx, model_config, train_config);
+        let train_plans: Vec<_> = suite.train.iter().map(|s| s.plan.clone()).collect();
+        estimator.fit(&train_plans);
+        let test_encoded: Vec<EncodedPlan> = suite.test.iter().map(|s| estimator.encode(&s.plan)).collect();
+        (estimator, test_encoded)
+    }
+
+    /// q-errors of a fitted tree model on encoded test plans: `(card, cost)`.
+    pub fn tree_errors(&self, estimator: &CostEstimator, test: &[EncodedPlan]) -> (Vec<f64>, Vec<f64>) {
+        let mut card = Vec::new();
+        let mut cost = Vec::new();
+        for plan in test {
+            let (ecost, ecard) = estimator.estimate_encoded(plan);
+            card.push(q_error(ecard, plan.true_cardinality.max(1.0)));
+            cost.push(q_error(ecost, plan.true_cost.max(1.0)));
+        }
+        (card, cost)
+    }
+
+    /// The cost model used for ground truth (exposed for efficiency benches).
+    pub fn cost_model(&self) -> CostModel {
+        CostModel::default()
+    }
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_env_defaults_are_sane() {
+        let s = BenchScale::from_env();
+        assert!(s.n_titles >= 500);
+        assert!(s.train_queries >= 40);
+        assert!(s.test_queries >= 20);
+        assert!(s.epochs >= 1);
+    }
+}

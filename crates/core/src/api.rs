@@ -1,0 +1,192 @@
+//! The public end-to-end estimator API.
+//!
+//! [`CostEstimator`] wires everything together the way the paper's Figure 2
+//! does: a feature extractor (with a pluggable string encoder), the tree
+//! model, the trainer and the representation memory pool.  Downstream users
+//! hand it annotated training plans once, then ask it for `(cost,
+//! cardinality)` of new physical plans.
+
+use crate::batch::estimate_batch;
+use crate::memory::RepresentationMemoryPool;
+use crate::model::{ModelConfig, TreeModel};
+use crate::trainer::{EpochStats, TrainConfig, Trainer};
+use featurize::{EncodedPlan, FeatureExtractor};
+use query::PlanNode;
+
+/// An end-to-end learned cost and cardinality estimator.
+pub struct CostEstimator {
+    extractor: FeatureExtractor,
+    trainer: Option<Trainer>,
+    model_config: ModelConfig,
+    train_config: TrainConfig,
+    pool: RepresentationMemoryPool,
+}
+
+impl CostEstimator {
+    /// Create an estimator with the given feature extractor and configuration.
+    pub fn new(extractor: FeatureExtractor, model_config: ModelConfig, train_config: TrainConfig) -> Self {
+        CostEstimator { extractor, trainer: None, model_config, train_config, pool: RepresentationMemoryPool::new() }
+    }
+
+    /// The feature extractor (exposed for encoding plans externally).
+    pub fn extractor(&self) -> &FeatureExtractor {
+        &self.extractor
+    }
+
+    /// Encode an annotated physical plan into the model's input format.
+    pub fn encode(&self, plan: &PlanNode) -> EncodedPlan {
+        self.extractor.encode_plan(plan)
+    }
+
+    /// Train on already-encoded plans; returns per-epoch statistics.
+    pub fn fit_encoded(&mut self, samples: &[EncodedPlan]) -> Vec<EpochStats> {
+        let model = TreeModel::new(self.extractor.config(), self.model_config);
+        let mut trainer = Trainer::new(model, samples, self.train_config);
+        let stats = trainer.train(samples);
+        self.trainer = Some(trainer);
+        self.pool.clear();
+        stats
+    }
+
+    /// Train on executed (annotated) physical plans.
+    pub fn fit(&mut self, plans: &[PlanNode]) -> Vec<EpochStats> {
+        let encoded: Vec<EncodedPlan> = plans.iter().map(|p| self.encode(p)).collect();
+        self.fit_encoded(&encoded)
+    }
+
+    /// True once the model has been trained.
+    pub fn is_fitted(&self) -> bool {
+        self.trainer.is_some()
+    }
+
+    /// Estimate `(cost, cardinality)` for a physical plan.
+    ///
+    /// Results for previously-seen plan signatures are served from the
+    /// representation memory pool.
+    ///
+    /// # Panics
+    /// Panics if the estimator has not been fitted.
+    pub fn estimate(&self, plan: &PlanNode) -> (f64, f64) {
+        let trainer = self.trainer.as_ref().expect("CostEstimator::estimate called before fit");
+        let signature = plan.signature();
+        if let Some(hit) = self.pool.get(&signature) {
+            return hit;
+        }
+        let encoded = self.encode(plan);
+        let result = trainer.estimate(&encoded);
+        self.pool.insert(&signature, result.0, result.1);
+        result
+    }
+
+    /// Estimate `(cost, cardinality)` for an already-encoded plan.
+    pub fn estimate_encoded(&self, plan: &EncodedPlan) -> (f64, f64) {
+        self.trainer.as_ref().expect("CostEstimator::estimate_encoded called before fit").estimate(plan)
+    }
+
+    /// Level-batched estimation of many encoded plans at once (Table 12).
+    pub fn estimate_encoded_batch(&self, plans: &[EncodedPlan]) -> Vec<(f64, f64)> {
+        let trainer = self.trainer.as_ref().expect("CostEstimator::estimate_encoded_batch called before fit");
+        estimate_batch(&trainer.model, &trainer.model.params, &trainer.normalization, plans)
+    }
+
+    /// Cache statistics of the representation memory pool `(hits, misses)`.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.pool.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelConfig;
+    use featurize::EncodingConfig;
+    use imdb::{generate_imdb, GeneratorConfig};
+    use query::{CompareOp, JoinPredicate, Operand, PhysicalOp, Predicate};
+    use std::sync::Arc;
+    use strembed::HashBitmapEncoder;
+
+    fn make_estimator() -> (CostEstimator, Arc<imdb::Database>) {
+        let db = Arc::new(generate_imdb(GeneratorConfig::tiny()));
+        let cfg = EncodingConfig::from_database(&db, 8, 32);
+        let fx = FeatureExtractor::new(db.clone(), cfg, Arc::new(HashBitmapEncoder::new(8)));
+        let est = CostEstimator::new(
+            fx,
+            ModelConfig { feature_embed_dim: 8, hidden_dim: 12, estimation_hidden_dim: 8, ..Default::default() },
+            TrainConfig { epochs: 3, batch_size: 8, ..Default::default() },
+        );
+        (est, db)
+    }
+
+    fn executed_plans(db: &imdb::Database, n: usize) -> Vec<PlanNode> {
+        let cost = engine::CostModel::default();
+        (0..n)
+            .map(|i| {
+                let scan_t = PlanNode::leaf(PhysicalOp::SeqScan {
+                    table: "title".into(),
+                    predicate: Some(Predicate::atom(
+                        "title",
+                        "production_year",
+                        CompareOp::Gt,
+                        Operand::Num((1945 + i * 2) as f64),
+                    )),
+                });
+                let scan_mc = PlanNode::leaf(PhysicalOp::SeqScan { table: "movie_companies".into(), predicate: None });
+                let mut join = PlanNode::inner(
+                    PhysicalOp::HashJoin {
+                        condition: JoinPredicate::new("movie_companies", "movie_id", "title", "id"),
+                    },
+                    vec![scan_t, scan_mc],
+                );
+                engine::execute_plan(db, &mut join, &cost);
+                join
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fit_then_estimate() {
+        let (mut est, db) = make_estimator();
+        assert!(!est.is_fitted());
+        let plans = executed_plans(&db, 30);
+        let stats = est.fit(&plans);
+        assert_eq!(stats.len(), 3);
+        assert!(est.is_fitted());
+        let (cost, card) = est.estimate(&plans[0]);
+        assert!(cost >= 1.0 && card >= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn estimate_before_fit_panics() {
+        let (est, db) = make_estimator();
+        let plans = executed_plans(&db, 1);
+        est.estimate(&plans[0]);
+    }
+
+    #[test]
+    fn memory_pool_caches_repeated_plans() {
+        let (mut est, db) = make_estimator();
+        let plans = executed_plans(&db, 10);
+        est.fit(&plans);
+        let a = est.estimate(&plans[0]);
+        let b = est.estimate(&plans[0]);
+        assert_eq!(a, b);
+        let (hits, misses) = est.cache_stats();
+        assert_eq!(hits, 1);
+        assert!(misses >= 1);
+    }
+
+    #[test]
+    fn batched_api_matches_single() {
+        let (mut est, db) = make_estimator();
+        let plans = executed_plans(&db, 8);
+        est.fit(&plans);
+        let encoded: Vec<EncodedPlan> = plans.iter().map(|p| est.encode(p)).collect();
+        let batched = est.estimate_encoded_batch(&encoded);
+        for (enc, (bc, bk)) in encoded.iter().zip(batched.iter()) {
+            let (c, k) = est.estimate_encoded(enc);
+            assert!((c.ln() - bc.ln()).abs() < 1e-3);
+            assert!((k.ln() - bk.ln()).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Level-wise batched inference (Section 4.3, "Batch Training").
+//!
+//! Instead of running the representation cell once per node per plan, all
+//! nodes at the same tree level (height above the leaves) across a whole
+//! batch of plans are packed into one matrix and the cell runs once per
+//! level.  The model only needs `D` cell invocations for a batch (where `D`
+//! is the maximum tree depth) instead of one per node — the speed-up that
+//! Table 12 measures.
+
+use crate::model::TreeModel;
+use crate::trainer::TargetNormalization;
+use featurize::EncodedPlan;
+use nn::cells::CellOutput;
+use nn::{Graph, NodeId, ParamStore};
+use std::collections::HashMap;
+
+/// Flattened view of one node of one plan in the batch.
+struct FlatNode<'a> {
+    height: usize,
+    children: Vec<usize>,
+    encoded: &'a EncodedPlan,
+}
+
+fn flatten<'a>(plan: &'a EncodedPlan, plan_idx: usize, out: &mut Vec<FlatNode<'a>>) -> (usize, usize) {
+    let mut child_ids = Vec::new();
+    let mut max_child_height = 0;
+    // Reserve our slot first so parents precede children in `out` order is
+    // irrelevant — we only need indices.
+    let my_idx = out.len();
+    let _ = plan_idx;
+    out.push(FlatNode { height: 1, children: Vec::new(), encoded: plan });
+    for c in &plan.children {
+        let (cid, ch) = flatten(c, plan_idx, out);
+        child_ids.push(cid);
+        max_child_height = max_child_height.max(ch);
+    }
+    let height = 1 + max_child_height;
+    out[my_idx].children = child_ids;
+    out[my_idx].height = height;
+    (my_idx, height)
+}
+
+/// Estimate a batch of encoded plans with level-wise batching.
+///
+/// Returns `(cost, cardinality)` per plan, in input order, denormalized with
+/// `normalization`.
+pub fn estimate_batch(
+    model: &TreeModel,
+    store: &ParamStore,
+    normalization: &TargetNormalization,
+    plans: &[EncodedPlan],
+) -> Vec<(f64, f64)> {
+    if plans.is_empty() {
+        return Vec::new();
+    }
+    let mut flat: Vec<FlatNode> = Vec::new();
+    let mut roots = Vec::with_capacity(plans.len());
+    for (pi, p) in plans.iter().enumerate() {
+        let (root_idx, _) = flatten(p, pi, &mut flat);
+        roots.push(root_idx);
+    }
+    let max_height = flat.iter().map(|n| n.height).max().unwrap_or(1);
+
+    let mut g = Graph::new();
+    // Embed every node individually (feature widths differ per group), then
+    // run the representation cell once per level over column-concatenated
+    // embeddings.
+    let embedded: Vec<NodeId> =
+        flat.iter().map(|n| model.embed_node(&mut g, store, &n.encoded.features)).collect();
+
+    // node index -> its computed (G, R) columns.
+    let mut states: HashMap<usize, CellOutput> = HashMap::new();
+
+    for level in 1..=max_height {
+        let level_nodes: Vec<usize> =
+            flat.iter().enumerate().filter(|(_, n)| n.height == level).map(|(i, _)| i).collect();
+        if level_nodes.is_empty() {
+            continue;
+        }
+        // Batched feature input for the level.
+        let xs: Vec<NodeId> = level_nodes.iter().map(|&i| embedded[i]).collect();
+        let x_batch = g.concat_cols(&xs);
+
+        // Batched children states: for each node take its (left, right) child
+        // state columns, using zero states for missing children.
+        let zero = model.zero_state_batch(&mut g, 1);
+        let mut left_cols = Vec::with_capacity(level_nodes.len());
+        let mut right_cols = Vec::with_capacity(level_nodes.len());
+        for &i in &level_nodes {
+            let children = &flat[i].children;
+            let left = children.first().and_then(|c| states.get(c)).copied().unwrap_or(zero);
+            let right = children.get(1).and_then(|c| states.get(c)).copied().unwrap_or(zero);
+            left_cols.push(left);
+            right_cols.push(right);
+        }
+        let left_g = g.concat_cols(&left_cols.iter().map(|c| c.g).collect::<Vec<_>>());
+        let left_r = g.concat_cols(&left_cols.iter().map(|c| c.r).collect::<Vec<_>>());
+        let right_g = g.concat_cols(&right_cols.iter().map(|c| c.g).collect::<Vec<_>>());
+        let right_r = g.concat_cols(&right_cols.iter().map(|c| c.r).collect::<Vec<_>>());
+
+        let out = model.apply_cell(
+            &mut g,
+            store,
+            x_batch,
+            CellOutput { g: left_g, r: left_r },
+            CellOutput { g: right_g, r: right_r },
+        );
+        // Split the batched output back into per-node columns.
+        for (col, &i) in level_nodes.iter().enumerate() {
+            let gi = g.column_at(out.g, col);
+            let ri = g.column_at(out.r, col);
+            states.insert(i, CellOutput { g: gi, r: ri });
+        }
+    }
+
+    // Batched estimation heads over all roots at once.
+    let root_rs: Vec<NodeId> = roots.iter().map(|r| states[r].r).collect();
+    let r_batch = g.concat_cols(&root_rs);
+    let (cost_out, card_out) = model.estimate_from_representation(&mut g, store, r_batch);
+    let cost_vals = g.value(cost_out).clone();
+    let card_vals = g.value(card_out).clone();
+
+    (0..plans.len())
+        .map(|i| {
+            (
+                normalization.cost.denormalize(cost_vals.get(0, i)),
+                normalization.cardinality.denormalize(card_vals.get(0, i)),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ModelConfig, TreeModel};
+    use crate::trainer::{Trainer, TrainConfig};
+    use featurize::{EncodingConfig, FeatureExtractor};
+    use imdb::{generate_imdb, GeneratorConfig};
+    use query::{CompareOp, JoinPredicate, Operand, PhysicalOp, PlanNode, Predicate};
+    use std::sync::Arc;
+    use strembed::HashBitmapEncoder;
+
+    fn samples(n: usize) -> (Vec<EncodedPlan>, EncodingConfig) {
+        let db = Arc::new(generate_imdb(GeneratorConfig::tiny()));
+        let cfg = EncodingConfig::from_database(&db, 8, 32);
+        let fx = FeatureExtractor::new(db.clone(), cfg.clone(), Arc::new(HashBitmapEncoder::new(8)));
+        let cost = engine::CostModel::default();
+        let mut out = Vec::new();
+        for i in 0..n {
+            let scan_t = PlanNode::leaf(PhysicalOp::SeqScan {
+                table: "title".into(),
+                predicate: Some(Predicate::atom(
+                    "title",
+                    "production_year",
+                    CompareOp::Gt,
+                    Operand::Num((1940 + i * 3) as f64),
+                )),
+            });
+            let scan_mc = PlanNode::leaf(PhysicalOp::SeqScan { table: "movie_companies".into(), predicate: None });
+            let mut join = PlanNode::inner(
+                PhysicalOp::HashJoin { condition: JoinPredicate::new("movie_companies", "movie_id", "title", "id") },
+                vec![scan_t, scan_mc],
+            );
+            engine::execute_plan(&db, &mut join, &cost);
+            out.push(fx.encode_plan(&join));
+        }
+        (out, cfg)
+    }
+
+    #[test]
+    fn batched_estimates_match_one_by_one() {
+        let (plans, cfg) = samples(10);
+        let model = TreeModel::new(
+            &cfg,
+            ModelConfig { feature_embed_dim: 8, hidden_dim: 12, estimation_hidden_dim: 8, ..Default::default() },
+        );
+        let trainer = Trainer::new(model, &plans, TrainConfig::default());
+        let batched = estimate_batch(&trainer.model, &trainer.model.params, &trainer.normalization, &plans);
+        assert_eq!(batched.len(), plans.len());
+        for (plan, (bcost, bcard)) in plans.iter().zip(batched.iter()) {
+            let (cost, card) = trainer.estimate(plan);
+            assert!((cost.ln() - bcost.ln()).abs() < 1e-3, "cost mismatch: {cost} vs {bcost}");
+            assert!((card.ln() - bcard.ln()).abs() < 1e-3, "card mismatch: {card} vs {bcard}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_returns_empty() {
+        let (plans, cfg) = samples(2);
+        let model = TreeModel::new(&cfg, ModelConfig::default());
+        let trainer = Trainer::new(model, &plans, TrainConfig::default());
+        assert!(estimate_batch(&trainer.model, &trainer.model.params, &trainer.normalization, &[]).is_empty());
+    }
+
+    #[test]
+    fn single_leaf_plan_in_batch() {
+        let db = Arc::new(generate_imdb(GeneratorConfig::tiny()));
+        let cfg = EncodingConfig::from_database(&db, 8, 32);
+        let fx = FeatureExtractor::new(db.clone(), cfg.clone(), Arc::new(HashBitmapEncoder::new(8)));
+        let mut scan = PlanNode::leaf(PhysicalOp::SeqScan { table: "keyword".into(), predicate: None });
+        engine::execute_plan(&db, &mut scan, &engine::CostModel::default());
+        let plan = fx.encode_plan(&scan);
+        let model = TreeModel::new(
+            &cfg,
+            ModelConfig { feature_embed_dim: 8, hidden_dim: 12, estimation_hidden_dim: 8, ..Default::default() },
+        );
+        let trainer = Trainer::new(model, std::slice::from_ref(&plan), TrainConfig::default());
+        let out = estimate_batch(&trainer.model, &trainer.model.params, &trainer.normalization, &[plan.clone()]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].0.is_finite() && out[0].1.is_finite());
+    }
+}

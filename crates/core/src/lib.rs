@@ -1,0 +1,25 @@
+//! The paper's primary contribution: the end-to-end tree-structured learned
+//! cost and cardinality estimator.
+//!
+//! * [`model`] — embedding layer (with min/max predicate-tree pooling or
+//!   tree-LSTM predicates), the tree-LSTM / tree-NN representation layer and
+//!   the multitask estimation layer (Section 4.2).
+//! * [`trainer`] — q-error loss on normalized log targets, Adam,
+//!   mini-batches, per-epoch validation statistics (Section 4.3).
+//! * [`batch`] — level-wise batched inference (the batching technique of
+//!   Section 4.3, measured in Table 12).
+//! * [`memory`] — the representation memory pool of the online workflow
+//!   (Section 3).
+//! * [`api`] — the [`CostEstimator`] façade downstream users interact with.
+
+pub mod api;
+pub mod batch;
+pub mod memory;
+pub mod model;
+pub mod trainer;
+
+pub use api::CostEstimator;
+pub use batch::estimate_batch;
+pub use memory::RepresentationMemoryPool;
+pub use model::{ModelConfig, PredicateModelKind, RepresentationCellKind, TaskMode, TreeModel};
+pub use trainer::{EpochStats, TargetNormalization, TrainConfig, Trainer};

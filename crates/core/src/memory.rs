@@ -1,0 +1,111 @@
+//! Representation memory pool (Section 3, online workflow).
+//!
+//! When the optimizer repeatedly asks for the cost of plans sharing
+//! sub-plans, the estimator caches the estimates of already-seen sub-plans
+//! keyed by their structural signature and serves repeats without another
+//! forward pass.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// A concurrent cache from plan signatures to `(cost, cardinality)` estimates.
+#[derive(Debug, Default)]
+pub struct RepresentationMemoryPool {
+    entries: RwLock<HashMap<String, (f64, f64)>>,
+    hits: RwLock<u64>,
+    misses: RwLock<u64>,
+}
+
+impl RepresentationMemoryPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up a signature, counting a hit or a miss.
+    pub fn get(&self, signature: &str) -> Option<(f64, f64)> {
+        let found = self.entries.read().get(signature).copied();
+        if found.is_some() {
+            *self.hits.write() += 1;
+        } else {
+            *self.misses.write() += 1;
+        }
+        found
+    }
+
+    /// Store an estimate for a signature.
+    pub fn insert(&self, signature: &str, cost: f64, cardinality: f64) {
+        self.entries.write().insert(signature.to_string(), (cost, cardinality));
+    }
+
+    /// Number of cached sub-plans.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (*self.hits.read(), *self.misses.read())
+    }
+
+    /// Drop all cached entries and counters.
+    pub fn clear(&self) {
+        self.entries.write().clear();
+        *self.hits.write() = 0;
+        *self.misses.write() = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let pool = RepresentationMemoryPool::new();
+        assert!(pool.get("sig-a").is_none());
+        pool.insert("sig-a", 10.0, 5.0);
+        assert_eq!(pool.get("sig-a"), Some((10.0, 5.0)));
+        assert_eq!(pool.len(), 1);
+        assert!(!pool.is_empty());
+    }
+
+    #[test]
+    fn hit_miss_counters() {
+        let pool = RepresentationMemoryPool::new();
+        pool.insert("x", 1.0, 1.0);
+        pool.get("x");
+        pool.get("y");
+        pool.get("x");
+        assert_eq!(pool.stats(), (2, 1));
+        pool.clear();
+        assert_eq!(pool.stats(), (0, 0));
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        use std::sync::Arc;
+        let pool = Arc::new(RepresentationMemoryPool::new());
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        pool.insert(&format!("sig-{t}-{i}"), i as f64, t as f64);
+                        pool.get(&format!("sig-{t}-{i}"));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("thread");
+        }
+        assert_eq!(pool.len(), 800);
+    }
+}

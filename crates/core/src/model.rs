@@ -1,0 +1,361 @@
+//! The tree-structured estimation model (Section 4.2).
+//!
+//! Three layers:
+//!
+//! 1. **Embedding layer** — one fully-connected embedding per feature group
+//!    (Operation, Metadata, Sample Bitmap) plus a predicate model: either the
+//!    min/max tree pooling of Section 4.2.1 (AND → min, OR → max over the
+//!    embedded atoms) or a tree-LSTM over the predicate tree (the `TLSTM*`
+//!    predicate variant of Table 6/9).
+//! 2. **Representation layer** — a representation cell applied recursively
+//!    over the plan tree: the LSTM-style cell (G/R channels) or a plain
+//!    fully-connected cell (`TNN*`), with children states averaged.
+//! 3. **Estimation layer** — two-layer heads with sigmoid outputs for cost
+//!    and cardinality; multitask training shares layers 1–2.
+
+use featurize::{EncodedPlan, EncodingConfig, NodeFeatures, PredicateEncoding};
+use nn::cells::CellOutput;
+use nn::{Graph, Linear, Matrix, NodeId, ParamStore, TreeLstmCell, TreeNnCell};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which representation cell the representation layer uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RepresentationCellKind {
+    /// LSTM-style cell with the long-memory channel (the paper's design).
+    Lstm,
+    /// Plain fully-connected cell (`TNN*` baselines).
+    Nn,
+}
+
+/// Which predicate embedding model is used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PredicateModelKind {
+    /// Min/max tree pooling (AND → min, OR → max) — `TPool*`.
+    MinMaxPool,
+    /// Tree-LSTM over the predicate tree — `TLSTM*`.
+    TreeLstm,
+}
+
+/// Which estimation targets are trained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskMode {
+    CardinalityOnly,
+    CostOnly,
+    /// Multitask: cost and cardinality trained together (shared layers).
+    Multitask,
+}
+
+/// Hyper-parameters of the tree model.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ModelConfig {
+    pub cell: RepresentationCellKind,
+    pub predicate: PredicateModelKind,
+    pub task: TaskMode,
+    /// Weight ω of the cost term in the multitask loss.
+    pub cost_loss_weight: f64,
+    /// Per-feature embedding width.
+    pub feature_embed_dim: usize,
+    /// Representation (hidden) width.
+    pub hidden_dim: usize,
+    /// Hidden width of the estimation heads.
+    pub estimation_hidden_dim: usize,
+    /// Parameter-initialization seed.
+    pub seed: u64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            cell: RepresentationCellKind::Lstm,
+            predicate: PredicateModelKind::MinMaxPool,
+            task: TaskMode::Multitask,
+            cost_loss_weight: 1.0,
+            feature_embed_dim: 16,
+            hidden_dim: 64,
+            estimation_hidden_dim: 32,
+            seed: 42,
+        }
+    }
+}
+
+enum RepresentationCell {
+    Lstm(TreeLstmCell),
+    Nn(TreeNnCell),
+}
+
+/// The assembled tree model: all parameters plus the layer definitions.
+pub struct TreeModel {
+    pub config: ModelConfig,
+    pub params: ParamStore,
+    op_embed: Linear,
+    meta_embed: Linear,
+    sample_embed: Linear,
+    pred_leaf: Linear,
+    pred_lstm: TreeLstmCell,
+    cell: RepresentationCell,
+    cost_head: nn::layers::Mlp2,
+    card_head: nn::layers::Mlp2,
+    embed_dim: usize,
+}
+
+impl TreeModel {
+    /// Build a model for the given encoding configuration.
+    pub fn new(enc: &EncodingConfig, config: ModelConfig) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let mut params = ParamStore::new();
+        let d = config.feature_embed_dim;
+        let op_embed = Linear::new(&mut params, "embed.op", enc.operation_dim(), d, &mut rng);
+        let meta_embed = Linear::new(&mut params, "embed.meta", enc.metadata_dim(), d, &mut rng);
+        let sample_embed = Linear::new(&mut params, "embed.sample", enc.sample_dim(), d, &mut rng);
+        let pred_leaf = Linear::new(&mut params, "embed.pred_leaf", enc.atom_dim(), d, &mut rng);
+        let pred_lstm = TreeLstmCell::new(&mut params, "embed.pred_lstm", d, d, &mut rng);
+        let embed_dim = 4 * d;
+        let cell = match config.cell {
+            RepresentationCellKind::Lstm => {
+                RepresentationCell::Lstm(TreeLstmCell::new(&mut params, "repr.lstm", embed_dim, config.hidden_dim, &mut rng))
+            }
+            RepresentationCellKind::Nn => {
+                RepresentationCell::Nn(TreeNnCell::new(&mut params, "repr.nn", embed_dim, config.hidden_dim, &mut rng))
+            }
+        };
+        let cost_head =
+            nn::layers::Mlp2::new(&mut params, "est.cost", config.hidden_dim, config.estimation_hidden_dim, 1, &mut rng);
+        let card_head =
+            nn::layers::Mlp2::new(&mut params, "est.card", config.hidden_dim, config.estimation_hidden_dim, 1, &mut rng);
+        TreeModel {
+            config,
+            params,
+            op_embed,
+            meta_embed,
+            sample_embed,
+            pred_leaf,
+            pred_lstm,
+            cell,
+            cost_head,
+            card_head,
+            embed_dim,
+        }
+    }
+
+    /// Width of the concatenated node embedding `E`.
+    pub fn embed_dim(&self) -> usize {
+        self.embed_dim
+    }
+
+    /// Total number of trainable scalars.
+    pub fn num_parameters(&self) -> usize {
+        self.params.num_scalars()
+    }
+
+    /// Embed a predicate tree into a `feature_embed_dim` vector node.
+    fn embed_predicate(&self, g: &mut Graph, store: &ParamStore, pred: &PredicateEncoding) -> NodeId {
+        let d = self.config.feature_embed_dim;
+        match pred {
+            PredicateEncoding::None => g.input(Matrix::zeros(d, 1)),
+            PredicateEncoding::Atom(v) => {
+                let x = g.input(Matrix::column(v));
+                self.pred_leaf.forward_relu(g, store, x)
+            }
+            PredicateEncoding::And(l, r) | PredicateEncoding::Or(l, r) => {
+                match self.config.predicate {
+                    PredicateModelKind::MinMaxPool => {
+                        let le = self.embed_predicate(g, store, l);
+                        let re = self.embed_predicate(g, store, r);
+                        if matches!(pred, PredicateEncoding::And(_, _)) {
+                            g.emin(le, re)
+                        } else {
+                            g.emax(le, re)
+                        }
+                    }
+                    PredicateModelKind::TreeLstm => {
+                        // Run a tree-LSTM over the predicate tree; inner nodes
+                        // feed a zero feature and combine children states.
+                        let out = self.pred_lstm_forward(g, store, pred);
+                        out.r
+                    }
+                }
+            }
+        }
+    }
+
+    fn pred_lstm_forward(&self, g: &mut Graph, store: &ParamStore, pred: &PredicateEncoding) -> CellOutput {
+        let d = self.config.feature_embed_dim;
+        match pred {
+            PredicateEncoding::None => self.pred_lstm.zero_state(g, 1),
+            PredicateEncoding::Atom(v) => {
+                let x = g.input(Matrix::column(v));
+                let e = self.pred_leaf.forward_relu(g, store, x);
+                let zero = self.pred_lstm.zero_state(g, 1);
+                self.pred_lstm.forward(g, store, e, zero, zero)
+            }
+            PredicateEncoding::And(l, r) | PredicateEncoding::Or(l, r) => {
+                let left = self.pred_lstm_forward(g, store, l);
+                let right = self.pred_lstm_forward(g, store, r);
+                let x = g.input(Matrix::zeros(d, 1));
+                self.pred_lstm.forward(g, store, x, left, right)
+            }
+        }
+    }
+
+    /// Embed the four feature groups of one node into the concatenated `E`.
+    pub fn embed_node(&self, g: &mut Graph, store: &ParamStore, features: &NodeFeatures) -> NodeId {
+        let op_in = g.input(Matrix::column(&features.operation));
+        let op = self.op_embed.forward_relu(g, store, op_in);
+        let meta_in = g.input(Matrix::column(&features.metadata));
+        let meta = self.meta_embed.forward_relu(g, store, meta_in);
+        let samp_in = g.input(Matrix::column(&features.sample_bitmap));
+        let samp = self.sample_embed.forward_relu(g, store, samp_in);
+        let pred = self.embed_predicate(g, store, &features.predicate);
+        g.concat_rows(&[op, meta, samp, pred])
+    }
+
+    /// Apply the representation cell to an embedded node and children states.
+    pub fn apply_cell(
+        &self,
+        g: &mut Graph,
+        store: &ParamStore,
+        x: NodeId,
+        left: CellOutput,
+        right: CellOutput,
+    ) -> CellOutput {
+        match &self.cell {
+            RepresentationCell::Lstm(c) => c.forward(g, store, x, left, right),
+            RepresentationCell::Nn(c) => c.forward(g, store, x, left, right),
+        }
+    }
+
+    /// Zero child state (for leaves), batch width 1.
+    pub fn zero_state(&self, g: &mut Graph) -> CellOutput {
+        self.zero_state_batch(g, 1)
+    }
+
+    /// Zero child state with an arbitrary batch width.
+    pub fn zero_state_batch(&self, g: &mut Graph, batch: usize) -> CellOutput {
+        match &self.cell {
+            RepresentationCell::Lstm(c) => c.zero_state(g, batch),
+            RepresentationCell::Nn(c) => c.zero_state(g, batch),
+        }
+    }
+
+    /// Recursive forward over an encoded plan, returning the root state.
+    pub fn forward_plan(&self, g: &mut Graph, store: &ParamStore, plan: &EncodedPlan) -> CellOutput {
+        let x = self.embed_node(g, store, &plan.features);
+        let (left, right) = match plan.children.len() {
+            0 => (self.zero_state(g), self.zero_state(g)),
+            1 => {
+                let c = self.forward_plan(g, store, &plan.children[0]);
+                (c, self.zero_state(g))
+            }
+            _ => (
+                self.forward_plan(g, store, &plan.children[0]),
+                self.forward_plan(g, store, &plan.children[1]),
+            ),
+        };
+        self.apply_cell(g, store, x, left, right)
+    }
+
+    /// Estimation heads: `(cost, cardinality)` sigmoid outputs (normalized
+    /// space) from a representation node (any batch width).
+    pub fn estimate_from_representation(&self, g: &mut Graph, store: &ParamStore, r: NodeId) -> (NodeId, NodeId) {
+        let cost = self.cost_head.forward_sigmoid(g, store, r);
+        let card = self.card_head.forward_sigmoid(g, store, r);
+        (cost, card)
+    }
+
+    /// Full forward pass over one plan: normalized `(cost, card)` outputs.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, plan: &EncodedPlan) -> (NodeId, NodeId) {
+        let root = self.forward_plan(g, store, plan);
+        self.estimate_from_representation(g, store, root.r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use featurize::FeatureExtractor;
+    use imdb::{generate_imdb, GeneratorConfig};
+    use query::{CompareOp, JoinPredicate, Operand, PhysicalOp, PlanNode, Predicate};
+    use std::sync::Arc;
+    use strembed::HashBitmapEncoder;
+
+    fn setup() -> (FeatureExtractor, EncodingConfig) {
+        let db = Arc::new(generate_imdb(GeneratorConfig::tiny()));
+        let cfg = EncodingConfig::from_database(&db, 16, 64);
+        (FeatureExtractor::new(db, cfg.clone(), Arc::new(HashBitmapEncoder::new(16))), cfg)
+    }
+
+    fn sample_encoded_plan(fx: &FeatureExtractor) -> EncodedPlan {
+        let scan_t = PlanNode::leaf(PhysicalOp::SeqScan {
+            table: "title".into(),
+            predicate: Some(
+                Predicate::atom("title", "production_year", CompareOp::Gt, Operand::Num(2000.0))
+                    .and(Predicate::atom("title", "kind_id", CompareOp::Eq, Operand::Num(1.0))),
+            ),
+        });
+        let scan_mc = PlanNode::leaf(PhysicalOp::SeqScan { table: "movie_companies".into(), predicate: None });
+        let join = PlanNode::inner(
+            PhysicalOp::HashJoin { condition: JoinPredicate::new("movie_companies", "movie_id", "title", "id") },
+            vec![scan_t, scan_mc],
+        );
+        fx.encode_plan(&join)
+    }
+
+    #[test]
+    fn forward_produces_normalized_outputs() {
+        let (fx, cfg) = setup();
+        let plan = sample_encoded_plan(&fx);
+        for cell in [RepresentationCellKind::Lstm, RepresentationCellKind::Nn] {
+            for pred in [PredicateModelKind::MinMaxPool, PredicateModelKind::TreeLstm] {
+                let model = TreeModel::new(&cfg, ModelConfig { cell, predicate: pred, ..Default::default() });
+                let mut g = Graph::new();
+                let (cost, card) = model.forward(&mut g, &model.params, &plan);
+                let c = g.value(cost).data()[0];
+                let k = g.value(card).data()[0];
+                assert!((0.0..=1.0).contains(&c), "cost output {c} out of range");
+                assert!((0.0..=1.0).contains(&k), "card output {k} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn model_has_reasonable_parameter_count() {
+        let (_, cfg) = setup();
+        let model = TreeModel::new(&cfg, ModelConfig::default());
+        let n = model.num_parameters();
+        assert!(n > 10_000 && n < 2_000_000, "unexpected parameter count {n}");
+        assert_eq!(model.embed_dim(), 64);
+    }
+
+    #[test]
+    fn different_plans_produce_different_outputs() {
+        let (fx, cfg) = setup();
+        let model = TreeModel::new(&cfg, ModelConfig::default());
+        let plan_a = sample_encoded_plan(&fx);
+        let scan = PlanNode::leaf(PhysicalOp::SeqScan { table: "cast_info".into(), predicate: None });
+        let plan_b = fx.encode_plan(&scan);
+        let mut g = Graph::new();
+        let (cost_a, _) = model.forward(&mut g, &model.params, &plan_a);
+        let (cost_b, _) = model.forward(&mut g, &model.params, &plan_b);
+        assert_ne!(g.value(cost_a).data()[0], g.value(cost_b).data()[0]);
+    }
+
+    #[test]
+    fn pooling_predicate_embedding_respects_and_or_ordering() {
+        // For the same pair of atoms, the AND (min-pooled) embedding must be
+        // element-wise <= the OR (max-pooled) embedding.
+        let (fx, cfg) = setup();
+        let model = TreeModel::new(&cfg, ModelConfig::default());
+        let a = Predicate::atom("title", "production_year", CompareOp::Gt, Operand::Num(1990.0));
+        let b = Predicate::atom("title", "kind_id", CompareOp::Eq, Operand::Num(1.0));
+        let and_enc = fx.encode_predicate(Some(&a.clone().and(b.clone())));
+        let or_enc = fx.encode_predicate(Some(&a.or(b)));
+        let mut g = Graph::new();
+        let and_vec = model.embed_predicate(&mut g, &model.params, &and_enc);
+        let or_vec = model.embed_predicate(&mut g, &model.params, &or_enc);
+        for (x, y) in g.value(and_vec).data().iter().zip(g.value(or_vec).data().iter()) {
+            assert!(x <= y, "min-pooled AND exceeded max-pooled OR: {x} > {y}");
+        }
+    }
+}

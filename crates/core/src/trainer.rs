@@ -1,0 +1,292 @@
+//! Training loop (Section 4.3): q-error loss on normalized log targets,
+//! multitask cost+cardinality learning, Adam, mini-batches, per-epoch
+//! validation statistics (the curves of Figures 7 and 8).
+
+use crate::model::{TaskMode, TreeModel};
+use featurize::EncodedPlan;
+use metrics::q_error;
+use nn::loss::NormalizationStats;
+use nn::{Adam, Graph, Matrix, Optimizer};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TrainConfig {
+    pub epochs: usize,
+    pub batch_size: usize,
+    pub learning_rate: f32,
+    /// Fraction of the samples held out for validation.
+    pub validation_fraction: f64,
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { epochs: 10, batch_size: 32, learning_rate: 0.001, validation_fraction: 0.1, seed: 1 }
+    }
+}
+
+/// Per-epoch statistics (validation error curves of Figures 7 and 8).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EpochStats {
+    pub epoch: usize,
+    pub train_loss: f64,
+    pub validation_card_qerror_mean: f64,
+    pub validation_cost_qerror_mean: f64,
+}
+
+/// Target normalization fitted on the training set.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TargetNormalization {
+    pub cost: NormalizationStats,
+    pub cardinality: NormalizationStats,
+}
+
+impl TargetNormalization {
+    /// Fit normalization statistics over a training set.
+    pub fn fit(samples: &[EncodedPlan]) -> Self {
+        let costs: Vec<f64> = samples.iter().map(|s| s.true_cost).collect();
+        let cards: Vec<f64> = samples.iter().map(|s| s.true_cardinality).collect();
+        TargetNormalization { cost: NormalizationStats::fit(&costs), cardinality: NormalizationStats::fit(&cards) }
+    }
+}
+
+/// Trainer: owns the model, the optimizer state and the normalization.
+pub struct Trainer {
+    pub model: TreeModel,
+    pub normalization: TargetNormalization,
+    config: TrainConfig,
+}
+
+impl Trainer {
+    /// Create a trainer; normalization is fitted on `samples`.
+    pub fn new(model: TreeModel, samples: &[EncodedPlan], config: TrainConfig) -> Self {
+        Trainer { model, normalization: TargetNormalization::fit(samples), config }
+    }
+
+    /// Train on `samples`, returning per-epoch statistics.  A
+    /// `validation_fraction` tail of the (shuffled) samples is held out and
+    /// evaluated after each epoch.
+    pub fn train(&mut self, samples: &[EncodedPlan]) -> Vec<EpochStats> {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        order.shuffle(&mut rng);
+        let n_val = ((samples.len() as f64) * self.config.validation_fraction).round() as usize;
+        let (val_idx, train_idx) = order.split_at(n_val.min(samples.len().saturating_sub(1)));
+
+        let mut optimizer = Adam::new(self.config.learning_rate);
+        let mut stats = Vec::with_capacity(self.config.epochs);
+        let mut train_order: Vec<usize> = train_idx.to_vec();
+
+        for epoch in 0..self.config.epochs {
+            train_order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            let mut seen = 0usize;
+            self.model.params.zero_grad();
+            for (i, &si) in train_order.iter().enumerate() {
+                epoch_loss += self.accumulate_gradients(&samples[si]);
+                seen += 1;
+                if (i + 1) % self.config.batch_size == 0 || i + 1 == train_order.len() {
+                    optimizer.step(&mut self.model.params);
+                    self.model.params.zero_grad();
+                }
+            }
+            let (card_q, cost_q) = self.validation_error(samples, val_idx);
+            stats.push(EpochStats {
+                epoch,
+                train_loss: if seen > 0 { epoch_loss / seen as f64 } else { 0.0 },
+                validation_card_qerror_mean: card_q,
+                validation_cost_qerror_mean: cost_q,
+            });
+        }
+        stats
+    }
+
+    /// Forward + backward for one sample; returns its loss.
+    fn accumulate_gradients(&mut self, sample: &EncodedPlan) -> f64 {
+        let cost_target = self.normalization.cost.normalize(sample.true_cost);
+        let card_target = self.normalization.cardinality.normalize(sample.true_cardinality);
+        let mut g = Graph::new();
+        let (cost_out, card_out) = self.model.forward(&mut g, &self.model.params, sample);
+        let cost_val = g.value(cost_out).data()[0];
+        let card_val = g.value(card_out).data()[0];
+
+        let task = self.model.config.task;
+        let omega = self.model.config.cost_loss_weight as f32;
+        let mut loss = 0.0f64;
+        if matches!(task, TaskMode::CostOnly | TaskMode::Multitask) {
+            let (l, grad) = self.normalization.cost.loss_and_grad(cost_val, cost_target);
+            loss += self.model.config.cost_loss_weight * l;
+            g.backward(cost_out, Matrix::from_vec(1, 1, vec![omega * grad]), &mut self.model.params);
+        }
+        if matches!(task, TaskMode::CardinalityOnly | TaskMode::Multitask) {
+            let (l, grad) = self.normalization.cardinality.loss_and_grad(card_val, card_target);
+            loss += l;
+            g.backward(card_out, Matrix::from_vec(1, 1, vec![grad]), &mut self.model.params);
+        }
+        loss
+    }
+
+    /// Mean validation q-errors `(cardinality, cost)`.
+    fn validation_error(&self, samples: &[EncodedPlan], val_idx: &[usize]) -> (f64, f64) {
+        if val_idx.is_empty() {
+            return (1.0, 1.0);
+        }
+        let mut card_errs = Vec::with_capacity(val_idx.len());
+        let mut cost_errs = Vec::with_capacity(val_idx.len());
+        for &i in val_idx {
+            let (cost, card) = self.estimate(&samples[i]);
+            cost_errs.push(q_error(cost, samples[i].true_cost));
+            card_errs.push(q_error(card, samples[i].true_cardinality));
+        }
+        (
+            card_errs.iter().sum::<f64>() / card_errs.len() as f64,
+            cost_errs.iter().sum::<f64>() / cost_errs.len() as f64,
+        )
+    }
+
+    /// Estimate (denormalized) `(cost, cardinality)` for one encoded plan.
+    pub fn estimate(&self, plan: &EncodedPlan) -> (f64, f64) {
+        let mut g = Graph::new();
+        let (cost_out, card_out) = self.model.forward(&mut g, &self.model.params, plan);
+        (
+            self.normalization.cost.denormalize(g.value(cost_out).data()[0]),
+            self.normalization.cardinality.denormalize(g.value(card_out).data()[0]),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ModelConfig, PredicateModelKind, RepresentationCellKind, TreeModel};
+    use featurize::{EncodingConfig, FeatureExtractor};
+    use imdb::{generate_imdb, GeneratorConfig};
+    use query::{CompareOp, JoinPredicate, Operand, PhysicalOp, PlanNode, Predicate};
+    use std::sync::Arc;
+    use strembed::HashBitmapEncoder;
+
+    /// Build a small synthetic training set of executed single-join plans.
+    fn training_samples(n: usize) -> (Vec<EncodedPlan>, EncodingConfig) {
+        let db = Arc::new(generate_imdb(GeneratorConfig::tiny()));
+        let cfg = EncodingConfig::from_database(&db, 8, 32);
+        let fx = FeatureExtractor::new(db.clone(), cfg.clone(), Arc::new(HashBitmapEncoder::new(8)));
+        let model = engine::CostModel::default();
+        let mut out = Vec::new();
+        for i in 0..n {
+            let year = 1940 + (i * 7) % 75;
+            let scan_t = PlanNode::leaf(PhysicalOp::SeqScan {
+                table: "title".into(),
+                predicate: Some(Predicate::atom("title", "production_year", CompareOp::Gt, Operand::Num(year as f64))),
+            });
+            let other = if i % 2 == 0 { "movie_companies" } else { "movie_info_idx" };
+            let scan_o = PlanNode::leaf(PhysicalOp::SeqScan { table: other.into(), predicate: None });
+            let mut join = PlanNode::inner(
+                PhysicalOp::HashJoin { condition: JoinPredicate::new(other, "movie_id", "title", "id") },
+                vec![scan_t, scan_o],
+            );
+            engine::execute_plan(&db, &mut join, &model);
+            out.push(fx.encode_plan(&join));
+        }
+        (out, cfg)
+    }
+
+    #[test]
+    fn training_reduces_validation_error() {
+        let (samples, cfg) = training_samples(60);
+        let model = TreeModel::new(
+            &cfg,
+            ModelConfig { feature_embed_dim: 8, hidden_dim: 16, estimation_hidden_dim: 8, ..Default::default() },
+        );
+        let mut trainer = Trainer::new(
+            model,
+            &samples,
+            TrainConfig { epochs: 8, batch_size: 8, learning_rate: 0.005, ..Default::default() },
+        );
+        let stats = trainer.train(&samples);
+        assert_eq!(stats.len(), 8);
+        let first = stats.first().expect("stats");
+        let last = stats.last().expect("stats");
+        assert!(
+            last.validation_card_qerror_mean <= first.validation_card_qerror_mean * 1.5,
+            "validation error exploded: {} -> {}",
+            first.validation_card_qerror_mean,
+            last.validation_card_qerror_mean
+        );
+        assert!(last.train_loss.is_finite());
+    }
+
+    #[test]
+    fn trained_model_beats_untrained_on_training_data() {
+        let (samples, cfg) = training_samples(50);
+        let mk = || {
+            TreeModel::new(
+                &cfg,
+                ModelConfig { feature_embed_dim: 8, hidden_dim: 16, estimation_hidden_dim: 8, ..Default::default() },
+            )
+        };
+        let untrained = Trainer::new(mk(), &samples, TrainConfig::default());
+        let mut trained = Trainer::new(mk(), &samples, TrainConfig { epochs: 12, batch_size: 8, learning_rate: 0.005, ..Default::default() });
+        trained.train(&samples);
+
+        let mean_q = |t: &Trainer| {
+            samples
+                .iter()
+                .map(|s| q_error(t.estimate(s).1, s.true_cardinality))
+                .sum::<f64>()
+                / samples.len() as f64
+        };
+        let q_untrained = mean_q(&untrained);
+        let q_trained = mean_q(&trained);
+        assert!(
+            q_trained < q_untrained,
+            "training did not improve cardinality q-error: {q_untrained:.2} -> {q_trained:.2}"
+        );
+    }
+
+    #[test]
+    fn all_model_variants_train_one_epoch() {
+        let (samples, cfg) = training_samples(12);
+        for cell in [RepresentationCellKind::Lstm, RepresentationCellKind::Nn] {
+            for pred in [PredicateModelKind::MinMaxPool, PredicateModelKind::TreeLstm] {
+                for task in [TaskMode::CardinalityOnly, TaskMode::CostOnly, TaskMode::Multitask] {
+                    let model = TreeModel::new(
+                        &cfg,
+                        ModelConfig {
+                            cell,
+                            predicate: pred,
+                            task,
+                            feature_embed_dim: 8,
+                            hidden_dim: 12,
+                            estimation_hidden_dim: 8,
+                            ..Default::default()
+                        },
+                    );
+                    let mut trainer = Trainer::new(model, &samples, TrainConfig { epochs: 1, batch_size: 4, ..Default::default() });
+                    let stats = trainer.train(&samples);
+                    assert_eq!(stats.len(), 1);
+                    assert!(stats[0].train_loss.is_finite());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn estimates_are_positive_and_finite() {
+        let (samples, cfg) = training_samples(20);
+        let model = TreeModel::new(
+            &cfg,
+            ModelConfig { feature_embed_dim: 8, hidden_dim: 16, estimation_hidden_dim: 8, ..Default::default() },
+        );
+        let mut trainer = Trainer::new(model, &samples, TrainConfig { epochs: 2, batch_size: 8, ..Default::default() });
+        trainer.train(&samples);
+        for s in &samples {
+            let (cost, card) = trainer.estimate(s);
+            assert!(cost.is_finite() && cost >= 1.0);
+            assert!(card.is_finite() && card >= 1.0);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Plan generation and ground-truth execution.
+//!
+//! The paper trains on triples `<physical plan, real cost, real cardinality>`
+//! obtained by running queries through PostgreSQL.  This crate provides the
+//! equivalent substrate:
+//!
+//! * [`cost`] — a deterministic, PostgreSQL-style work-unit cost model
+//!   (sequential/random page, CPU-per-tuple/operator terms).  Evaluated on
+//!   *true* cardinalities it defines the "real cost" training target;
+//!   evaluated on *estimated* cardinalities it is the traditional cost
+//!   estimator baseline's cost function.
+//! * [`executor`] — executes a physical plan against the in-memory database,
+//!   annotating every node with its true output cardinality and true
+//!   (cumulative) cost.
+//! * [`planner`] — a heuristic cost-based planner that turns a logical query
+//!   into a physical plan (scan choice, greedy join ordering, join operator
+//!   selection), playing the role of the PostgreSQL optimizer that produced
+//!   the paper's training plans.
+
+pub mod cost;
+pub mod executor;
+pub mod planner;
+
+pub use cost::CostModel;
+pub use executor::{execute_plan, ExecutionResult};
+pub use planner::{plan_query, PlannerConfig};

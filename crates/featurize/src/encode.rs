@@ -1,0 +1,400 @@
+//! Plan-node feature extraction (Section 4.1).
+//!
+//! Every plan node is encoded into the four feature groups of the paper —
+//! Operation, Metadata, Predicate and Sample Bitmap — and the plan tree is
+//! encoded into an [`EncodedPlan`] mirroring its structure, with the true
+//! cost/cardinality attached as training targets.
+
+use crate::config::EncodingConfig;
+use imdb::Database;
+use query::{AtomPredicate, Operand, PhysicalOp, PlanNode, Predicate};
+use std::sync::Arc;
+use strembed::StringEncoder;
+
+/// Encoded predicate tree: the min/max pooling model consumes the structure,
+/// the tree-LSTM predicate variant consumes its DFS linearization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredicateEncoding {
+    /// No predicate on this node.
+    None,
+    /// An encoded atomic predicate.
+    Atom(Vec<f32>),
+    /// Conjunction of two sub-predicates (min pooling).
+    And(Box<PredicateEncoding>, Box<PredicateEncoding>),
+    /// Disjunction of two sub-predicates (max pooling).
+    Or(Box<PredicateEncoding>, Box<PredicateEncoding>),
+}
+
+impl PredicateEncoding {
+    /// Number of atom vectors in the encoding.
+    pub fn num_atoms(&self) -> usize {
+        match self {
+            PredicateEncoding::None => 0,
+            PredicateEncoding::Atom(_) => 1,
+            PredicateEncoding::And(l, r) | PredicateEncoding::Or(l, r) => l.num_atoms() + r.num_atoms(),
+        }
+    }
+
+    /// DFS linearization of the atom vectors (the one-to-one sequence mapping
+    /// of Figure 4, without the explicit backtracking padding — structure is
+    /// recovered from the tree itself).
+    pub fn dfs_atoms(&self) -> Vec<&[f32]> {
+        let mut out = Vec::new();
+        self.collect(&mut out);
+        out
+    }
+
+    fn collect<'a>(&'a self, out: &mut Vec<&'a [f32]>) {
+        match self {
+            PredicateEncoding::None => {}
+            PredicateEncoding::Atom(v) => out.push(v),
+            PredicateEncoding::And(l, r) | PredicateEncoding::Or(l, r) => {
+                l.collect(out);
+                r.collect(out);
+            }
+        }
+    }
+}
+
+/// The four encoded feature groups of one plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeFeatures {
+    pub operation: Vec<f32>,
+    pub metadata: Vec<f32>,
+    pub predicate: PredicateEncoding,
+    pub sample_bitmap: Vec<f32>,
+}
+
+/// An encoded plan node: features, children and training targets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodedPlan {
+    pub features: NodeFeatures,
+    pub children: Vec<EncodedPlan>,
+    /// True cardinality of this sub-plan (training target).
+    pub true_cardinality: f64,
+    /// True cumulative cost of this sub-plan (training target).
+    pub true_cost: f64,
+}
+
+impl EncodedPlan {
+    /// Number of nodes in the encoded tree.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(|c| c.size()).sum::<usize>()
+    }
+
+    /// Height of the encoded tree.
+    pub fn height(&self) -> usize {
+        1 + self.children.iter().map(|c| c.height()).max().unwrap_or(0)
+    }
+}
+
+/// The feature extractor: encoding configuration + string encoder + database
+/// handle (for sample bitmaps).
+pub struct FeatureExtractor {
+    config: EncodingConfig,
+    string_encoder: Arc<dyn StringEncoder>,
+    db: Arc<Database>,
+    /// When false the sample bitmap is omitted (all zeros) — the `NS`
+    /// ("no sample") model variants of Table 6.
+    pub use_sample_bitmap: bool,
+}
+
+impl FeatureExtractor {
+    /// Create an extractor.
+    pub fn new(db: Arc<Database>, config: EncodingConfig, string_encoder: Arc<dyn StringEncoder>) -> Self {
+        FeatureExtractor { config, string_encoder, db, use_sample_bitmap: true }
+    }
+
+    /// The encoding configuration.
+    pub fn config(&self) -> &EncodingConfig {
+        &self.config
+    }
+
+    /// Encode an atomic predicate into
+    /// `column one-hot ⧺ operator one-hot ⧺ numeric slot ⧺ string encoding`.
+    pub fn encode_atom(&self, atom: &AtomPredicate) -> Vec<f32> {
+        let cfg = &self.config;
+        let mut v = vec![0.0f32; cfg.atom_dim()];
+        if let Some(&pos) = cfg.column_pos.get(&(atom.table.clone(), atom.column.clone())) {
+            v[pos] = 1.0;
+        }
+        let op_base = cfg.column_pos.len();
+        v[op_base + atom.op.index()] = 1.0;
+        let operand_base = op_base + query::CompareOp::ALL.len();
+        match &atom.operand {
+            Operand::Num(x) => {
+                v[operand_base] = cfg.normalize_numeric(&atom.table, &atom.column, *x) as f32;
+            }
+            Operand::Str(s) => {
+                let enc = self.string_encoder.encode(s, atom.op);
+                for (i, x) in enc.iter().take(cfg.string_dim).enumerate() {
+                    v[operand_base + 1 + i] = *x;
+                }
+            }
+            Operand::StrList(items) => {
+                // IN lists: average the encodings of the list members.
+                if !items.is_empty() {
+                    let mut acc = vec![0.0f32; cfg.string_dim];
+                    for s in items {
+                        let enc = self.string_encoder.encode(s, atom.op);
+                        for (a, x) in acc.iter_mut().zip(enc.iter()) {
+                            *a += x;
+                        }
+                    }
+                    for (i, a) in acc.iter().enumerate() {
+                        v[operand_base + 1 + i] = a / items.len() as f32;
+                    }
+                }
+            }
+        }
+        v
+    }
+
+    /// Encode a (possibly compound) predicate into its tree encoding.
+    pub fn encode_predicate(&self, predicate: Option<&Predicate>) -> PredicateEncoding {
+        match predicate {
+            None => PredicateEncoding::None,
+            Some(Predicate::Atom(a)) => PredicateEncoding::Atom(self.encode_atom(a)),
+            Some(Predicate::And(l, r)) => PredicateEncoding::And(
+                Box::new(self.encode_predicate(Some(l))),
+                Box::new(self.encode_predicate(Some(r))),
+            ),
+            Some(Predicate::Or(l, r)) => PredicateEncoding::Or(
+                Box::new(self.encode_predicate(Some(l))),
+                Box::new(self.encode_predicate(Some(r))),
+            ),
+        }
+    }
+
+    /// Encode the metadata bitmap of a node (tables ⧺ columns ⧺ indexes).
+    pub fn encode_metadata(&self, node: &PlanNode) -> Vec<f32> {
+        let cfg = &self.config;
+        let mut v = vec![0.0f32; cfg.metadata_dim()];
+        let col_base = cfg.table_pos.len();
+        let idx_base = col_base + cfg.column_pos.len();
+
+        let mark_column = |table: &str, column: &str, v: &mut Vec<f32>| {
+            if let Some(&p) = cfg.column_pos.get(&(table.to_string(), column.to_string())) {
+                v[col_base + p] = 1.0;
+            }
+            if let Some(&p) = cfg.index_pos.get(&(table.to_string(), column.to_string())) {
+                v[idx_base + p] = 1.0;
+            }
+        };
+
+        match &node.op {
+            PhysicalOp::SeqScan { table, predicate } | PhysicalOp::IndexScan { table, predicate, .. } => {
+                if let Some(&p) = cfg.table_pos.get(table) {
+                    v[p] = 1.0;
+                }
+                if let PhysicalOp::IndexScan { index_column, .. } = &node.op {
+                    mark_column(table, index_column, &mut v);
+                }
+                if let Some(pred) = predicate {
+                    for atom in pred.atoms() {
+                        mark_column(&atom.table, &atom.column, &mut v);
+                    }
+                }
+            }
+            PhysicalOp::HashJoin { condition }
+            | PhysicalOp::MergeJoin { condition }
+            | PhysicalOp::NestedLoopJoin { condition } => {
+                for (t, c) in [
+                    (&condition.left_table, &condition.left_column),
+                    (&condition.right_table, &condition.right_column),
+                ] {
+                    if let Some(&p) = cfg.table_pos.get(t.as_str()) {
+                        v[p] = 1.0;
+                    }
+                    mark_column(t, c, &mut v);
+                }
+            }
+            PhysicalOp::Sort { table, columns } => {
+                if let Some(&p) = cfg.table_pos.get(table) {
+                    v[p] = 1.0;
+                }
+                for c in columns {
+                    mark_column(table, c, &mut v);
+                }
+            }
+            PhysicalOp::Aggregate { .. } => {}
+        }
+        v
+    }
+
+    /// Encode the sample bitmap of a node: bit `i` is 1 when sampled row `i`
+    /// of the scanned table satisfies the node's predicate.
+    pub fn encode_sample_bitmap(&self, node: &PlanNode) -> Vec<f32> {
+        let cfg = &self.config;
+        if !self.use_sample_bitmap {
+            return vec![0.0; cfg.sample_dim()];
+        }
+        let (table, predicate) = match &node.op {
+            PhysicalOp::SeqScan { table, predicate } | PhysicalOp::IndexScan { table, predicate, .. } => {
+                (table.as_str(), predicate.as_ref())
+            }
+            _ => return vec![0.0; cfg.sample_dim()],
+        };
+        let Some(pred) = predicate else { return vec![0.0; cfg.sample_dim()] };
+        let (Some(sample), Some(tab)) = (self.db.sample(table), self.db.table(table)) else {
+            return vec![0.0; cfg.sample_dim()];
+        };
+        let mut bits = sample.bitmap(|row| pred.matches_row(tab, row));
+        bits.resize(cfg.sample_dim(), 0.0);
+        bits
+    }
+
+    /// Encode one node's four feature groups.
+    pub fn encode_node(&self, node: &PlanNode) -> NodeFeatures {
+        let mut operation = vec![0.0f32; self.config.operation_dim()];
+        operation[node.op.one_hot_index()] = 1.0;
+        NodeFeatures {
+            operation,
+            metadata: self.encode_metadata(node),
+            predicate: self.encode_predicate(node.op.predicate()),
+            sample_bitmap: self.encode_sample_bitmap(node),
+        }
+    }
+
+    /// Encode a whole (annotated) plan tree.  The plan must have been
+    /// executed (or estimated) so that `true_cardinality`/`true_cost` are
+    /// present; missing annotations become 0.
+    pub fn encode_plan(&self, plan: &PlanNode) -> EncodedPlan {
+        EncodedPlan {
+            features: self.encode_node(plan),
+            children: plan.children.iter().map(|c| self.encode_plan(c)).collect(),
+            true_cardinality: plan.annotations.true_cardinality.unwrap_or(0.0),
+            true_cost: plan.annotations.true_cost.unwrap_or(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine::{execute_plan, CostModel};
+    use imdb::{generate_imdb, GeneratorConfig};
+    use query::{CompareOp, JoinPredicate};
+    use strembed::HashBitmapEncoder;
+
+    fn extractor() -> FeatureExtractor {
+        let db = Arc::new(generate_imdb(GeneratorConfig::tiny()));
+        let cfg = EncodingConfig::from_database(&db, 32, 64);
+        FeatureExtractor::new(db, cfg, Arc::new(HashBitmapEncoder::new(32)))
+    }
+
+    fn scan_with_pred() -> PlanNode {
+        PlanNode::leaf(PhysicalOp::SeqScan {
+            table: "movie_companies".into(),
+            predicate: Some(
+                Predicate::atom("movie_companies", "note", CompareOp::Like, Operand::Str("%(co-production)%".into()))
+                    .or(Predicate::atom("movie_companies", "note", CompareOp::Like, Operand::Str("%(presents)%".into()))),
+            ),
+        })
+    }
+
+    #[test]
+    fn operation_one_hot_is_exclusive() {
+        let fx = extractor();
+        let feats = fx.encode_node(&scan_with_pred());
+        assert_eq!(feats.operation.iter().sum::<f32>(), 1.0);
+        assert_eq!(feats.operation[0], 1.0); // SeqScan
+    }
+
+    #[test]
+    fn metadata_marks_table_and_columns() {
+        let fx = extractor();
+        let feats = fx.encode_node(&scan_with_pred());
+        let table_bits: f32 = feats.metadata[..fx.config().table_pos.len()].iter().sum();
+        assert_eq!(table_bits, 1.0);
+        let col_bits: f32 = feats.metadata[fx.config().table_pos.len()..].iter().sum();
+        assert!(col_bits >= 1.0);
+    }
+
+    #[test]
+    fn predicate_encoding_mirrors_structure() {
+        let fx = extractor();
+        let feats = fx.encode_node(&scan_with_pred());
+        match &feats.predicate {
+            PredicateEncoding::Or(l, r) => {
+                assert!(matches!(**l, PredicateEncoding::Atom(_)));
+                assert!(matches!(**r, PredicateEncoding::Atom(_)));
+            }
+            other => panic!("expected OR encoding, got {other:?}"),
+        }
+        assert_eq!(feats.predicate.num_atoms(), 2);
+        assert_eq!(feats.predicate.dfs_atoms().len(), 2);
+        for atom in feats.predicate.dfs_atoms() {
+            assert_eq!(atom.len(), fx.config().atom_dim());
+        }
+    }
+
+    #[test]
+    fn atom_encoding_contains_string_embedding() {
+        let fx = extractor();
+        let atom = AtomPredicate::new("movie_companies", "note", CompareOp::Like, Operand::Str("%(presents)%".into()));
+        let v = fx.encode_atom(&atom);
+        let str_base = fx.config().column_pos.len() + 9 + 1;
+        assert!(v[str_base..].iter().any(|&x| x != 0.0), "string slots all zero");
+        // Column one-hot set exactly once.
+        assert_eq!(v[..fx.config().column_pos.len()].iter().sum::<f32>(), 1.0);
+    }
+
+    #[test]
+    fn numeric_atom_sets_numeric_slot() {
+        let fx = extractor();
+        let atom = AtomPredicate::new("title", "production_year", CompareOp::Gt, Operand::Num(2000.0));
+        let v = fx.encode_atom(&atom);
+        let num_slot = fx.config().column_pos.len() + 9;
+        assert!(v[num_slot] > 0.0 && v[num_slot] <= 1.0);
+    }
+
+    #[test]
+    fn sample_bitmap_reflects_selectivity() {
+        let fx = extractor();
+        let all = fx.encode_sample_bitmap(&PlanNode::leaf(PhysicalOp::SeqScan {
+            table: "movie_companies".into(),
+            predicate: Some(Predicate::atom("movie_companies", "id", CompareOp::Gt, Operand::Num(0.0))),
+        }));
+        let none = fx.encode_sample_bitmap(&PlanNode::leaf(PhysicalOp::SeqScan {
+            table: "movie_companies".into(),
+            predicate: Some(Predicate::atom("movie_companies", "id", CompareOp::Lt, Operand::Num(-5.0))),
+        }));
+        assert!(all.iter().sum::<f32>() > 0.9 * 64.0);
+        assert_eq!(none.iter().sum::<f32>(), 0.0);
+    }
+
+    #[test]
+    fn sample_bitmap_disabled_is_zero() {
+        let mut fx = extractor();
+        fx.use_sample_bitmap = false;
+        let bits = fx.encode_sample_bitmap(&scan_with_pred());
+        assert_eq!(bits.iter().sum::<f32>(), 0.0);
+        assert_eq!(bits.len(), 64);
+    }
+
+    #[test]
+    fn encoded_plan_mirrors_tree_and_targets() {
+        let db = Arc::new(generate_imdb(GeneratorConfig::tiny()));
+        let cfg = EncodingConfig::from_database(&db, 16, 64);
+        let fx = FeatureExtractor::new(db.clone(), cfg, Arc::new(HashBitmapEncoder::new(16)));
+
+        let scan_t = PlanNode::leaf(PhysicalOp::SeqScan {
+            table: "title".into(),
+            predicate: Some(Predicate::atom("title", "production_year", CompareOp::Gt, Operand::Num(2000.0))),
+        });
+        let scan_mc = PlanNode::leaf(PhysicalOp::SeqScan { table: "movie_companies".into(), predicate: None });
+        let mut join = PlanNode::inner(
+            PhysicalOp::HashJoin { condition: JoinPredicate::new("movie_companies", "movie_id", "title", "id") },
+            vec![scan_t, scan_mc],
+        );
+        execute_plan(&db, &mut join, &CostModel::default());
+        let encoded = fx.encode_plan(&join);
+        assert_eq!(encoded.size(), 3);
+        assert_eq!(encoded.height(), 2);
+        assert!(encoded.true_cardinality > 0.0);
+        assert!(encoded.true_cost > 0.0);
+        assert_eq!(encoded.children.len(), 2);
+        assert!(matches!(encoded.children[1].features.predicate, PredicateEncoding::None));
+    }
+}

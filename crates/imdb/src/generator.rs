@@ -1,0 +1,473 @@
+//! Deterministic synthetic IMDB-like data generator.
+//!
+//! The generator's goal is not to look like IMDB row-for-row but to exhibit
+//! the statistical structure the paper's estimator exploits and that breaks
+//! traditional estimators:
+//!
+//! * **Skew** — movies receive companies / info rows / keywords with a
+//!   Zipf-like fan-out, production years are biased toward recent decades.
+//! * **Cross-column correlation** — a movie-company `note` pattern depends on
+//!   the company type *and* on the movie's production year; `movie_info_idx`
+//!   "top 250 rank" rows concentrate on old, low-id movies; cast notes
+//!   correlate with role ids.  Histogram+independence estimators mis-estimate
+//!   conjunctions of such predicates, which is exactly the gap the learned
+//!   model closes.
+//! * **Realistic strings** — notes like `"(co-production)"`, `"(presents)"`,
+//!   `"(as Metro-Goldwyn-Mayer Pictures)"`, `"(2006) (USA) (TV)"`, info
+//!   strings like `"top 250 rank"`, date-like strings `"(2002-06-29)"`, so
+//!   the rule-based substring extraction of Section 5 has material to work on.
+
+use crate::database::Database;
+use crate::sample::TableSample;
+use crate::schema::Schema;
+use crate::table::{Column, Table};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// Configuration of the synthetic data generator.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneratorConfig {
+    /// Number of rows in the `title` table; fact tables scale off this.
+    pub n_titles: usize,
+    /// Width of the per-table sample bitmaps.
+    pub sample_size: usize,
+    /// RNG seed; the same seed always produces the same database.
+    pub seed: u64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig { n_titles: 20_000, sample_size: 256, seed: 42 }
+    }
+}
+
+impl GeneratorConfig {
+    /// A small configuration for unit tests.
+    pub fn tiny() -> Self {
+        GeneratorConfig { n_titles: 800, sample_size: 64, seed: 7 }
+    }
+}
+
+/// Zipf-like draw over `0..n`: rank r with probability proportional to
+/// `1 / (r + 1)^s`.
+fn zipf(rng: &mut impl Rng, n: usize, s: f64) -> usize {
+    debug_assert!(n > 0);
+    // Inverse-CDF by rejection-free approximation: draw u, map through the
+    // truncated harmonic distribution using a power transform.  Accurate
+    // enough for generating skew; exactness is not required.
+    let u: f64 = rng.gen_range(0.0f64..1.0);
+    let x = (1.0 - u).powf(1.0 / (1.0 - s.min(0.99)));
+    let idx = ((1.0 / x) - 1.0).round() as usize;
+    idx.min(n - 1)
+}
+
+const ADJECTIVES: &[&str] = &[
+    "Dark", "Silent", "Golden", "Broken", "Hidden", "Lost", "Red", "Blue", "Last", "First", "Iron", "Wild", "Secret",
+    "Ancient", "Burning", "Frozen", "Sacred", "Savage", "Gentle", "Electric",
+];
+const NOUNS: &[&str] = &[
+    "Empire", "River", "Night", "Dream", "Garden", "Storm", "Mountain", "Shadow", "Crown", "Forest", "Ocean", "City",
+    "Letter", "Promise", "Journey", "Return", "Legacy", "Echo", "Horizon", "Winter",
+];
+const COMPANY_WORDS: &[&str] = &[
+    "Universal", "Paramount", "Columbia", "Warner", "Gaumont", "Pathe", "Toho", "Shochiku", "Mosfilm", "Cinecitta",
+    "Nordisk", "Svensk", "Ealing", "Hammer", "Amblin", "Pixelight", "Northstar", "Bluebird", "Redwood", "Silverline",
+];
+const COUNTRIES: &[&str] = &["[us]", "[gb]", "[fr]", "[de]", "[jp]", "[it]", "[in]", "[ca]", "[es]", "[se]"];
+const KEYWORD_STEMS: &[&str] = &[
+    "murder", "love", "revenge", "family", "war", "robbery", "friendship", "betrayal", "escape", "investigation",
+    "journey", "conspiracy", "survival", "redemption", "rivalry", "kidnapping", "heist", "trial", "rescue", "wedding",
+];
+const INFO_TYPES: &[&str] = &[
+    "top 250 rank", "bottom 10 rank", "rating", "votes", "genres", "countries", "release dates", "languages",
+    "runtimes", "budget", "gross", "color info", "certificates", "sound mix", "camera", "tech info", "locations",
+    "taglines", "plot", "quotes",
+];
+const COMPANY_KINDS: &[&str] =
+    &["production companies", "distributors", "special effects companies", "miscellaneous companies"];
+const GENRES: &[&str] =
+    &["Drama", "Comedy", "Thriller", "Action", "Romance", "Documentary", "Horror", "Adventure", "Crime", "Animation"];
+const CAST_NOTES: &[&str] = &["(voice)", "(uncredited)", "(archive footage)", "(as himself)", "(singing voice)", ""];
+
+/// Generate the full synthetic database.
+pub fn generate_imdb(config: GeneratorConfig) -> Database {
+    let schema = Schema::imdb();
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut tables: HashMap<String, Table> = HashMap::new();
+
+    // --- Dimension tables -------------------------------------------------
+    let info_type = Table::new(
+        schema.table("info_type").expect("schema").clone(),
+        vec![
+            Column::Int((1..=INFO_TYPES.len() as i64).collect()),
+            Column::Str(INFO_TYPES.iter().map(|s| s.to_string()).collect()),
+        ],
+    );
+    let company_type = Table::new(
+        schema.table("company_type").expect("schema").clone(),
+        vec![
+            Column::Int((1..=COMPANY_KINDS.len() as i64).collect()),
+            Column::Str(COMPANY_KINDS.iter().map(|s| s.to_string()).collect()),
+        ],
+    );
+
+    let n_keywords = (config.n_titles / 40).clamp(40, 2000);
+    let keyword = Table::new(
+        schema.table("keyword").expect("schema").clone(),
+        vec![
+            Column::Int((1..=n_keywords as i64).collect()),
+            Column::Str(
+                (0..n_keywords)
+                    .map(|i| {
+                        let stem = KEYWORD_STEMS[i % KEYWORD_STEMS.len()];
+                        let noun = NOUNS[(i / KEYWORD_STEMS.len()) % NOUNS.len()].to_lowercase();
+                        format!("{stem}-{noun}")
+                    })
+                    .collect(),
+            ),
+        ],
+    );
+
+    let n_companies = (config.n_titles / 20).clamp(50, 4000);
+    let company_name = Table::new(
+        schema.table("company_name").expect("schema").clone(),
+        vec![
+            Column::Int((1..=n_companies as i64).collect()),
+            Column::Str(
+                (0..n_companies)
+                    .map(|i| {
+                        let word = COMPANY_WORDS[i % COMPANY_WORDS.len()];
+                        let noun = NOUNS[(i * 7) % NOUNS.len()];
+                        format!("{word} {noun} Pictures")
+                    })
+                    .collect(),
+            ),
+            Column::Str((0..n_companies).map(|i| COUNTRIES[zipf(&mut rng, COUNTRIES.len(), 0.8).min(COUNTRIES.len() - 1).max(0) + 0 * i].to_string()).collect()),
+        ],
+    );
+
+    // --- title -------------------------------------------------------------
+    let n_titles = config.n_titles;
+    let mut t_ids = Vec::with_capacity(n_titles);
+    let mut t_titles = Vec::with_capacity(n_titles);
+    let mut t_kind = Vec::with_capacity(n_titles);
+    let mut t_year = Vec::with_capacity(n_titles);
+    let mut t_season = Vec::with_capacity(n_titles);
+    let mut t_episode = Vec::with_capacity(n_titles);
+    for i in 0..n_titles {
+        t_ids.push(i as i64 + 1);
+        let adj = ADJECTIVES[rng.gen_range(0..ADJECTIVES.len())];
+        let noun = NOUNS[rng.gen_range(0..NOUNS.len())];
+        t_titles.push(format!("{adj} {noun} {}", i % 997));
+        // kind 1 = movie (common), 7 = tv episode (rare-ish), skewed.
+        let kind = 1 + zipf(&mut rng, 7, 1.1) as i64;
+        t_kind.push(kind);
+        // Years skewed toward recent decades; older for low ids (correlation
+        // with id that the "top 250 rank" generation below exploits).
+        let base: i64 = if i < n_titles / 5 { 1930 } else { 1960 };
+        let spread: i64 = if i < n_titles / 5 { 60 } else { 60 };
+        let year = base + (spread as f64 * (1.0 - (1.0 - rng.gen_range(0.0f64..1.0)).powf(2.0))) as i64;
+        t_year.push(year.min(2019));
+        if kind >= 6 {
+            t_season.push(rng.gen_range(1..=15));
+            t_episode.push(rng.gen_range(1..=40));
+        } else {
+            t_season.push(0);
+            t_episode.push(0);
+        }
+    }
+    let title = Table::new(
+        schema.table("title").expect("schema").clone(),
+        vec![
+            Column::Int(t_ids),
+            Column::Str(t_titles),
+            Column::Int(t_kind),
+            Column::Int(t_year.clone()),
+            Column::Int(t_season),
+            Column::Int(t_episode),
+        ],
+    );
+
+    // --- movie_companies ----------------------------------------------------
+    let n_mc = n_titles * 2;
+    let mut mc_id = Vec::with_capacity(n_mc);
+    let mut mc_movie = Vec::with_capacity(n_mc);
+    let mut mc_company = Vec::with_capacity(n_mc);
+    let mut mc_type = Vec::with_capacity(n_mc);
+    let mut mc_note = Vec::with_capacity(n_mc);
+    for i in 0..n_mc {
+        mc_id.push(i as i64 + 1);
+        let movie = zipf(&mut rng, n_titles, 0.7);
+        mc_movie.push(movie as i64 + 1);
+        mc_company.push(zipf(&mut rng, n_companies, 0.9) as i64 + 1);
+        let year = t_year[movie];
+        // Company type correlates with year: older movies are mostly
+        // production companies, newer ones have more distributors.
+        let ct = if year < 1970 {
+            if rng.gen_bool(0.75) { 1 } else { 1 + rng.gen_range(1..4) }
+        } else if rng.gen_bool(0.45) {
+            2
+        } else {
+            1 + zipf(&mut rng, 4, 0.9) as i64
+        };
+        mc_type.push(ct);
+        // Note patterns correlated with both company type and year.
+        let note = if ct == 1 {
+            if year >= 2000 && rng.gen_bool(0.35) {
+                "(co-production)".to_string()
+            } else if rng.gen_bool(0.3) {
+                "(presents)".to_string()
+            } else if rng.gen_bool(0.1) {
+                "(as Metro-Goldwyn-Mayer Pictures)".to_string()
+            } else {
+                format!("(in association with {})", COMPANY_WORDS[rng.gen_range(0..COMPANY_WORDS.len())])
+            }
+        } else {
+            let country = ["USA", "UK", "France", "Japan", "worldwide"][zipf(&mut rng, 5, 0.8)];
+            let medium = if rng.gen_bool(0.5) { "TV" } else { "theatrical" };
+            format!("({year}) ({country}) ({medium})")
+        };
+        mc_note.push(note);
+    }
+    let movie_companies = Table::new(
+        schema.table("movie_companies").expect("schema").clone(),
+        vec![
+            Column::Int(mc_id),
+            Column::Int(mc_movie),
+            Column::Int(mc_company),
+            Column::Int(mc_type),
+            Column::Str(mc_note),
+        ],
+    );
+
+    // --- movie_info_idx -----------------------------------------------------
+    let n_mii = (n_titles as f64 * 1.5) as usize;
+    let mut mii_id = Vec::with_capacity(n_mii);
+    let mut mii_movie = Vec::with_capacity(n_mii);
+    let mut mii_type = Vec::with_capacity(n_mii);
+    let mut mii_info = Vec::with_capacity(n_mii);
+    for i in 0..n_mii {
+        mii_id.push(i as i64 + 1);
+        let movie = zipf(&mut rng, n_titles, 0.6);
+        mii_movie.push(movie as i64 + 1);
+        let year = t_year[movie];
+        // "top 250 rank" rows (info_type 1) concentrate on old movies.
+        let ty = if year < 1975 && rng.gen_bool(0.18) {
+            1
+        } else if rng.gen_bool(0.02) {
+            2
+        } else {
+            3 + zipf(&mut rng, INFO_TYPES.len() - 3, 0.8) as i64
+        };
+        mii_type.push(ty);
+        let info = match ty {
+            1 => format!("top {} rank", 250 - (movie % 240)),
+            2 => format!("bottom {} rank", 10 + (movie % 90)),
+            3 => format!("{:.1}", 4.0 + (movie % 60) as f64 / 10.0),
+            4 => format!("{}", 100 + zipf(&mut rng, 200_000, 0.9)),
+            _ => GENRES[movie % GENRES.len()].to_string(),
+        };
+        mii_info.push(info);
+    }
+    let movie_info_idx = Table::new(
+        schema.table("movie_info_idx").expect("schema").clone(),
+        vec![Column::Int(mii_id), Column::Int(mii_movie), Column::Int(mii_type), Column::Str(mii_info)],
+    );
+
+    // --- movie_info ----------------------------------------------------------
+    let n_mi = n_titles * 3;
+    let mut mi_id = Vec::with_capacity(n_mi);
+    let mut mi_movie = Vec::with_capacity(n_mi);
+    let mut mi_type = Vec::with_capacity(n_mi);
+    let mut mi_info = Vec::with_capacity(n_mi);
+    for i in 0..n_mi {
+        mi_id.push(i as i64 + 1);
+        let movie = zipf(&mut rng, n_titles, 0.5);
+        mi_movie.push(movie as i64 + 1);
+        let year = t_year[movie];
+        let ty = 5 + zipf(&mut rng, INFO_TYPES.len() - 5, 0.7) as i64;
+        mi_type.push(ty);
+        let info = match ty {
+            5 => GENRES[(movie + i) % GENRES.len()].to_string(),
+            6 => ["USA", "UK", "France", "Germany", "Japan", "Italy", "India"][zipf(&mut rng, 7, 0.8)].to_string(),
+            7 => format!("({}-{:02}-{:02})", year, 1 + (movie % 12), 1 + (i % 28)),
+            8 => ["English", "French", "German", "Japanese", "Italian", "Hindi"][zipf(&mut rng, 6, 0.9)].to_string(),
+            9 => format!("{} min", 60 + (movie % 120)),
+            _ => format!("{} {}", ADJECTIVES[i % ADJECTIVES.len()], GENRES[movie % GENRES.len()]),
+        };
+        mi_info.push(info);
+    }
+    let movie_info = Table::new(
+        schema.table("movie_info").expect("schema").clone(),
+        vec![Column::Int(mi_id), Column::Int(mi_movie), Column::Int(mi_type), Column::Str(mi_info)],
+    );
+
+    // --- movie_keyword -------------------------------------------------------
+    let n_mk = n_titles * 2;
+    let mut mk_id = Vec::with_capacity(n_mk);
+    let mut mk_movie = Vec::with_capacity(n_mk);
+    let mut mk_keyword = Vec::with_capacity(n_mk);
+    for i in 0..n_mk {
+        mk_id.push(i as i64 + 1);
+        let movie = zipf(&mut rng, n_titles, 0.7);
+        mk_movie.push(movie as i64 + 1);
+        // Keyword correlated with the movie id so keyword joins are skewed.
+        let kw = if rng.gen_bool(0.5) { movie % n_keywords } else { zipf(&mut rng, n_keywords, 0.9) };
+        mk_keyword.push(kw as i64 + 1);
+    }
+    let movie_keyword = Table::new(
+        schema.table("movie_keyword").expect("schema").clone(),
+        vec![Column::Int(mk_id), Column::Int(mk_movie), Column::Int(mk_keyword)],
+    );
+
+    // --- cast_info -------------------------------------------------------------
+    let n_ci = n_titles * 3;
+    let mut ci_id = Vec::with_capacity(n_ci);
+    let mut ci_movie = Vec::with_capacity(n_ci);
+    let mut ci_person = Vec::with_capacity(n_ci);
+    let mut ci_role = Vec::with_capacity(n_ci);
+    let mut ci_note = Vec::with_capacity(n_ci);
+    let n_people = (n_titles / 2).max(100);
+    for i in 0..n_ci {
+        ci_id.push(i as i64 + 1);
+        let movie = zipf(&mut rng, n_titles, 0.6);
+        ci_movie.push(movie as i64 + 1);
+        ci_person.push(zipf(&mut rng, n_people, 0.9) as i64 + 1);
+        let role = 1 + zipf(&mut rng, 11, 1.0) as i64;
+        ci_role.push(role);
+        let note = if role >= 8 { CAST_NOTES[rng.gen_range(0..2)] } else { CAST_NOTES[rng.gen_range(0..CAST_NOTES.len())] };
+        ci_note.push(note.to_string());
+    }
+    let cast_info = Table::new(
+        schema.table("cast_info").expect("schema").clone(),
+        vec![
+            Column::Int(ci_id),
+            Column::Int(ci_movie),
+            Column::Int(ci_person),
+            Column::Int(ci_role),
+            Column::Str(ci_note),
+        ],
+    );
+
+    for t in [
+        title,
+        movie_companies,
+        movie_info_idx,
+        movie_info,
+        movie_keyword,
+        cast_info,
+        company_type,
+        info_type,
+        keyword,
+        company_name,
+    ] {
+        tables.insert(t.name().to_string(), t);
+    }
+
+    // --- samples ---------------------------------------------------------------
+    let mut samples = HashMap::new();
+    for (name, table) in &tables {
+        samples.insert(name.clone(), TableSample::uniform(name, table.n_rows(), config.sample_size, &mut rng));
+    }
+
+    Database::new(schema, tables, samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = generate_imdb(GeneratorConfig::tiny());
+        let b = generate_imdb(GeneratorConfig::tiny());
+        let ta = a.table("movie_companies").expect("exists");
+        let tb = b.table("movie_companies").expect("exists");
+        assert_eq!(ta.n_rows(), tb.n_rows());
+        for row in [0, 5, 100] {
+            assert_eq!(ta.str("note", row), tb.str("note", row));
+        }
+    }
+
+    #[test]
+    fn row_counts_scale_with_titles() {
+        let db = generate_imdb(GeneratorConfig::tiny());
+        let titles = db.table("title").expect("exists").n_rows();
+        assert_eq!(titles, 800);
+        assert_eq!(db.table("movie_companies").expect("exists").n_rows(), titles * 2);
+        assert_eq!(db.table("cast_info").expect("exists").n_rows(), titles * 3);
+    }
+
+    #[test]
+    fn foreign_keys_reference_existing_titles() {
+        let db = generate_imdb(GeneratorConfig::tiny());
+        let titles = db.table("title").expect("exists").n_rows() as i64;
+        let mc = db.table("movie_companies").expect("exists");
+        for row in 0..mc.n_rows() {
+            let movie = mc.int("movie_id", row).expect("int");
+            assert!(movie >= 1 && movie <= titles);
+        }
+    }
+
+    #[test]
+    fn note_strings_contain_paper_patterns() {
+        let db = generate_imdb(GeneratorConfig::tiny());
+        let mc = db.table("movie_companies").expect("exists");
+        let mut saw_coprod = false;
+        let mut saw_presents = false;
+        let mut saw_paren_year = false;
+        for row in 0..mc.n_rows() {
+            let note = mc.str("note", row).expect("str");
+            saw_coprod |= note.contains("(co-production)");
+            saw_presents |= note.contains("(presents)");
+            saw_paren_year |= note.contains("(TV)");
+        }
+        assert!(saw_coprod && saw_presents && saw_paren_year);
+    }
+
+    #[test]
+    fn top_rank_correlates_with_old_movies() {
+        // The correlation the learned model should pick up: info_type 1 rows
+        // ("top N rank") belong mostly to pre-1975 movies.
+        let db = generate_imdb(GeneratorConfig::tiny());
+        let mii = db.table("movie_info_idx").expect("exists");
+        let title = db.table("title").expect("exists");
+        let mut old = 0usize;
+        let mut total = 0usize;
+        for row in 0..mii.n_rows() {
+            if mii.int("info_type_id", row) == Some(1) {
+                let movie = mii.int("movie_id", row).expect("int") as usize - 1;
+                let year = title.int("production_year", movie).expect("int");
+                total += 1;
+                if year < 1975 {
+                    old += 1;
+                }
+            }
+        }
+        assert!(total > 0, "no top-rank rows generated");
+        assert!(old * 10 >= total * 9, "top-rank rows are not concentrated on old movies: {old}/{total}");
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_bounded() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..10_000 {
+            let v = zipf(&mut rng, 100, 0.9);
+            assert!(v < 100);
+            counts[v] += 1;
+        }
+        assert!(counts[0] > counts[50].max(1) * 3, "zipf not skewed: {} vs {}", counts[0], counts[50]);
+    }
+
+    #[test]
+    fn samples_exist_for_every_table() {
+        let db = generate_imdb(GeneratorConfig::tiny());
+        for t in &db.schema().tables {
+            let s = db.sample(&t.name).expect("sample exists");
+            assert!(s.rows().len() <= 64);
+        }
+    }
+}

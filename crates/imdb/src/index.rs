@@ -1,0 +1,97 @@
+//! Hash indexes on key columns.
+//!
+//! The executor uses these to implement index scans and index-nested-loop
+//! joins; the traditional cost model charges them at random-page cost.
+
+use crate::table::{Column, Table};
+use std::collections::HashMap;
+
+/// A hash index from an integer key column to the row ids holding each key.
+#[derive(Debug, Clone, Default)]
+pub struct HashIndex {
+    map: HashMap<i64, Vec<usize>>,
+}
+
+impl HashIndex {
+    /// Build an index over an integer column of a table.
+    ///
+    /// Returns `None` if the column does not exist or is not an integer column.
+    pub fn build(table: &Table, column: &str) -> Option<Self> {
+        let col = table.column_by_name(column)?;
+        let Column::Int(values) = col else { return None };
+        let mut map: HashMap<i64, Vec<usize>> = HashMap::with_capacity(values.len());
+        for (row, &v) in values.iter().enumerate() {
+            map.entry(v).or_default().push(row);
+        }
+        Some(HashIndex { map })
+    }
+
+    /// Rows holding the given key (empty when absent).
+    pub fn lookup(&self, key: i64) -> &[usize] {
+        self.map.get(&key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Average number of rows per key.
+    pub fn avg_rows_per_key(&self) -> f64 {
+        if self.map.is_empty() {
+            0.0
+        } else {
+            self.map.values().map(|v| v.len()).sum::<usize>() as f64 / self.map.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn keyword_table() -> Table {
+        let def = Schema::imdb().table("keyword").expect("exists").clone();
+        Table::new(
+            def,
+            vec![
+                Column::Int(vec![1, 2, 3, 4, 5]),
+                Column::Str(vec!["a".into(), "b".into(), "c".into(), "d".into(), "e".into()]),
+            ],
+        )
+    }
+
+    #[test]
+    fn pk_index_lookup() {
+        let t = keyword_table();
+        let idx = HashIndex::build(&t, "id").expect("int column");
+        assert_eq!(idx.lookup(3), &[2]);
+        assert_eq!(idx.lookup(99), &[] as &[usize]);
+        assert_eq!(idx.distinct_keys(), 5);
+        assert!((idx.avg_rows_per_key() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn index_on_string_column_is_none() {
+        let t = keyword_table();
+        assert!(HashIndex::build(&t, "keyword").is_none());
+        assert!(HashIndex::build(&t, "missing").is_none());
+    }
+
+    #[test]
+    fn duplicate_keys_grouped() {
+        let def = Schema::imdb().table("movie_keyword").expect("exists").clone();
+        let t = Table::new(
+            def,
+            vec![
+                Column::Int(vec![1, 2, 3, 4]),
+                Column::Int(vec![10, 10, 20, 10]),
+                Column::Int(vec![1, 2, 3, 1]),
+            ],
+        );
+        let idx = HashIndex::build(&t, "movie_id").expect("int column");
+        assert_eq!(idx.lookup(10), &[0, 1, 3]);
+        assert_eq!(idx.distinct_keys(), 2);
+    }
+}

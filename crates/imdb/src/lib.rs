@@ -1,0 +1,33 @@
+//! Synthetic IMDB-schema dataset used as the evaluation substrate.
+//!
+//! The paper evaluates on the real IMDB dataset (22 tables joined on PK/FK)
+//! with the JOB workloads.  The real data is not redistributable, so this
+//! crate generates a *deterministic synthetic* database with the same schema
+//! shape and — crucially — the properties the paper relies on: skewed value
+//! distributions, correlations *across* columns and tables (which break the
+//! attribute-value-independence assumption of traditional estimators), and
+//! realistic string columns (company notes, info strings, dates) that the
+//! string-embedding component of the estimator (Section 5) can learn from.
+//!
+//! The crate provides:
+//! * [`schema`] — table/column definitions and the PK-FK join graph,
+//! * [`table`]/[`database`] — in-memory columnar storage,
+//! * [`generator`] — the deterministic synthetic data generator,
+//! * [`sample`] — per-table row samples (the source of the sample-bitmap
+//!   feature of Section 4.1),
+//! * [`index`] — hash indexes on key columns used by the plan executor.
+
+pub mod database;
+pub mod generator;
+pub mod index;
+pub mod sample;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use database::Database;
+pub use generator::{GeneratorConfig, generate_imdb};
+pub use sample::TableSample;
+pub use schema::{ColumnDef, ColumnType, JoinEdge, Schema, TableDef};
+pub use table::{Column, Table};
+pub use value::Value;

@@ -1,0 +1,108 @@
+//! Per-table row samples.
+//!
+//! The sample-bitmap feature of Section 4.1 is a fixed-size 0/1 vector over a
+//! set of sampled rows of the table: bit `i` is 1 when sample row `i`
+//! satisfies the node's predicate.  This module stores which rows were
+//! sampled; the bitmap itself is produced by the feature extractor, which
+//! evaluates the node predicate over these rows.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The sampled row indices of one table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSample {
+    table: String,
+    rows: Vec<usize>,
+    /// The fixed bitmap width; when a table has fewer rows than the width the
+    /// remaining bits are always zero (padding).
+    width: usize,
+}
+
+impl TableSample {
+    /// Sample `width` rows uniformly (without replacement) from a table with
+    /// `n_rows` rows.
+    pub fn uniform(table: &str, n_rows: usize, width: usize, rng: &mut impl Rng) -> Self {
+        let mut all: Vec<usize> = (0..n_rows).collect();
+        all.shuffle(rng);
+        all.truncate(width);
+        all.sort_unstable();
+        TableSample { table: table.to_string(), rows: all, width }
+    }
+
+    /// Table this sample belongs to.
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    /// The sampled row indices (at most `width` of them).
+    pub fn rows(&self) -> &[usize] {
+        &self.rows
+    }
+
+    /// The fixed bitmap width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Build the 0/1 bitmap for a predicate evaluated over the sampled rows.
+    /// `matches(row)` is called once per sampled row.
+    pub fn bitmap(&self, mut matches: impl FnMut(usize) -> bool) -> Vec<f32> {
+        let mut bits = vec![0.0; self.width];
+        for (i, &row) in self.rows.iter().enumerate() {
+            if matches(row) {
+                bits[i] = 1.0;
+            }
+        }
+        bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn sample_size_is_bounded_by_width() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let s = TableSample::uniform("title", 1000, 64, &mut rng);
+        assert_eq!(s.rows().len(), 64);
+        assert_eq!(s.width(), 64);
+        assert!(s.rows().iter().all(|&r| r < 1000));
+    }
+
+    #[test]
+    fn small_table_keeps_all_rows() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let s = TableSample::uniform("company_type", 4, 64, &mut rng);
+        assert_eq!(s.rows().len(), 4);
+        assert_eq!(s.bitmap(|_| true).len(), 64);
+    }
+
+    #[test]
+    fn bitmap_marks_matching_rows() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let s = TableSample::uniform("t", 10, 10, &mut rng);
+        let bits = s.bitmap(|row| row % 2 == 0);
+        let ones = bits.iter().filter(|&&b| b == 1.0).count();
+        assert_eq!(ones, 5);
+    }
+
+    #[test]
+    fn no_duplicate_rows() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let s = TableSample::uniform("t", 500, 128, &mut rng);
+        let mut rows = s.rows().to_vec();
+        rows.dedup();
+        assert_eq!(rows.len(), 128);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let mut b = ChaCha8Rng::seed_from_u64(9);
+        assert_eq!(TableSample::uniform("t", 100, 16, &mut a), TableSample::uniform("t", 100, 16, &mut b));
+    }
+}

@@ -1,0 +1,15 @@
+//! Evaluation metrics used throughout the reproduction of
+//! "An End-to-End Learning-based Cost Estimator" (VLDB 2019).
+//!
+//! The paper evaluates estimators with the *q-error* metric and reports the
+//! median / 90th / 95th / 99th percentile, maximum and mean over a workload
+//! (Section 6.1).  This crate provides those statistics plus small helpers
+//! for formatting the rows printed by the benchmark harnesses.
+
+pub mod qerror;
+pub mod summary;
+pub mod table;
+
+pub use qerror::{q_error, q_error_log};
+pub use summary::ErrorSummary;
+pub use table::ReportTable;

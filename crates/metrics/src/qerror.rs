@@ -1,0 +1,103 @@
+//! The q-error metric.
+//!
+//! `qerror(est, real) = max(est, real) / min(est, real)`, with both values
+//! clamped to a small positive floor so that empty results (cardinality 0)
+//! do not produce infinite errors — the same convention used by the MSCN
+//! and JOB evaluation scripts.
+
+/// Smallest value an estimate or a true value is clamped to before the ratio
+/// is computed.  Cardinalities of zero are mapped to one tuple.
+pub const Q_ERROR_FLOOR: f64 = 1.0;
+
+/// Compute the q-error between an estimate and the true value.
+///
+/// The result is always `>= 1.0`; `1.0` means a perfect estimate.
+///
+/// ```
+/// use metrics::q_error;
+/// assert_eq!(q_error(10.0, 100.0), 10.0);
+/// assert_eq!(q_error(100.0, 10.0), 10.0);
+/// assert_eq!(q_error(5.0, 5.0), 1.0);
+/// ```
+pub fn q_error(estimate: f64, real: f64) -> f64 {
+    let e = if estimate.is_finite() { estimate.max(Q_ERROR_FLOOR) } else { Q_ERROR_FLOOR };
+    let r = if real.is_finite() { real.max(Q_ERROR_FLOOR) } else { Q_ERROR_FLOOR };
+    if e > r {
+        e / r
+    } else {
+        r / e
+    }
+}
+
+/// The natural logarithm of the q-error, `|ln est - ln real|` after clamping.
+///
+/// This is the quantity the training loss optimises (it is monotone in the
+/// q-error and numerically better behaved).
+pub fn q_error_log(estimate: f64, real: f64) -> f64 {
+    q_error(estimate, real).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_estimate_is_one() {
+        assert_eq!(q_error(42.0, 42.0), 1.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        assert_eq!(q_error(2.0, 8.0), q_error(8.0, 2.0));
+    }
+
+    #[test]
+    fn zero_real_is_clamped() {
+        assert_eq!(q_error(10.0, 0.0), 10.0);
+        assert_eq!(q_error(0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn non_finite_inputs_do_not_poison() {
+        assert!(q_error(f64::NAN, 10.0).is_finite());
+        assert!(q_error(f64::INFINITY, 10.0).is_finite());
+    }
+
+    #[test]
+    fn log_qerror_matches() {
+        let q = q_error(3.0, 27.0);
+        assert!((q_error_log(3.0, 27.0) - q.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn always_at_least_one() {
+        for (e, r) in [(0.1, 0.2), (1e-9, 1e9), (7.0, 7.0)] {
+            assert!(q_error(e, r) >= 1.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn qerror_ge_one(e in 0.0f64..1e12, r in 0.0f64..1e12) {
+            prop_assert!(q_error(e, r) >= 1.0);
+        }
+
+        #[test]
+        fn qerror_symmetric(e in 1.0f64..1e9, r in 1.0f64..1e9) {
+            prop_assert!((q_error(e, r) - q_error(r, e)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn scaling_both_preserves_qerror(e in 1.0f64..1e6, r in 1.0f64..1e6, k in 1.0f64..1e3) {
+            let a = q_error(e, r);
+            let b = q_error(e * k, r * k);
+            prop_assert!((a - b).abs() / a < 1e-6);
+        }
+    }
+}

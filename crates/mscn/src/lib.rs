@@ -1,0 +1,15 @@
+//! MSCN baseline (Kipf et al., "Learned cardinalities", CIDR 2019) — the
+//! learned baseline the paper compares against (`MSCNCard` / `MSCNCost`).
+//!
+//! MSCN is a *multi-set convolutional network*: a query is represented as
+//! three sets — table samples, joins and predicates — each element is run
+//! through a small MLP, each set is average-pooled, the pooled vectors are
+//! concatenated and a final MLP predicts the (normalized) cardinality or
+//! cost.  Unlike the tree model it sees the query, not the plan tree, which
+//! is exactly the structural limitation the paper's model removes.
+
+pub mod featurize_query;
+pub mod model;
+
+pub use featurize_query::{MscnFeaturizer, QuerySets};
+pub use model::{MscnConfig, MscnModel, MscnTrainer};

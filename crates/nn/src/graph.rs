@@ -1,0 +1,516 @@
+//! Reverse-mode automatic differentiation over a tape of matrix operations.
+//!
+//! Every query plan produces its own dynamically-shaped computation graph
+//! (the tree model mirrors the plan tree), so the tape is rebuilt per forward
+//! pass: cheap to construct, trivially correct to differentiate.  Parameters
+//! live in a [`ParamStore`] outside the graph and receive accumulated
+//! gradients when [`Graph::backward`] runs.
+
+use crate::matrix::Matrix;
+use crate::params::{ParamId, ParamStore};
+
+/// Handle to a node (an intermediate value) in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Constant input (feature vector); receives no gradient.
+    Input,
+    /// Copy of a trainable parameter; gradient is accumulated into the store.
+    Param(ParamId),
+    MatMul(NodeId, NodeId),
+    Add(NodeId, NodeId),
+    /// `x + bias` where `bias` is a column vector broadcast over columns.
+    AddBias(NodeId, NodeId),
+    Hadamard(NodeId, NodeId),
+    EMin(NodeId, NodeId),
+    EMax(NodeId, NodeId),
+    /// `(a + b) / 2` — the children-averaging of the representation layer.
+    Mean2(NodeId, NodeId),
+    Relu(NodeId),
+    Sigmoid(NodeId),
+    Tanh(NodeId),
+    Scale(NodeId, f32),
+    ConcatRows(Vec<NodeId>),
+    SliceRows(NodeId, usize, usize),
+    ConcatCols(Vec<NodeId>),
+    ColumnAt(NodeId, usize),
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    value: Matrix,
+    grad: Matrix,
+    op: Op,
+}
+
+/// A tape of matrix operations supporting a single backward pass.
+#[derive(Debug, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        Graph { nodes: Vec::new() }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> NodeId {
+        let grad = Matrix::zeros(value.rows(), value.cols());
+        self.nodes.push(Node { value, grad, op });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Current forward value of a node.
+    pub fn value(&self, id: NodeId) -> &Matrix {
+        &self.nodes[id.0].value
+    }
+
+    /// Gradient of the loss with respect to a node (valid after `backward`).
+    pub fn grad(&self, id: NodeId) -> &Matrix {
+        &self.nodes[id.0].grad
+    }
+
+    /// Record a constant input.
+    pub fn input(&mut self, value: Matrix) -> NodeId {
+        self.push(value, Op::Input)
+    }
+
+    /// Record (a copy of) a trainable parameter.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> NodeId {
+        self.push(store.value(id).clone(), Op::Param(id))
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let value = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(value, Op::MatMul(a, b))
+    }
+
+    /// Element-wise sum.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let value = self.nodes[a.0].value.add(&self.nodes[b.0].value);
+        self.push(value, Op::Add(a, b))
+    }
+
+    /// Add a column-vector bias, broadcast over all columns of `x`.
+    pub fn add_bias(&mut self, x: NodeId, bias: NodeId) -> NodeId {
+        let value = self.nodes[x.0].value.add_bias(&self.nodes[bias.0].value);
+        self.push(value, Op::AddBias(x, bias))
+    }
+
+    /// Element-wise product.
+    pub fn hadamard(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let value = self.nodes[a.0].value.hadamard(&self.nodes[b.0].value);
+        self.push(value, Op::Hadamard(a, b))
+    }
+
+    /// Element-wise minimum — the AND pooling of the predicate tree (§4.2.1).
+    pub fn emin(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let value = self.nodes[a.0].value.emin(&self.nodes[b.0].value);
+        self.push(value, Op::EMin(a, b))
+    }
+
+    /// Element-wise maximum — the OR pooling of the predicate tree (§4.2.1).
+    pub fn emax(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let value = self.nodes[a.0].value.emax(&self.nodes[b.0].value);
+        self.push(value, Op::EMax(a, b))
+    }
+
+    /// `(a + b) / 2` — averaging of the two children representations (§4.2.2).
+    pub fn mean2(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let value = self.nodes[a.0].value.add(&self.nodes[b.0].value).scale(0.5);
+        self.push(value, Op::Mean2(a, b))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, x: NodeId) -> NodeId {
+        let value = self.nodes[x.0].value.map(|v| v.max(0.0));
+        self.push(value, Op::Relu(x))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, x: NodeId) -> NodeId {
+        let value = self.nodes[x.0].value.map(|v| 1.0 / (1.0 + (-v).exp()));
+        self.push(value, Op::Sigmoid(x))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, x: NodeId) -> NodeId {
+        let value = self.nodes[x.0].value.map(|v| v.tanh());
+        self.push(value, Op::Tanh(x))
+    }
+
+    /// Multiply by a scalar constant.
+    pub fn scale(&mut self, x: NodeId, s: f32) -> NodeId {
+        let value = self.nodes[x.0].value.scale(s);
+        self.push(value, Op::Scale(x, s))
+    }
+
+    /// Vertical concatenation of feature vectors.
+    pub fn concat_rows(&mut self, parts: &[NodeId]) -> NodeId {
+        let values: Vec<&Matrix> = parts.iter().map(|id| &self.nodes[id.0].value).collect();
+        let value = Matrix::concat_rows(&values);
+        self.push(value, Op::ConcatRows(parts.to_vec()))
+    }
+
+    /// Horizontal concatenation (batching of same-shaped vectors).
+    pub fn concat_cols(&mut self, parts: &[NodeId]) -> NodeId {
+        let values: Vec<&Matrix> = parts.iter().map(|id| &self.nodes[id.0].value).collect();
+        let value = Matrix::concat_cols(&values);
+        self.push(value, Op::ConcatCols(parts.to_vec()))
+    }
+
+    /// Take a contiguous block of rows `[start, start+len)`.
+    pub fn slice_rows(&mut self, x: NodeId, start: usize, len: usize) -> NodeId {
+        let value = self.nodes[x.0].value.slice_rows(start, len);
+        self.push(value, Op::SliceRows(x, start, len))
+    }
+
+    /// Take a single column of a batched matrix.
+    pub fn column_at(&mut self, x: NodeId, c: usize) -> NodeId {
+        let value = self.nodes[x.0].value.column_at(c);
+        self.push(value, Op::ColumnAt(x, c))
+    }
+
+    /// Backward pass: seed `root` with `seed_grad` (dLoss/dRoot), propagate
+    /// gradients to all ancestors and accumulate parameter gradients into
+    /// `store`.
+    ///
+    /// # Panics
+    /// Panics if the seed gradient shape does not match the root value shape.
+    pub fn backward(&mut self, root: NodeId, seed_grad: Matrix, store: &mut ParamStore) {
+        assert_eq!(seed_grad.rows(), self.nodes[root.0].value.rows(), "seed grad row mismatch");
+        assert_eq!(seed_grad.cols(), self.nodes[root.0].value.cols(), "seed grad col mismatch");
+        self.nodes[root.0].grad.add_assign(&seed_grad);
+
+        for i in (0..=root.0).rev() {
+            // Split borrows: take the grad out, read the op, write to parents.
+            let grad = self.nodes[i].grad.clone();
+            if grad.data().iter().all(|&x| x == 0.0) {
+                continue;
+            }
+            let op = self.nodes[i].op.clone();
+            match op {
+                Op::Input => {}
+                Op::Param(pid) => store.accumulate_grad(pid, &grad),
+                Op::MatMul(a, b) => {
+                    let da = grad.matmul(&self.nodes[b.0].value.transpose());
+                    let db = self.nodes[a.0].value.transpose().matmul(&grad);
+                    self.nodes[a.0].grad.add_assign(&da);
+                    self.nodes[b.0].grad.add_assign(&db);
+                }
+                Op::Add(a, b) => {
+                    self.nodes[a.0].grad.add_assign(&grad);
+                    self.nodes[b.0].grad.add_assign(&grad);
+                }
+                Op::AddBias(x, bias) => {
+                    self.nodes[x.0].grad.add_assign(&grad);
+                    let db = grad.sum_cols();
+                    self.nodes[bias.0].grad.add_assign(&db);
+                }
+                Op::Hadamard(a, b) => {
+                    let da = grad.hadamard(&self.nodes[b.0].value);
+                    let db = grad.hadamard(&self.nodes[a.0].value);
+                    self.nodes[a.0].grad.add_assign(&da);
+                    self.nodes[b.0].grad.add_assign(&db);
+                }
+                Op::EMin(a, b) | Op::EMax(a, b) => {
+                    let take_a_on_min = matches!(self.nodes[i].op, Op::EMin(_, _));
+                    let va = self.nodes[a.0].value.clone();
+                    let vb = self.nodes[b.0].value.clone();
+                    let mut da = Matrix::zeros(va.rows(), va.cols());
+                    let mut db = Matrix::zeros(vb.rows(), vb.cols());
+                    for idx in 0..grad.len() {
+                        let g = grad.data()[idx];
+                        let pick_a = if take_a_on_min {
+                            va.data()[idx] <= vb.data()[idx]
+                        } else {
+                            va.data()[idx] >= vb.data()[idx]
+                        };
+                        if pick_a {
+                            da.data_mut()[idx] = g;
+                        } else {
+                            db.data_mut()[idx] = g;
+                        }
+                    }
+                    self.nodes[a.0].grad.add_assign(&da);
+                    self.nodes[b.0].grad.add_assign(&db);
+                }
+                Op::Mean2(a, b) => {
+                    let half = grad.scale(0.5);
+                    self.nodes[a.0].grad.add_assign(&half);
+                    self.nodes[b.0].grad.add_assign(&half);
+                }
+                Op::Relu(x) => {
+                    let vx = &self.nodes[x.0].value;
+                    let mut dx = grad.clone();
+                    for (g, &v) in dx.data_mut().iter_mut().zip(vx.data().iter()) {
+                        if v <= 0.0 {
+                            *g = 0.0;
+                        }
+                    }
+                    self.nodes[x.0].grad.add_assign(&dx);
+                }
+                Op::Sigmoid(x) => {
+                    let s = &self.nodes[i].value;
+                    let ds = s.map(|v| v * (1.0 - v));
+                    let dx = grad.hadamard(&ds);
+                    self.nodes[x.0].grad.add_assign(&dx);
+                }
+                Op::Tanh(x) => {
+                    let t = &self.nodes[i].value;
+                    let dt = t.map(|v| 1.0 - v * v);
+                    let dx = grad.hadamard(&dt);
+                    self.nodes[x.0].grad.add_assign(&dx);
+                }
+                Op::Scale(x, s) => {
+                    let dx = grad.scale(s);
+                    self.nodes[x.0].grad.add_assign(&dx);
+                }
+                Op::ConcatRows(parts) => {
+                    let mut offset = 0;
+                    for pid in parts {
+                        let rows = self.nodes[pid.0].value.rows();
+                        let piece = grad.slice_rows(offset, rows);
+                        self.nodes[pid.0].grad.add_assign(&piece);
+                        offset += rows;
+                    }
+                }
+                Op::ConcatCols(parts) => {
+                    let mut offset = 0;
+                    for pid in parts {
+                        let cols = self.nodes[pid.0].value.cols();
+                        let rows = self.nodes[pid.0].value.rows();
+                        let mut piece = Matrix::zeros(rows, cols);
+                        for r in 0..rows {
+                            for c in 0..cols {
+                                piece.set(r, c, grad.get(r, offset + c));
+                            }
+                        }
+                        self.nodes[pid.0].grad.add_assign(&piece);
+                        offset += cols;
+                    }
+                }
+                Op::SliceRows(x, start, len) => {
+                    let parent = &self.nodes[x.0].value;
+                    let mut dx = Matrix::zeros(parent.rows(), parent.cols());
+                    for r in 0..len {
+                        for c in 0..grad.cols() {
+                            dx.set(start + r, c, grad.get(r, c));
+                        }
+                    }
+                    self.nodes[x.0].grad.add_assign(&dx);
+                }
+                Op::ColumnAt(x, col) => {
+                    let parent = &self.nodes[x.0].value;
+                    let mut dx = Matrix::zeros(parent.rows(), parent.cols());
+                    for r in 0..grad.rows() {
+                        dx.set(r, col, grad.get(r, 0));
+                    }
+                    self.nodes[x.0].grad.add_assign(&dx);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Finite-difference gradient check of a scalar function of a parameter.
+    fn grad_check(
+        build: impl Fn(&mut Graph, &ParamStore) -> NodeId,
+        store: &mut ParamStore,
+        pid: ParamId,
+        eps: f32,
+        tol: f32,
+    ) {
+        // Analytical gradient.
+        store.zero_grad();
+        let mut g = Graph::new();
+        let out = build(&mut g, store);
+        assert_eq!(g.value(out).len(), 1, "grad_check requires a scalar output");
+        g.backward(out, Matrix::from_vec(1, 1, vec![1.0]), store);
+        let analytic = store.grad(pid).clone();
+
+        // Numerical gradient.
+        let n = store.value(pid).len();
+        for i in 0..n {
+            let orig = store.value(pid).data()[i];
+            store.value_mut(pid).data_mut()[i] = orig + eps;
+            let mut g1 = Graph::new();
+            let o1 = build(&mut g1, store);
+            let f1 = g1.value(o1).data()[0];
+            store.value_mut(pid).data_mut()[i] = orig - eps;
+            let mut g2 = Graph::new();
+            let o2 = build(&mut g2, store);
+            let f2 = g2.value(o2).data()[0];
+            store.value_mut(pid).data_mut()[i] = orig;
+            let numeric = (f1 - f2) / (2.0 * eps);
+            let a = analytic.data()[i];
+            assert!(
+                (a - numeric).abs() < tol,
+                "gradient mismatch at {}: analytic {} vs numeric {}",
+                i,
+                a,
+                numeric
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_forward_and_backward() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::from_vec(1, 2, vec![2.0, 3.0]));
+        let mut g = Graph::new();
+        let x = g.input(Matrix::column(&[1.0, 4.0]));
+        let wp = g.param(&store, w);
+        let y = g.matmul(wp, x);
+        assert_eq!(g.value(y).data()[0], 14.0);
+        g.backward(y, Matrix::from_vec(1, 1, vec![1.0]), &mut store);
+        // dy/dw = x^T = [1, 4]
+        assert_eq!(store.grad(w), &Matrix::from_vec(1, 2, vec![1.0, 4.0]));
+    }
+
+    #[test]
+    fn gradient_check_linear_sigmoid() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::from_vec(1, 3, vec![0.3, -0.2, 0.5]));
+        grad_check(
+            |g, s| {
+                let x = g.input(Matrix::column(&[0.7, -1.3, 0.4]));
+                let wp = g.param(s, w);
+                let z = g.matmul(wp, x);
+                g.sigmoid(z)
+            },
+            &mut store,
+            w,
+            1e-3,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn gradient_check_relu_tanh_chain() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::from_vec(2, 2, vec![0.4, 0.1, -0.3, 0.8]));
+        let v = store.add("v", Matrix::from_vec(1, 2, vec![0.5, -0.7]));
+        for pid in [w, v] {
+            grad_check(
+                |g, s| {
+                    let x = g.input(Matrix::column(&[1.2, -0.4]));
+                    let wp = g.param(s, w);
+                    let vp = g.param(s, v);
+                    let h = g.matmul(wp, x);
+                    let h = g.relu(h);
+                    let h = g.tanh(h);
+                    g.matmul(vp, h)
+                },
+                &mut store,
+                pid,
+                1e-3,
+                1e-2,
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_check_min_max_pooling() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::from_vec(1, 2, vec![0.9, -0.2]));
+        grad_check(
+            |g, s| {
+                let a = g.input(Matrix::column(&[0.3, 0.8]));
+                let b = g.input(Matrix::column(&[0.5, 0.2]));
+                let mn = g.emin(a, b);
+                let mx = g.emax(a, b);
+                let both = g.mean2(mn, mx);
+                let wp = g.param(s, w);
+                g.matmul(wp, both)
+            },
+            &mut store,
+            w,
+            1e-3,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn gradient_check_concat_and_bias() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::from_vec(1, 4, vec![0.3, -0.1, 0.6, 0.2]));
+        let b = store.add("b", Matrix::column(&[0.05]));
+        for pid in [w, b] {
+            grad_check(
+                |g, s| {
+                    let x1 = g.input(Matrix::column(&[0.4, -0.9]));
+                    let x2 = g.input(Matrix::column(&[1.1, 0.3]));
+                    let x = g.concat_rows(&[x1, x2]);
+                    let wp = g.param(s, w);
+                    let bp = g.param(s, b);
+                    let z = g.matmul(wp, x);
+                    let z = g.add_bias(z, bp);
+                    g.tanh(z)
+                },
+                &mut store,
+                pid,
+                1e-3,
+                1e-2,
+            );
+        }
+    }
+
+    #[test]
+    fn hadamard_and_scale_backward() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::column(&[2.0, 3.0]));
+        let mut g = Graph::new();
+        let x = g.input(Matrix::column(&[5.0, 7.0]));
+        let wp = g.param(&store, w);
+        let h = g.hadamard(wp, x);
+        let h = g.scale(h, 2.0);
+        let ones = g.input(Matrix::from_vec(1, 2, vec![1.0, 1.0]));
+        let y = g.matmul(ones, h);
+        g.backward(y, Matrix::from_vec(1, 1, vec![1.0]), &mut store);
+        assert_eq!(store.grad(w), &Matrix::column(&[10.0, 14.0]));
+    }
+
+    #[test]
+    fn batched_columns_shapes() {
+        let mut g = Graph::new();
+        let a = g.input(Matrix::column(&[1.0, 2.0]));
+        let b = g.input(Matrix::column(&[3.0, 4.0]));
+        let batch = g.concat_cols(&[a, b]);
+        assert_eq!(g.value(batch).rows(), 2);
+        assert_eq!(g.value(batch).cols(), 2);
+        let col1 = g.column_at(batch, 1);
+        assert_eq!(g.value(col1), &Matrix::column(&[3.0, 4.0]));
+    }
+
+    #[test]
+    fn slice_rows_backward_places_gradient() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::column(&[1.0, 2.0, 3.0]));
+        let mut g = Graph::new();
+        let wp = g.param(&store, w);
+        let s = g.slice_rows(wp, 1, 2);
+        let ones = g.input(Matrix::from_vec(1, 2, vec![1.0, 1.0]));
+        let y = g.matmul(ones, s);
+        g.backward(y, Matrix::from_vec(1, 1, vec![1.0]), &mut store);
+        assert_eq!(store.grad(w), &Matrix::column(&[0.0, 1.0, 1.0]));
+    }
+}

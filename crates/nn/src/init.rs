@@ -1,0 +1,49 @@
+//! Weight initialization schemes.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialization: samples from
+/// `U(-sqrt(6/(fan_in+fan_out)), +sqrt(6/(fan_in+fan_out)))`.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    let bound = (6.0 / (rows as f32 + cols as f32)).sqrt();
+    let data = (0..rows * cols).map(|_| rng.gen_range(-bound..=bound)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Small uniform initialization in `[-scale, scale]` (used for embedding tables).
+pub fn uniform(rows: usize, cols: usize, scale: f32, rng: &mut impl Rng) -> Matrix {
+    let data = (0..rows * cols).map(|_| rng.gen_range(-scale..=scale)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let m = xavier_uniform(10, 20, &mut rng);
+        let bound = (6.0f32 / 30.0).sqrt();
+        assert!(m.data().iter().all(|x| x.abs() <= bound + 1e-6));
+        assert_eq!(m.rows(), 10);
+        assert_eq!(m.cols(), 20);
+    }
+
+    #[test]
+    fn uniform_respects_scale() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let m = uniform(5, 5, 0.1, &mut rng);
+        assert!(m.data().iter().all(|x| x.abs() <= 0.1 + 1e-6));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        assert_eq!(xavier_uniform(4, 4, &mut a), xavier_uniform(4, 4, &mut b));
+    }
+}

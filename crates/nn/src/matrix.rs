@@ -1,0 +1,407 @@
+//! Dense row-major `f32` matrix.
+//!
+//! The autodiff graph stores every intermediate value as a `Matrix`.  Vectors
+//! are represented as single-column matrices; a mini-batch of `n` vectors is
+//! a matrix with `n` columns, which is how the level-wise batched inference
+//! of Section 4.3 is implemented.
+
+use std::fmt;
+
+/// Dense row-major matrix of `f32` values.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)
+    }
+}
+
+impl Matrix {
+    /// Create a matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Create a matrix filled with a constant.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Matrix { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Create a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix dimensions do not match data length");
+        Matrix { rows, cols, data }
+    }
+
+    /// Create a column vector from a slice.
+    pub fn column(values: &[f32]) -> Self {
+        Matrix { rows: values.len(), cols: 1, data: values.to_vec() }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable access to the underlying row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying row-major buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Matrix multiplication `self * other`.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions do not agree.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul dimension mismatch: {}x{} * {}x{}", self.rows, self.cols, other.rows, other.cols);
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let row_out = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                let row_b = &other.data[k * other.cols..(k + 1) * other.cols];
+                for (o, b) in row_out.iter_mut().zip(row_b.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Element-wise addition.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Element-wise subtraction.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Element-wise maximum.
+    pub fn emax(&self, other: &Matrix) -> Matrix {
+        self.zip(other, |a, b| a.max(b))
+    }
+
+    /// Element-wise minimum.
+    pub fn emin(&self, other: &Matrix) -> Matrix {
+        self.zip(other, |a, b| a.min(b))
+    }
+
+    /// Apply a scalar function element-wise.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Multiply all elements by a scalar.
+    pub fn scale(&self, s: f32) -> Matrix {
+        self.map(|x| x * s)
+    }
+
+    /// Add a column-vector bias to every column of the matrix.
+    ///
+    /// # Panics
+    /// Panics if `bias` is not a `rows x 1` column vector.
+    pub fn add_bias(&self, bias: &Matrix) -> Matrix {
+        assert_eq!(bias.cols, 1, "bias must be a column vector");
+        assert_eq!(bias.rows, self.rows, "bias rows must match matrix rows");
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            let b = bias.data[r];
+            for c in 0..self.cols {
+                out.data[r * self.cols + c] += b;
+            }
+        }
+        out
+    }
+
+    /// Sum over columns, producing a `rows x 1` column vector.
+    pub fn sum_cols(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, 1);
+        for r in 0..self.rows {
+            let mut s = 0.0;
+            for c in 0..self.cols {
+                s += self.data[r * self.cols + c];
+            }
+            out.data[r] = s;
+        }
+        out
+    }
+
+    /// Vertically stack matrices (concatenate along rows); all inputs must
+    /// have the same number of columns.
+    pub fn concat_rows(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "concat_rows needs at least one matrix");
+        let cols = parts[0].cols;
+        let rows: usize = parts.iter().map(|m| m.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            assert_eq!(p.cols, cols, "concat_rows requires equal column counts");
+            data.extend_from_slice(&p.data);
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Horizontal concatenation (stack along columns); all inputs must have
+    /// the same number of rows.  Used to batch vectors of the same plan-tree
+    /// level into one forward pass.
+    pub fn concat_cols(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "concat_cols needs at least one matrix");
+        let rows = parts[0].rows;
+        let cols: usize = parts.iter().map(|m| m.cols).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        let mut col_off = 0;
+        for p in parts {
+            assert_eq!(p.rows, rows, "concat_cols requires equal row counts");
+            for r in 0..rows {
+                for c in 0..p.cols {
+                    out.data[r * cols + col_off + c] = p.data[r * p.cols + c];
+                }
+            }
+            col_off += p.cols;
+        }
+        out
+    }
+
+    /// Extract a contiguous block of rows `[start, start+len)`.
+    pub fn slice_rows(&self, start: usize, len: usize) -> Matrix {
+        assert!(start + len <= self.rows, "row slice out of range");
+        let mut data = Vec::with_capacity(len * self.cols);
+        data.extend_from_slice(&self.data[start * self.cols..(start + len) * self.cols]);
+        Matrix { rows: len, cols: self.cols, data }
+    }
+
+    /// Extract a single column as a `rows x 1` matrix.
+    pub fn column_at(&self, c: usize) -> Matrix {
+        assert!(c < self.cols, "column out of range");
+        let mut out = Matrix::zeros(self.rows, 1);
+        for r in 0..self.rows {
+            out.data[r] = self.data[r * self.cols + c];
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Mean of all elements (0 for an empty matrix).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().sum::<f32>() / self.data.len() as f32
+        }
+    }
+
+    /// In-place element-wise addition (gradient accumulation).
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Set all elements to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    fn zip(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        assert_eq!(self.rows, other.rows, "element-wise op: row mismatch");
+        assert_eq!(self.cols, other.cols, "element-wise op: col mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let i = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    fn matmul_known_result() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_vec(2, 2, vec![58.0, 64.0, 139.0, 154.0]));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn add_bias_broadcasts() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::column(&[10.0, 20.0]);
+        assert_eq!(a.add_bias(&b), Matrix::from_vec(2, 2, vec![11.0, 12.0, 23.0, 24.0]));
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::column(&[1.0, 5.0]);
+        let b = Matrix::column(&[3.0, 2.0]);
+        assert_eq!(a.emax(&b), Matrix::column(&[3.0, 5.0]));
+        assert_eq!(a.emin(&b), Matrix::column(&[1.0, 2.0]));
+        assert_eq!(a.hadamard(&b), Matrix::column(&[3.0, 10.0]));
+        assert_eq!(a.add(&b), Matrix::column(&[4.0, 7.0]));
+        assert_eq!(a.sub(&b), Matrix::column(&[-2.0, 3.0]));
+    }
+
+    #[test]
+    fn concat_rows_and_cols() {
+        let a = Matrix::column(&[1.0, 2.0]);
+        let b = Matrix::column(&[3.0]);
+        let v = Matrix::concat_rows(&[&a, &b]);
+        assert_eq!(v, Matrix::column(&[1.0, 2.0, 3.0]));
+
+        let c = Matrix::column(&[1.0, 2.0]);
+        let d = Matrix::column(&[3.0, 4.0]);
+        let h = Matrix::concat_cols(&[&c, &d]);
+        assert_eq!(h, Matrix::from_vec(2, 2, vec![1.0, 3.0, 2.0, 4.0]));
+    }
+
+    #[test]
+    fn slice_and_column_access() {
+        let a = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.slice_rows(1, 2), Matrix::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]));
+        assert_eq!(a.column_at(1), Matrix::column(&[2.0, 4.0, 6.0]));
+    }
+
+    #[test]
+    fn sum_cols_and_mean() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.sum_cols(), Matrix::column(&[6.0, 15.0]));
+        assert!((a.mean() - 3.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul dimension mismatch")]
+    fn matmul_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = Matrix::column(&[1.0, 2.0]);
+        a.add_assign(&Matrix::column(&[0.5, 0.5]));
+        assert_eq!(a, Matrix::column(&[1.5, 2.5]));
+        a.fill_zero();
+        assert_eq!(a, Matrix::column(&[0.0, 0.0]));
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+        proptest::collection::vec(-10.0f32..10.0, rows * cols)
+            .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+    }
+
+    proptest! {
+        #[test]
+        fn matmul_transpose_identity(a in arb_matrix(3, 4), b in arb_matrix(4, 2)) {
+            // (A B)^T == B^T A^T
+            let left = a.matmul(&b).transpose();
+            let right = b.transpose().matmul(&a.transpose());
+            for (x, y) in left.data().iter().zip(right.data().iter()) {
+                prop_assert!((x - y).abs() < 1e-3);
+            }
+        }
+
+        #[test]
+        fn add_commutative(a in arb_matrix(3, 3), b in arb_matrix(3, 3)) {
+            prop_assert_eq!(a.add(&b), b.add(&a));
+        }
+
+        #[test]
+        fn emax_ge_both(a in arb_matrix(2, 5), b in arb_matrix(2, 5)) {
+            let m = a.emax(&b);
+            for i in 0..m.len() {
+                prop_assert!(m.data()[i] >= a.data()[i]);
+                prop_assert!(m.data()[i] >= b.data()[i]);
+            }
+        }
+    }
+}

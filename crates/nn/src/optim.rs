@@ -1,0 +1,149 @@
+//! First-order optimizers over a [`ParamStore`].
+
+use crate::params::ParamStore;
+
+/// Common optimizer interface.
+pub trait Optimizer {
+    /// Apply one update step using the gradients currently accumulated in the
+    /// store.  Does not zero the gradients.
+    fn step(&mut self, store: &mut ParamStore);
+}
+
+/// Plain stochastic gradient descent with an optional gradient clip.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    pub learning_rate: f32,
+    pub clip_norm: Option<f32>,
+}
+
+impl Sgd {
+    /// Create an SGD optimizer with the given learning rate.
+    pub fn new(learning_rate: f32) -> Self {
+        Sgd { learning_rate, clip_norm: None }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore) {
+        if let Some(max) = self.clip_norm {
+            let norm = store.grad_norm();
+            if norm > max && norm > 0.0 {
+                store.scale_grads(max / norm);
+            }
+        }
+        let lr = self.learning_rate;
+        for p in store.params_mut() {
+            for (v, g) in p.value.data_mut().iter_mut().zip(p.grad.data().iter()) {
+                *v -= lr * g;
+            }
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba), the optimizer used by the paper's training
+/// setup (learning rate 0.001).
+#[derive(Debug, Clone)]
+pub struct Adam {
+    pub learning_rate: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    pub clip_norm: Option<f32>,
+    t: u64,
+}
+
+impl Adam {
+    /// Create an Adam optimizer with default betas (0.9, 0.999).
+    pub fn new(learning_rate: f32) -> Self {
+        Adam { learning_rate, beta1: 0.9, beta2: 0.999, eps: 1e-8, clip_norm: Some(5.0), t: 0 }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore) {
+        if let Some(max) = self.clip_norm {
+            let norm = store.grad_norm();
+            if norm > max && norm > 0.0 {
+                store.scale_grads(max / norm);
+            }
+        }
+        self.t += 1;
+        let t = self.t as f32;
+        let lr = self.learning_rate * (1.0 - self.beta2.powf(t)).sqrt() / (1.0 - self.beta1.powf(t));
+        for p in store.params_mut() {
+            let m = p.m.data_mut();
+            let v = p.v.data_mut();
+            let grad = p.grad.data();
+            for ((val, (mi, vi)), &g) in p
+                .value
+                .data_mut()
+                .iter_mut()
+                .zip(m.iter_mut().zip(v.iter_mut()))
+                .zip(grad.iter())
+            {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+                *val -= lr * *mi / (vi.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::matrix::Matrix;
+
+    /// Minimize f(w) = (w - 3)^2 with both optimizers.
+    fn minimize(opt: &mut dyn Optimizer, iters: usize) -> f32 {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::from_vec(1, 1, vec![0.0]));
+        for _ in 0..iters {
+            store.zero_grad();
+            let mut g = Graph::new();
+            let wp = g.param(&store, w);
+            let val = g.value(wp).data()[0];
+            g.backward(wp, Matrix::from_vec(1, 1, vec![2.0 * (val - 3.0)]), &mut store);
+            opt.step(&mut store);
+        }
+        store.value(w).data()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let w = minimize(&mut opt, 200);
+        assert!((w - 3.0).abs() < 1e-3, "sgd ended at {w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1);
+        let w = minimize(&mut opt, 500);
+        assert!((w - 3.0).abs() < 1e-2, "adam ended at {w}");
+    }
+
+    #[test]
+    fn gradient_clipping_limits_step() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::from_vec(1, 1, vec![0.0]));
+        store.accumulate_grad(w, &Matrix::from_vec(1, 1, vec![1000.0]));
+        let mut opt = Sgd { learning_rate: 1.0, clip_norm: Some(1.0) };
+        opt.step(&mut store);
+        assert!((store.value(w).data()[0] + 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn adam_bias_correction_first_step() {
+        // After one step with gradient g, Adam moves by ~lr * sign(g).
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::from_vec(1, 1, vec![0.0]));
+        store.accumulate_grad(w, &Matrix::from_vec(1, 1, vec![0.5]));
+        let mut opt = Adam::new(0.1);
+        opt.clip_norm = None;
+        opt.step(&mut store);
+        let v = store.value(w).data()[0];
+        assert!(v < 0.0 && v > -0.2, "unexpected first adam step {v}");
+    }
+}

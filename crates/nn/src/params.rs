@@ -1,0 +1,171 @@
+//! Model parameters shared across computation graphs.
+//!
+//! The tree-structured model applies the *same* representation cell at every
+//! node of every plan (Section 4.2.2: "all the units in this layer are neural
+//! networks in the same structure and share common parameters").  Parameters
+//! therefore live outside the per-plan [`crate::Graph`] in a [`ParamStore`];
+//! graphs reference them by [`ParamId`] and accumulate gradients back into
+//! the store after each backward pass.
+
+use crate::init;
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// Identifier of a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+/// A single trainable tensor together with its gradient accumulator and the
+/// Adam moment estimates.
+#[derive(Debug, Clone)]
+pub struct Param {
+    pub name: String,
+    pub value: Matrix,
+    pub grad: Matrix,
+    pub(crate) m: Matrix,
+    pub(crate) v: Matrix,
+}
+
+/// Container for all trainable parameters of a model.
+#[derive(Debug, Clone, Default)]
+pub struct ParamStore {
+    params: Vec<Param>,
+}
+
+impl ParamStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        ParamStore { params: Vec::new() }
+    }
+
+    /// Register an explicitly-initialized parameter.
+    pub fn add(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        let grad = Matrix::zeros(value.rows(), value.cols());
+        let m = Matrix::zeros(value.rows(), value.cols());
+        let v = Matrix::zeros(value.rows(), value.cols());
+        self.params.push(Param { name: name.into(), value, grad, m, v });
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Register a weight matrix with Xavier/Glorot uniform initialization.
+    pub fn add_xavier(&mut self, name: impl Into<String>, rows: usize, cols: usize, rng: &mut impl Rng) -> ParamId {
+        self.add(name, init::xavier_uniform(rows, cols, rng))
+    }
+
+    /// Register a zero-initialized bias vector.
+    pub fn add_zeros(&mut self, name: impl Into<String>, rows: usize, cols: usize) -> ParamId {
+        self.add(name, Matrix::zeros(rows, cols))
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of trainable scalars.
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.params[id.0].value
+    }
+
+    /// Mutable value (used by gradient-check tests and optimizers).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.params[id.0].value
+    }
+
+    /// Current accumulated gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &Matrix {
+        &self.params[id.0].grad
+    }
+
+    /// Accumulate a gradient contribution for a parameter.
+    pub fn accumulate_grad(&mut self, id: ParamId, grad: &Matrix) {
+        self.params[id.0].grad.add_assign(grad);
+    }
+
+    /// Reset all gradients to zero (called once per mini-batch).
+    pub fn zero_grad(&mut self) {
+        for p in &mut self.params {
+            p.grad.fill_zero();
+        }
+    }
+
+    /// Iterate over all parameters mutably (used by optimizers).
+    pub(crate) fn params_mut(&mut self) -> &mut [Param] {
+        &mut self.params
+    }
+
+    /// Iterate over all parameters.
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    /// Global L2 norm of all gradients (for gradient clipping).
+    pub fn grad_norm(&self) -> f32 {
+        self.params.iter().map(|p| p.grad.norm().powi(2)).sum::<f32>().sqrt()
+    }
+
+    /// Scale all gradients by a constant (gradient clipping helper).
+    pub fn scale_grads(&mut self, s: f32) {
+        for p in &mut self.params {
+            p.grad = p.grad.scale(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Matrix::column(&[1.0, 2.0]));
+        assert_eq!(store.value(id), &Matrix::column(&[1.0, 2.0]));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.num_scalars(), 2);
+    }
+
+    #[test]
+    fn grad_accumulation_and_reset() {
+        let mut store = ParamStore::new();
+        let id = store.add_zeros("b", 2, 1);
+        store.accumulate_grad(id, &Matrix::column(&[1.0, 1.0]));
+        store.accumulate_grad(id, &Matrix::column(&[0.5, 0.5]));
+        assert_eq!(store.grad(id), &Matrix::column(&[1.5, 1.5]));
+        store.zero_grad();
+        assert_eq!(store.grad(id), &Matrix::column(&[0.0, 0.0]));
+    }
+
+    #[test]
+    fn xavier_init_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut store = ParamStore::new();
+        let id = store.add_xavier("w", 16, 32, &mut rng);
+        let bound = (6.0f32 / (16.0 + 32.0)).sqrt();
+        for &x in store.value(id).data() {
+            assert!(x.abs() <= bound + 1e-6);
+        }
+    }
+
+    #[test]
+    fn grad_norm_and_scaling() {
+        let mut store = ParamStore::new();
+        let id = store.add_zeros("b", 2, 1);
+        store.accumulate_grad(id, &Matrix::column(&[3.0, 4.0]));
+        assert!((store.grad_norm() - 5.0).abs() < 1e-6);
+        store.scale_grads(0.5);
+        assert!((store.grad_norm() - 2.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,273 @@
+//! Per-column statistics: equi-depth histograms, most-common-value lists and
+//! distinct counts — the statistics PostgreSQL's ANALYZE collects and its
+//! selectivity functions consume.
+
+use imdb::{Column, Table};
+use std::collections::HashMap;
+
+/// Number of histogram buckets.
+const NUM_BUCKETS: usize = 50;
+/// Number of most-common values tracked for string columns.
+const NUM_MCV: usize = 50;
+
+/// Statistics of one integer column: an equi-depth histogram plus the
+/// distinct count.
+#[derive(Debug, Clone)]
+pub struct NumericStats {
+    /// Bucket boundaries (ascending, length = buckets + 1).
+    bounds: Vec<f64>,
+    /// Total number of rows.
+    n_rows: usize,
+    /// Number of distinct values.
+    n_distinct: usize,
+}
+
+impl NumericStats {
+    /// Build statistics from an integer column.
+    pub fn build(values: &[i64]) -> Self {
+        let n_rows = values.len();
+        let mut sorted: Vec<i64> = values.to_vec();
+        sorted.sort_unstable();
+        let mut distinct = sorted.clone();
+        distinct.dedup();
+        let n_distinct = distinct.len();
+        let buckets = NUM_BUCKETS.min(n_rows.max(1));
+        let mut bounds = Vec::with_capacity(buckets + 1);
+        if n_rows == 0 {
+            bounds.push(0.0);
+            bounds.push(0.0);
+        } else {
+            for b in 0..=buckets {
+                let idx = (b * (n_rows - 1)) / buckets;
+                bounds.push(sorted[idx] as f64);
+            }
+        }
+        NumericStats { bounds, n_rows, n_distinct }
+    }
+
+    /// Number of distinct values.
+    pub fn n_distinct(&self) -> usize {
+        self.n_distinct
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Selectivity of `column < v` (fraction of rows).
+    pub fn selectivity_lt(&self, v: f64) -> f64 {
+        if self.n_rows == 0 {
+            return 0.0;
+        }
+        let buckets = self.bounds.len() - 1;
+        let mut covered = 0.0;
+        for b in 0..buckets {
+            let lo = self.bounds[b];
+            let hi = self.bounds[b + 1];
+            if v <= lo {
+                break;
+            }
+            if v >= hi {
+                covered += 1.0;
+            } else {
+                let width = (hi - lo).max(f64::EPSILON);
+                covered += ((v - lo) / width).clamp(0.0, 1.0);
+            }
+        }
+        (covered / buckets as f64).clamp(0.0, 1.0)
+    }
+
+    /// Selectivity of `column > v`.
+    pub fn selectivity_gt(&self, v: f64) -> f64 {
+        (1.0 - self.selectivity_lt(v) - self.selectivity_eq(v)).clamp(0.0, 1.0)
+    }
+
+    /// Selectivity of `column = v` (uniform within distinct values).
+    pub fn selectivity_eq(&self, v: f64) -> f64 {
+        if self.n_rows == 0 || self.n_distinct == 0 {
+            return 0.0;
+        }
+        let min = self.bounds[0];
+        let max = *self.bounds.last().expect("non-empty bounds");
+        if v < min || v > max {
+            return 0.0;
+        }
+        1.0 / self.n_distinct as f64
+    }
+}
+
+/// Statistics of one string column: MCV list plus distinct count.
+#[derive(Debug, Clone)]
+pub struct StringStats {
+    /// Most common values and their frequencies (fraction of rows).
+    mcv: Vec<(String, f64)>,
+    n_rows: usize,
+    n_distinct: usize,
+}
+
+impl StringStats {
+    /// Build statistics from a string column.
+    pub fn build(values: &[String]) -> Self {
+        let n_rows = values.len();
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for v in values {
+            *counts.entry(v.as_str()).or_default() += 1;
+        }
+        let n_distinct = counts.len();
+        let mut sorted: Vec<(&str, usize)> = counts.into_iter().collect();
+        sorted.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        let mcv = sorted
+            .into_iter()
+            .take(NUM_MCV)
+            .map(|(s, c)| (s.to_string(), c as f64 / n_rows.max(1) as f64))
+            .collect();
+        StringStats { mcv, n_rows, n_distinct }
+    }
+
+    /// Number of distinct values.
+    pub fn n_distinct(&self) -> usize {
+        self.n_distinct
+    }
+
+    /// Selectivity of `column = s`.
+    pub fn selectivity_eq(&self, s: &str) -> f64 {
+        if self.n_rows == 0 {
+            return 0.0;
+        }
+        if let Some((_, f)) = self.mcv.iter().find(|(v, _)| v == s) {
+            return *f;
+        }
+        // Not an MCV: the remaining mass spread over the remaining distinct values.
+        let mcv_mass: f64 = self.mcv.iter().map(|(_, f)| f).sum();
+        let rest_distinct = self.n_distinct.saturating_sub(self.mcv.len()).max(1);
+        ((1.0 - mcv_mass) / rest_distinct as f64).max(1.0 / self.n_rows as f64 / 10.0)
+    }
+
+    /// Selectivity of `column LIKE pattern`, PostgreSQL-style: match the MCVs
+    /// exactly, then add a default guess for the histogram remainder that
+    /// shrinks with the length of the fixed (non-wildcard) part of the pattern.
+    pub fn selectivity_like(&self, pattern: &str) -> f64 {
+        if self.n_rows == 0 {
+            return 0.0;
+        }
+        let mcv_match: f64 = self
+            .mcv
+            .iter()
+            .filter(|(v, _)| query::like_match(v, pattern))
+            .map(|(_, f)| f)
+            .sum();
+        let mcv_mass: f64 = self.mcv.iter().map(|(_, f)| f).sum();
+        let fixed_len = pattern.chars().filter(|&c| c != '%' && c != '_').count();
+        // The independence-style default guess PostgreSQL uses: each fixed
+        // character multiplies selectivity by a constant factor.
+        let default = 0.5f64.powi((fixed_len as i32).min(20)).max(1e-6);
+        (mcv_match + (1.0 - mcv_mass).max(0.0) * default).clamp(0.0, 1.0)
+    }
+}
+
+/// Statistics of a single column (numeric or string).
+#[derive(Debug, Clone)]
+pub enum ColumnStats {
+    Numeric(NumericStats),
+    Text(StringStats),
+}
+
+impl ColumnStats {
+    /// Build statistics for a column of a table.
+    pub fn build(table: &Table, column: &str) -> Option<Self> {
+        match table.column_by_name(column)? {
+            Column::Int(values) => Some(ColumnStats::Numeric(NumericStats::build(values))),
+            Column::Str(values) => Some(ColumnStats::Text(StringStats::build(values))),
+        }
+    }
+
+    /// Number of distinct values.
+    pub fn n_distinct(&self) -> usize {
+        match self {
+            ColumnStats::Numeric(s) => s.n_distinct(),
+            ColumnStats::Text(s) => s.n_distinct(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_histogram_range_selectivity() {
+        let values: Vec<i64> = (0..1000).collect();
+        let s = NumericStats::build(&values);
+        let sel = s.selectivity_lt(500.0);
+        assert!((sel - 0.5).abs() < 0.05, "lt selectivity {sel}");
+        let sel = s.selectivity_gt(900.0);
+        assert!((sel - 0.1).abs() < 0.05, "gt selectivity {sel}");
+        assert_eq!(s.n_distinct(), 1000);
+    }
+
+    #[test]
+    fn numeric_eq_selectivity_uses_distinct_count() {
+        let values: Vec<i64> = (0..100).flat_map(|v| std::iter::repeat(v).take(10)).collect();
+        let s = NumericStats::build(&values);
+        assert!((s.selectivity_eq(50.0) - 0.01).abs() < 1e-9);
+        assert_eq!(s.selectivity_eq(-5.0), 0.0);
+        assert_eq!(s.selectivity_eq(1e9), 0.0);
+    }
+
+    #[test]
+    fn skewed_numeric_histogram_reflects_skew() {
+        // 90% of values are 0, the rest uniform in 1..100.
+        let mut values = vec![0i64; 900];
+        values.extend(1..=100);
+        let s = NumericStats::build(&values);
+        assert!(s.selectivity_lt(1.0) > 0.8);
+    }
+
+    #[test]
+    fn empty_column_is_safe() {
+        let s = NumericStats::build(&[]);
+        assert_eq!(s.selectivity_lt(10.0), 0.0);
+        assert_eq!(s.selectivity_eq(10.0), 0.0);
+        let t = StringStats::build(&[]);
+        assert_eq!(t.selectivity_eq("x"), 0.0);
+        assert_eq!(t.selectivity_like("%x%"), 0.0);
+    }
+
+    #[test]
+    fn string_mcv_equality() {
+        let mut values = vec!["production companies".to_string(); 700];
+        values.extend(vec!["distributors".to_string(); 300]);
+        let s = StringStats::build(&values);
+        assert!((s.selectivity_eq("production companies") - 0.7).abs() < 1e-9);
+        assert!((s.selectivity_eq("distributors") - 0.3).abs() < 1e-9);
+        assert!(s.selectivity_eq("unknown kind") < 0.01);
+    }
+
+    #[test]
+    fn like_selectivity_uses_mcvs() {
+        let mut values = vec!["(co-production)".to_string(); 400];
+        values.extend(vec!["(presents)".to_string(); 600]);
+        let s = StringStats::build(&values);
+        let sel = s.selectivity_like("%(co-production)%");
+        assert!((sel - 0.4).abs() < 0.05, "sel {sel}");
+    }
+
+    #[test]
+    fn like_default_guess_shrinks_with_pattern_length() {
+        let values: Vec<String> = (0..1000).map(|i| format!("note number {i} with text")).collect();
+        let s = StringStats::build(&values);
+        assert!(s.selectivity_like("%abcdef%") < s.selectivity_like("%ab%"));
+    }
+
+    #[test]
+    fn selectivities_are_probabilities() {
+        let values: Vec<i64> = (0..500).map(|i| i % 37).collect();
+        let s = NumericStats::build(&values);
+        for v in [-10.0, 0.0, 18.0, 36.0, 100.0] {
+            for sel in [s.selectivity_lt(v), s.selectivity_gt(v), s.selectivity_eq(v)] {
+                assert!((0.0..=1.0).contains(&sel));
+            }
+        }
+    }
+}

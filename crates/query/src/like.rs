@@ -1,0 +1,121 @@
+//! SQL `LIKE` pattern matching.
+//!
+//! Supports the `%` (any substring) and `_` (any single character) wildcards,
+//! which is all the JOB workload uses.  Matching is case-sensitive, like
+//! PostgreSQL's `LIKE`.
+
+/// Returns true when `text` matches the SQL LIKE `pattern`.
+///
+/// ```
+/// use query::like_match;
+/// assert!(like_match("Dinosaur Planet", "Din%"));
+/// assert!(like_match("(2002-06-29)", "%06%"));
+/// assert!(like_match("abc", "a_c"));
+/// assert!(!like_match("abc", "a_d"));
+/// ```
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    // Classic two-pointer algorithm with backtracking on the last `%`.
+    let (mut ti, mut pi) = (0usize, 0usize);
+    let mut star: Option<usize> = None;
+    let mut star_ti = 0usize;
+    while ti < t.len() {
+        if pi < p.len() && p[pi] == '%' {
+            star = Some(pi);
+            star_ti = ti;
+            pi += 1;
+        } else if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) {
+            ti += 1;
+            pi += 1;
+        } else if let Some(sp) = star {
+            pi = sp + 1;
+            star_ti += 1;
+            ti = star_ti;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_without_wildcards() {
+        assert!(like_match("abc", "abc"));
+        assert!(!like_match("abc", "abd"));
+        assert!(!like_match("abc", "ab"));
+    }
+
+    #[test]
+    fn prefix_suffix_contains() {
+        assert!(like_match("Dinos in Kas", "Din%"));
+        assert!(like_match("Dinos in Kas", "%Kas"));
+        assert!(like_match("Dinos in Kas", "%in%"));
+        assert!(!like_match("Dinos in Kas", "%xyz%"));
+    }
+
+    #[test]
+    fn underscore_matches_single_char() {
+        assert!(like_match("cat", "c_t"));
+        assert!(!like_match("caat", "c_t"));
+    }
+
+    #[test]
+    fn percent_matches_empty() {
+        assert!(like_match("abc", "abc%"));
+        assert!(like_match("abc", "%abc"));
+        assert!(like_match("", "%"));
+        assert!(like_match("", ""));
+    }
+
+    #[test]
+    fn multiple_percents() {
+        assert!(like_match("(as Metro-Goldwyn-Mayer Pictures)", "%(as Metro-Goldwyn-Mayer Pictures)%"));
+        assert!(like_match("a(co-production)b", "%(co-production)%"));
+        assert!(like_match("xx06yy29zz", "%06%29%"));
+        assert!(!like_match("xx29yy06zz", "%06%29%"));
+    }
+
+    #[test]
+    fn empty_pattern_only_matches_empty() {
+        assert!(!like_match("a", ""));
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn contains_pattern_agrees_with_str_contains(s in "[a-z]{0,20}", needle in "[a-z]{1,5}") {
+            let pattern = format!("%{needle}%");
+            prop_assert_eq!(like_match(&s, &pattern), s.contains(&needle));
+        }
+
+        #[test]
+        fn prefix_pattern_agrees_with_starts_with(s in "[a-z]{0,20}", prefix in "[a-z]{1,5}") {
+            let pattern = format!("{prefix}%");
+            prop_assert_eq!(like_match(&s, &pattern), s.starts_with(&prefix));
+        }
+
+        #[test]
+        fn suffix_pattern_agrees_with_ends_with(s in "[a-z]{0,20}", suffix in "[a-z]{1,5}") {
+            let pattern = format!("%{suffix}");
+            prop_assert_eq!(like_match(&s, &pattern), s.ends_with(&suffix));
+        }
+
+        #[test]
+        fn full_wildcard_matches_everything(s in ".{0,30}") {
+            prop_assert!(like_match(&s, "%"));
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Physical plan trees — the input of the cost estimator.
+//!
+//! Each node carries a physical operator (Table 1 of the paper), the tables
+//! it produces, and optional annotations: the traditional estimator's
+//! estimates and the executor's true cost/cardinality (the training targets).
+
+use crate::logical::JoinPredicate;
+use crate::predicate::Predicate;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node within one plan (pre-order position).
+pub type PlanNodeId = usize;
+
+/// Physical operator of a plan node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PhysicalOp {
+    /// Full scan of a table, optionally filtering with a predicate.
+    SeqScan { table: String, predicate: Option<Predicate> },
+    /// Index lookup on `index_column` (driven by a join key or an equality
+    /// predicate), with an optional residual filter.
+    IndexScan { table: String, index_column: String, predicate: Option<Predicate> },
+    /// Hash join on an equi-join predicate; left child is the build side.
+    HashJoin { condition: JoinPredicate },
+    /// Sort-merge join on an equi-join predicate.
+    MergeJoin { condition: JoinPredicate },
+    /// Nested-loop join (index nested loop when the inner child is an
+    /// [`PhysicalOp::IndexScan`]).
+    NestedLoopJoin { condition: JoinPredicate },
+    /// Sort on a set of columns.
+    Sort { table: String, columns: Vec<String> },
+    /// Aggregation (plain or hash) over the child.
+    Aggregate { hash: bool, group_columns: Vec<String> },
+}
+
+impl PhysicalOp {
+    /// Short operator name (used in displays and the operation one-hot).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PhysicalOp::SeqScan { .. } => "Seq Scan",
+            PhysicalOp::IndexScan { .. } => "Index Scan",
+            PhysicalOp::HashJoin { .. } => "Hash Join",
+            PhysicalOp::MergeJoin { .. } => "Merge Join",
+            PhysicalOp::NestedLoopJoin { .. } => "Nested Loop",
+            PhysicalOp::Sort { .. } => "Sort",
+            PhysicalOp::Aggregate { .. } => "Aggregate",
+        }
+    }
+
+    /// Index of the operator in the operation one-hot encoding.
+    pub fn one_hot_index(&self) -> usize {
+        match self {
+            PhysicalOp::SeqScan { .. } => 0,
+            PhysicalOp::IndexScan { .. } => 1,
+            PhysicalOp::HashJoin { .. } => 2,
+            PhysicalOp::MergeJoin { .. } => 3,
+            PhysicalOp::NestedLoopJoin { .. } => 4,
+            PhysicalOp::Sort { .. } => 5,
+            PhysicalOp::Aggregate { .. } => 6,
+        }
+    }
+
+    /// Number of distinct physical operators (width of the one-hot).
+    pub const NUM_OPS: usize = 7;
+
+    /// True for scan operators.
+    pub fn is_scan(&self) -> bool {
+        matches!(self, PhysicalOp::SeqScan { .. } | PhysicalOp::IndexScan { .. })
+    }
+
+    /// True for join operators.
+    pub fn is_join(&self) -> bool {
+        matches!(
+            self,
+            PhysicalOp::HashJoin { .. } | PhysicalOp::MergeJoin { .. } | PhysicalOp::NestedLoopJoin { .. }
+        )
+    }
+
+    /// The filter predicate attached to this node, if any.
+    pub fn predicate(&self) -> Option<&Predicate> {
+        match self {
+            PhysicalOp::SeqScan { predicate, .. } | PhysicalOp::IndexScan { predicate, .. } => predicate.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// The scanned table, for scan operators.
+    pub fn scan_table(&self) -> Option<&str> {
+        match self {
+            PhysicalOp::SeqScan { table, .. }
+            | PhysicalOp::IndexScan { table, .. }
+            | PhysicalOp::Sort { table, .. } => Some(table),
+            _ => None,
+        }
+    }
+}
+
+/// Per-node annotations produced by the ground-truth executor and the
+/// traditional estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct NodeAnnotations {
+    /// True output cardinality measured by executing the plan.
+    pub true_cardinality: Option<f64>,
+    /// True cost (work units, used as "real execution time").
+    pub true_cost: Option<f64>,
+    /// Cardinality estimated by the traditional (PostgreSQL-style) estimator.
+    pub estimated_cardinality: Option<f64>,
+    /// Cost estimated by the traditional estimator.
+    pub estimated_cost: Option<f64>,
+}
+
+/// A node of a physical plan tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanNode {
+    pub op: PhysicalOp,
+    pub children: Vec<PlanNode>,
+    pub annotations: NodeAnnotations,
+}
+
+impl PlanNode {
+    /// A leaf node.
+    pub fn leaf(op: PhysicalOp) -> Self {
+        PlanNode { op, children: Vec::new(), annotations: NodeAnnotations::default() }
+    }
+
+    /// An inner node with children (left = first).
+    pub fn inner(op: PhysicalOp, children: Vec<PlanNode>) -> Self {
+        PlanNode { op, children, annotations: NodeAnnotations::default() }
+    }
+
+    /// Number of nodes in the subtree rooted here.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(|c| c.size()).sum::<usize>()
+    }
+
+    /// Height of the subtree (a leaf has height 1).
+    pub fn height(&self) -> usize {
+        1 + self.children.iter().map(|c| c.height()).max().unwrap_or(0)
+    }
+
+    /// Tables produced by this subtree (union of scanned tables).
+    pub fn tables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_tables(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_tables(&self, out: &mut Vec<String>) {
+        if let Some(t) = self.op.scan_table() {
+            out.push(t.to_string());
+        }
+        for c in &self.children {
+            c.collect_tables(out);
+        }
+    }
+
+    /// Visit all nodes in pre-order (the DFS order used by the plan
+    /// encoding), calling `f(node, depth)`.
+    pub fn visit_preorder<'a>(&'a self, f: &mut impl FnMut(&'a PlanNode, usize)) {
+        self.visit_inner(f, 0);
+    }
+
+    fn visit_inner<'a>(&'a self, f: &mut impl FnMut(&'a PlanNode, usize), depth: usize) {
+        f(self, depth);
+        for c in &self.children {
+            c.visit_inner(f, depth + 1);
+        }
+    }
+
+    /// Visit all nodes mutably in post-order (children before parents), the
+    /// order in which the executor and estimators annotate the plan.
+    pub fn visit_postorder_mut(&mut self, f: &mut impl FnMut(&mut PlanNode)) {
+        for c in &mut self.children {
+            c.visit_postorder_mut(f);
+        }
+        f(self);
+    }
+
+    /// All nodes in pre-order, flattened.
+    pub fn nodes_preorder(&self) -> Vec<&PlanNode> {
+        let mut out = Vec::with_capacity(self.size());
+        self.visit_preorder(&mut |n, _| out.push(n));
+        out
+    }
+
+    /// A stable textual signature of the subtree structure (used as the key
+    /// of the representation memory pool in Section 3's workflow).
+    pub fn signature(&self) -> String {
+        let mut sig = String::new();
+        self.signature_inner(&mut sig);
+        sig
+    }
+
+    fn signature_inner(&self, out: &mut String) {
+        out.push('(');
+        out.push_str(self.op.name());
+        match &self.op {
+            PhysicalOp::SeqScan { table, predicate } | PhysicalOp::IndexScan { table, predicate, .. } => {
+                out.push(':');
+                out.push_str(table);
+                if let Some(p) = predicate {
+                    out.push(':');
+                    out.push_str(&p.to_string());
+                }
+            }
+            PhysicalOp::HashJoin { condition }
+            | PhysicalOp::MergeJoin { condition }
+            | PhysicalOp::NestedLoopJoin { condition } => {
+                out.push(':');
+                out.push_str(&condition.to_string());
+            }
+            _ => {}
+        }
+        for c in &self.children {
+            c.signature_inner(out);
+        }
+        out.push(')');
+    }
+
+    /// Indented textual rendering, similar to `EXPLAIN` output.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.visit_preorder(&mut |n, depth| {
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&format!("-> {}", n.op.name()));
+            if let Some(t) = n.op.scan_table() {
+                out.push_str(&format!(" on {t}"));
+            }
+            if let (Some(est), Some(real)) = (n.annotations.estimated_cardinality, n.annotations.true_cardinality) {
+                out.push_str(&format!(" (rows est={est:.0} real={real:.0})"));
+            }
+            out.push('\n');
+        });
+        out
+    }
+}
+
+impl fmt::Display for PlanNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.explain())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{CompareOp, Operand, Predicate};
+
+    fn sample_plan() -> PlanNode {
+        let scan_t = PlanNode::leaf(PhysicalOp::SeqScan {
+            table: "title".into(),
+            predicate: Some(Predicate::atom("title", "production_year", CompareOp::Gt, Operand::Num(2010.0))),
+        });
+        let scan_mc = PlanNode::leaf(PhysicalOp::SeqScan { table: "movie_companies".into(), predicate: None });
+        let join = PlanNode::inner(
+            PhysicalOp::HashJoin { condition: JoinPredicate::new("movie_companies", "movie_id", "title", "id") },
+            vec![scan_mc, scan_t],
+        );
+        PlanNode::inner(PhysicalOp::Aggregate { hash: false, group_columns: vec![] }, vec![join])
+    }
+
+    #[test]
+    fn size_height_tables() {
+        let p = sample_plan();
+        assert_eq!(p.size(), 4);
+        assert_eq!(p.height(), 3);
+        assert_eq!(p.tables(), vec!["movie_companies".to_string(), "title".to_string()]);
+    }
+
+    #[test]
+    fn preorder_visits_root_first() {
+        let p = sample_plan();
+        let nodes = p.nodes_preorder();
+        assert_eq!(nodes[0].op.name(), "Aggregate");
+        assert_eq!(nodes[1].op.name(), "Hash Join");
+        assert_eq!(nodes[2].op.name(), "Seq Scan");
+    }
+
+    #[test]
+    fn postorder_annotation() {
+        let mut p = sample_plan();
+        let mut order = Vec::new();
+        p.visit_postorder_mut(&mut |n| {
+            order.push(n.op.name());
+            n.annotations.true_cardinality = Some(1.0);
+        });
+        assert_eq!(order.last(), Some(&"Aggregate"));
+        assert!(p.annotations.true_cardinality.is_some());
+    }
+
+    #[test]
+    fn signature_distinguishes_plans() {
+        let a = sample_plan();
+        let mut b = sample_plan();
+        // Change the predicate in b.
+        if let PhysicalOp::SeqScan { predicate, .. } = &mut b.children[0].children[1].op {
+            *predicate = Some(Predicate::atom("title", "production_year", CompareOp::Gt, Operand::Num(1990.0)));
+        }
+        assert_ne!(a.signature(), b.signature());
+        assert_eq!(a.signature(), sample_plan().signature());
+    }
+
+    #[test]
+    fn one_hot_indexes_are_unique_and_bounded() {
+        let ops = [
+            PhysicalOp::SeqScan { table: "t".into(), predicate: None },
+            PhysicalOp::IndexScan { table: "t".into(), index_column: "id".into(), predicate: None },
+            PhysicalOp::HashJoin { condition: JoinPredicate::new("a", "x", "b", "y") },
+            PhysicalOp::MergeJoin { condition: JoinPredicate::new("a", "x", "b", "y") },
+            PhysicalOp::NestedLoopJoin { condition: JoinPredicate::new("a", "x", "b", "y") },
+            PhysicalOp::Sort { table: "t".into(), columns: vec![] },
+            PhysicalOp::Aggregate { hash: true, group_columns: vec![] },
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for op in &ops {
+            let idx = op.one_hot_index();
+            assert!(idx < PhysicalOp::NUM_OPS);
+            assert!(seen.insert(idx));
+        }
+    }
+
+    #[test]
+    fn explain_contains_operators() {
+        let p = sample_plan();
+        let text = p.explain();
+        assert!(text.contains("Hash Join"));
+        assert!(text.contains("Seq Scan on title"));
+        assert!(p.to_string().contains("Aggregate"));
+    }
+
+    #[test]
+    fn scan_and_join_classification() {
+        let p = sample_plan();
+        assert!(p.children[0].op.is_join());
+        assert!(p.children[0].children[0].op.is_scan());
+        assert!(!p.op.is_join());
+        assert!(p.children[0].children[1].op.predicate().is_some());
+    }
+}

@@ -1,0 +1,195 @@
+//! Greedy rule selection (Algorithm 1 of the paper).
+//!
+//! Given the candidate rule set and the workload's query strings, select a
+//! minimal set of rules whose extracted-substring dictionary covers the
+//! workload while keeping the dictionary below a size bound `B`.  The exact
+//! problem is NP-hard (set cover); the paper (and this module) uses the
+//! standard greedy approximation, dropping the rule with the worst
+//! coverage-per-extracted-string ratio when the bound is exceeded.
+
+use crate::rules::Rule;
+use std::collections::BTreeSet;
+
+/// Result of rule selection.
+#[derive(Debug, Clone)]
+pub struct SelectedRules {
+    pub rules: Vec<Rule>,
+    /// All substrings extracted from the dataset by the selected rules.
+    pub dictionary: BTreeSet<String>,
+}
+
+/// Select rules greedily.
+///
+/// * `candidates` — candidate rules (typically from
+///   [`crate::rules::candidate_rules`] over workload/query-string pairs);
+/// * `dataset_values` — a sample of the string values the rules are applied
+///   to (the column values of the database);
+/// * `workload_strings` — the query strings that must be covered;
+/// * `bound` — the maximum dictionary size `B`.
+pub fn select_rules(
+    candidates: &[Rule],
+    dataset_values: &[String],
+    workload_strings: &[String],
+    bound: usize,
+) -> SelectedRules {
+    // Pre-compute each candidate's extraction set over the dataset sample.
+    let mut unique: Vec<Rule> = Vec::new();
+    for r in candidates {
+        if !unique.contains(r) {
+            unique.push(r.clone());
+        }
+    }
+    let extractions: Vec<BTreeSet<String>> = unique
+        .iter()
+        .map(|r| dataset_values.iter().filter_map(|v| r.extract(v)).collect::<BTreeSet<String>>())
+        .collect();
+
+    let workload: BTreeSet<&str> = workload_strings.iter().map(|s| s.as_str()).collect();
+
+    // Greedy: repeatedly add the rule covering the most yet-uncovered
+    // workload strings per extracted substring.
+    let mut covered: BTreeSet<&str> = BTreeSet::new();
+    let mut selected: Vec<usize> = Vec::new();
+    let mut dictionary: BTreeSet<String> = BTreeSet::new();
+
+    loop {
+        let mut best: Option<(usize, usize)> = None; // (rule idx, newly covered)
+        for (i, ext) in extractions.iter().enumerate() {
+            if selected.contains(&i) {
+                continue;
+            }
+            let newly = workload.iter().filter(|w| !covered.contains(*w) && ext.contains(**w)).count();
+            if newly == 0 {
+                continue;
+            }
+            match best {
+                Some((_, b)) if b >= newly => {}
+                _ => best = Some((i, newly)),
+            }
+        }
+        let Some((idx, _)) = best else { break };
+        selected.push(idx);
+        for w in &workload {
+            if extractions[idx].contains(*w) {
+                covered.insert(*w);
+            }
+        }
+        dictionary.extend(extractions[idx].iter().cloned());
+
+        // Enforce the dictionary bound: drop the selected rule with the worst
+        // workload-coverage density (|S_r ∩ S_W| / |S_r|), as in Algorithm 1.
+        while dictionary.len() > bound && selected.len() > 1 {
+            let mut worst: Option<(usize, f64)> = None;
+            for &i in &selected {
+                if i == idx {
+                    continue; // keep the rule we just added
+                }
+                let ext = &extractions[i];
+                let inter = ext.iter().filter(|s| workload.contains(s.as_str())).count();
+                let density = inter as f64 / ext.len().max(1) as f64;
+                match worst {
+                    Some((_, d)) if d <= density => {}
+                    _ => worst = Some((i, density)),
+                }
+            }
+            let Some((drop_idx, _)) = worst else { break };
+            selected.retain(|&i| i != drop_idx);
+            // Rebuild the dictionary and coverage from the remaining rules.
+            dictionary = selected.iter().flat_map(|&i| extractions[i].iter().cloned()).collect();
+            covered = workload.iter().copied().filter(|w| dictionary.contains(*w)).collect();
+        }
+
+        if covered.len() == workload.len() {
+            break;
+        }
+    }
+
+    SelectedRules { rules: selected.into_iter().map(|i| unique[i].clone()).collect(), dictionary }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::candidate_rules;
+
+    fn dataset() -> Vec<String> {
+        vec![
+            "Dinos in Kas".to_string(),
+            "Schla in Tra".to_string(),
+            "Golden River".to_string(),
+            "(2002-06-29)".to_string(),
+            "(2014-08-26)".to_string(),
+            "(1999-12-01)".to_string(),
+        ]
+    }
+
+    #[test]
+    fn selection_covers_workload() {
+        let data = dataset();
+        let workload = vec!["Din".to_string(), "Sch".to_string(), "06".to_string(), "08".to_string()];
+        let mut candidates = Vec::new();
+        for w in &workload {
+            for v in &data {
+                candidates.extend(candidate_rules(w, v));
+            }
+        }
+        let sel = select_rules(&candidates, &data, &workload, 100);
+        for w in &workload {
+            assert!(sel.dictionary.contains(w), "workload string {w} not covered");
+        }
+        assert!(!sel.rules.is_empty());
+    }
+
+    #[test]
+    fn generalized_rules_extract_unseen_strings() {
+        let data = dataset();
+        let workload = vec!["06".to_string()];
+        let mut candidates = Vec::new();
+        for v in &data {
+            candidates.extend(candidate_rules("06", v));
+        }
+        let sel = select_rules(&candidates, &data, &workload, 100);
+        // The class-based rule that covers "06" also extracts "08" and "12"
+        // from the other dates — generalization to future workloads.
+        let extra = ["08", "12"].iter().filter(|s| sel.dictionary.contains(**s)).count();
+        assert!(extra >= 1, "dictionary did not generalize: {:?}", sel.dictionary);
+    }
+
+    #[test]
+    fn bound_limits_dictionary_size() {
+        let data: Vec<String> = (0..200).map(|i| format!("value number {i}")).collect();
+        let workload = vec!["val".to_string()];
+        let mut candidates = Vec::new();
+        for v in data.iter().take(5) {
+            candidates.extend(candidate_rules("val", v));
+        }
+        let sel = select_rules(&candidates, &data, &workload, 10);
+        // A single rule's extractions may exceed the bound (the bound drops
+        // *additional* rules); the selection must not blow up far beyond it.
+        assert!(sel.dictionary.len() <= 300);
+        assert!(sel.rules.len() <= candidates.len());
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        let sel = select_rules(&[], &[], &[], 10);
+        assert!(sel.rules.is_empty());
+        assert!(sel.dictionary.is_empty());
+    }
+
+    #[test]
+    fn selection_prefers_fewer_rules() {
+        let data = dataset();
+        let workload = vec!["Din".to_string(), "Sch".to_string()];
+        let mut candidates = Vec::new();
+        for w in &workload {
+            for v in &data {
+                candidates.extend(candidate_rules(w, v));
+            }
+        }
+        let sel = select_rules(&candidates, &data, &workload, 100);
+        // A single generalized rule ⟨Prefix, PC Pl, 3⟩ covers both; greedy
+        // should find a small set (certainly not one rule per string pair).
+        assert!(sel.rules.len() <= 2, "selected too many rules: {:?}", sel.rules);
+    }
+}

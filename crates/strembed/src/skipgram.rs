@@ -1,0 +1,184 @@
+//! Skip-gram (word2vec) embedding of dictionary substrings.
+//!
+//! Section 5.1: "We take a collection of (sub)strings with the key values in
+//! one tuple as a sentence and use the skip-gram model to train the string
+//! embedding."  Strings that co-occur in the same tuple end up with similar
+//! vectors, so the embedding carries co-occurrence information that a hash
+//! bitmap cannot.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// Configuration of skip-gram training.
+#[derive(Debug, Clone, Copy)]
+pub struct SkipGramConfig {
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Number of negative samples per positive pair.
+    pub negatives: usize,
+    /// Training epochs over all sentences.
+    pub epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SkipGramConfig {
+    fn default() -> Self {
+        SkipGramConfig { dim: 16, negatives: 3, epochs: 5, learning_rate: 0.05, seed: 13 }
+    }
+}
+
+/// Trained skip-gram embeddings: a vocabulary and one vector per token.
+#[derive(Debug, Clone)]
+pub struct SkipGramModel {
+    vocab: HashMap<String, usize>,
+    vectors: Vec<Vec<f32>>,
+    dim: usize,
+}
+
+impl SkipGramModel {
+    /// Train embeddings over `sentences` (each sentence is the multiset of
+    /// strings extracted from one tuple).
+    pub fn train(sentences: &[Vec<String>], config: SkipGramConfig) -> Self {
+        let mut vocab: HashMap<String, usize> = HashMap::new();
+        for sent in sentences {
+            for tok in sent {
+                let next = vocab.len();
+                vocab.entry(tok.clone()).or_insert(next);
+            }
+        }
+        let v = vocab.len();
+        let dim = config.dim;
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let mut input: Vec<Vec<f32>> =
+            (0..v).map(|_| (0..dim).map(|_| rng.gen_range(-0.5..0.5) / dim as f32).collect()).collect();
+        let mut output: Vec<Vec<f32>> = (0..v).map(|_| vec![0.0; dim]).collect();
+
+        let id_sentences: Vec<Vec<usize>> =
+            sentences.iter().map(|s| s.iter().map(|t| vocab[t]).collect()).collect();
+
+        let sigmoid = |x: f32| 1.0 / (1.0 + (-x).exp());
+        for _ in 0..config.epochs {
+            for sent in &id_sentences {
+                for (i, &center) in sent.iter().enumerate() {
+                    for (j, &context) in sent.iter().enumerate() {
+                        if i == j {
+                            continue;
+                        }
+                        // Positive pair plus `negatives` random negatives.
+                        let mut targets = vec![(context, 1.0f32)];
+                        for _ in 0..config.negatives {
+                            targets.push((rng.gen_range(0..v), 0.0));
+                        }
+                        let mut grad_center = vec![0.0f32; dim];
+                        for (tgt, label) in targets {
+                            let dot: f32 =
+                                input[center].iter().zip(output[tgt].iter()).map(|(a, b)| a * b).sum();
+                            let err = sigmoid(dot) - label;
+                            for d in 0..dim {
+                                grad_center[d] += err * output[tgt][d];
+                                output[tgt][d] -= config.learning_rate * err * input[center][d];
+                            }
+                        }
+                        for d in 0..dim {
+                            input[center][d] -= config.learning_rate * grad_center[d];
+                        }
+                    }
+                }
+            }
+        }
+        SkipGramModel { vocab, vectors: input, dim }
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// The embedding of a token, if it is in the vocabulary.
+    pub fn vector(&self, token: &str) -> Option<&[f32]> {
+        self.vocab.get(token).map(|&i| self.vectors[i].as_slice())
+    }
+
+    /// All `(token, vector)` pairs.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &[f32])> {
+        self.vocab.iter().map(move |(t, &i)| (t.as_str(), self.vectors[i].as_slice()))
+    }
+
+    /// Cosine similarity between two tokens (None when either is unknown).
+    pub fn similarity(&self, a: &str, b: &str) -> Option<f32> {
+        let va = self.vector(a)?;
+        let vb = self.vector(b)?;
+        let dot: f32 = va.iter().zip(vb).map(|(x, y)| x * y).sum();
+        let na: f32 = va.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = vb.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            return Some(0.0);
+        }
+        Some(dot / (na * nb))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_sentences() -> Vec<Vec<String>> {
+        // Two co-occurrence clusters sharing a common context token each:
+        // {alpha, beta, ctx1} and {gamma, delta, ctx2}.  alpha/beta share the
+        // context ctx1 (and each other), so their input vectors align.
+        let mut sents = Vec::new();
+        for _ in 0..60 {
+            sents.push(vec!["alpha".to_string(), "beta".to_string(), "ctx1".to_string()]);
+            sents.push(vec!["gamma".to_string(), "delta".to_string(), "ctx2".to_string()]);
+        }
+        sents
+    }
+
+    #[test]
+    fn vocabulary_and_dimensions() {
+        let model = SkipGramModel::train(&toy_sentences(), SkipGramConfig { epochs: 1, ..Default::default() });
+        assert_eq!(model.vocab_size(), 6);
+        assert_eq!(model.dim(), 16);
+        assert_eq!(model.vector("alpha").expect("in vocab").len(), 16);
+        assert!(model.vector("unknown").is_none());
+        assert_eq!(model.entries().count(), 6);
+    }
+
+    #[test]
+    fn cooccurring_tokens_are_more_similar() {
+        let model = SkipGramModel::train(
+            &toy_sentences(),
+            SkipGramConfig { epochs: 30, dim: 8, learning_rate: 0.08, ..Default::default() },
+        );
+        let within = model.similarity("alpha", "beta").expect("known");
+        let across = model.similarity("alpha", "delta").expect("known");
+        assert!(
+            within > across,
+            "co-occurring pair not more similar: within={within:.3} across={across:.3}"
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic_for_seed() {
+        let a = SkipGramModel::train(&toy_sentences(), SkipGramConfig { epochs: 2, ..Default::default() });
+        let b = SkipGramModel::train(&toy_sentences(), SkipGramConfig { epochs: 2, ..Default::default() });
+        assert_eq!(a.vector("alpha"), b.vector("alpha"));
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        let model = SkipGramModel::train(&[], SkipGramConfig::default());
+        assert_eq!(model.vocab_size(), 0);
+        assert!(model.vector("x").is_none());
+    }
+}

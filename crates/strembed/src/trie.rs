@@ -1,0 +1,190 @@
+//! Prefix and suffix tries over the substring dictionary (Section 5.3).
+//!
+//! The dictionary can be large; storing every substring with its vector in a
+//! flat map would duplicate shared prefixes.  A trie stores the mapping
+//! compactly and supports the online lookups the encoder needs: the *longest
+//! known prefix* (for `LIKE 's%'`), the *longest known suffix* (for
+//! `LIKE '%s'`), and the longer of the two for containment/equality searches.
+
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Default)]
+struct TrieNode {
+    children: HashMap<char, TrieNode>,
+    /// Embedding vector of the string ending at this node, if it is in the
+    /// dictionary.
+    vector: Option<Vec<f32>>,
+}
+
+/// A trie mapping strings to embedding vectors.
+///
+/// For suffix lookups construct it with [`StringTrie::new_suffix`]; it then
+/// stores reversed keys and reverses queries transparently.
+#[derive(Debug, Clone)]
+pub struct StringTrie {
+    root: TrieNode,
+    reversed: bool,
+    len: usize,
+}
+
+impl StringTrie {
+    /// An empty prefix trie.
+    pub fn new_prefix() -> Self {
+        StringTrie { root: TrieNode::default(), reversed: false, len: 0 }
+    }
+
+    /// An empty suffix trie.
+    pub fn new_suffix() -> Self {
+        StringTrie { root: TrieNode::default(), reversed: true, len: 0 }
+    }
+
+    fn key_chars(&self, s: &str) -> Vec<char> {
+        let mut chars: Vec<char> = s.chars().collect();
+        if self.reversed {
+            chars.reverse();
+        }
+        chars
+    }
+
+    /// Insert a string with its embedding vector.
+    pub fn insert(&mut self, s: &str, vector: Vec<f32>) {
+        let chars = self.key_chars(s);
+        let mut node = &mut self.root;
+        for c in chars {
+            node = node.children.entry(c).or_default();
+        }
+        if node.vector.is_none() {
+            self.len += 1;
+        }
+        node.vector = Some(vector);
+    }
+
+    /// Number of stored strings.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the trie stores nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Exact lookup.
+    pub fn get(&self, s: &str) -> Option<&[f32]> {
+        let mut node = &self.root;
+        for c in self.key_chars(s) {
+            node = node.children.get(&c)?;
+        }
+        node.vector.as_deref()
+    }
+
+    /// The vector of the longest stored prefix (or suffix, for a suffix trie)
+    /// of `s`, together with its length in characters.
+    pub fn longest_match(&self, s: &str) -> Option<(usize, &[f32])> {
+        let mut node = &self.root;
+        let mut best: Option<(usize, &[f32])> = node.vector.as_deref().map(|v| (0, v));
+        for (i, c) in self.key_chars(s).into_iter().enumerate() {
+            match node.children.get(&c) {
+                Some(next) => {
+                    node = next;
+                    if let Some(v) = node.vector.as_deref() {
+                        best = Some((i + 1, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec_of(x: f32) -> Vec<f32> {
+        vec![x, x, x]
+    }
+
+    #[test]
+    fn exact_and_prefix_lookup() {
+        let mut trie = StringTrie::new_prefix();
+        trie.insert("Din", vec_of(1.0));
+        trie.insert("Dino", vec_of(2.0));
+        trie.insert("Sch", vec_of(3.0));
+        assert_eq!(trie.len(), 3);
+        assert_eq!(trie.get("Din"), Some(vec_of(1.0).as_slice()));
+        assert_eq!(trie.get("Di"), None);
+        // Longest prefix of "Dinosaur" is "Dino".
+        let (len, v) = trie.longest_match("Dinosaur").expect("match");
+        assert_eq!(len, 4);
+        assert_eq!(v, vec_of(2.0).as_slice());
+        // "Schl…" falls back to "Sch".
+        let (len, _) = trie.longest_match("Schlacht").expect("match");
+        assert_eq!(len, 3);
+        assert!(trie.longest_match("Xyz").is_none());
+    }
+
+    #[test]
+    fn suffix_trie_matches_string_ends() {
+        let mut trie = StringTrie::new_suffix();
+        trie.insert("06", vec_of(1.0));
+        trie.insert("2-06", vec_of(2.0));
+        let (len, v) = trie.longest_match("2002-06").expect("match");
+        assert_eq!(len, 4);
+        assert_eq!(v, vec_of(2.0).as_slice());
+        let (len, _) = trie.longest_match("xx06").expect("match");
+        assert_eq!(len, 2);
+        assert!(trie.longest_match("2002-07").is_none());
+    }
+
+    #[test]
+    fn reinsert_overwrites_without_growing() {
+        let mut trie = StringTrie::new_prefix();
+        trie.insert("abc", vec_of(1.0));
+        trie.insert("abc", vec_of(9.0));
+        assert_eq!(trie.len(), 1);
+        assert_eq!(trie.get("abc"), Some(vec_of(9.0).as_slice()));
+    }
+
+    #[test]
+    fn empty_trie_behaves() {
+        let trie = StringTrie::new_prefix();
+        assert!(trie.is_empty());
+        assert!(trie.get("a").is_none());
+        assert!(trie.longest_match("a").is_none());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn inserted_strings_are_found(keys in proptest::collection::btree_set("[a-z]{1,8}", 1..20)) {
+            let mut trie = StringTrie::new_prefix();
+            for (i, k) in keys.iter().enumerate() {
+                trie.insert(k, vec![i as f32]);
+            }
+            prop_assert_eq!(trie.len(), keys.len());
+            for (i, k) in keys.iter().enumerate() {
+                let expected = vec![i as f32];
+                prop_assert_eq!(trie.get(k), Some(expected.as_slice()));
+            }
+        }
+
+        #[test]
+        fn longest_match_is_a_prefix_of_query(keys in proptest::collection::btree_set("[a-z]{1,6}", 1..15), query in "[a-z]{1,10}") {
+            let mut trie = StringTrie::new_prefix();
+            for k in &keys {
+                trie.insert(k, vec![1.0]);
+            }
+            if let Some((len, _)) = trie.longest_match(&query) {
+                let prefix: String = query.chars().take(len).collect();
+                prop_assert!(keys.contains(&prefix));
+            }
+        }
+    }
+}

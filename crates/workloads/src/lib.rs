@@ -1,0 +1,12 @@
+//! Workload generation: the training-data generator of Section 4.3 and the
+//! evaluation workloads of Section 6.1 (synthetic, scale, JOB-light and the
+//! string-predicate JOB workload), rebuilt in shape over the synthetic IMDB
+//! database.
+
+pub mod generator;
+pub mod suite;
+
+pub use generator::{
+    execute_workload, generate_workload, workload_strings, QueryGenerator, QuerySample, WorkloadConfig,
+};
+pub use suite::{workload_config, SuiteConfig, WorkloadKind, WorkloadSuite};

@@ -1,0 +1,159 @@
+//! The evaluation workloads of Section 6.1, reproduced in shape.
+//!
+//! * **Synthetic** — numeric-only predicates, at most 2 joins (paper: 5000
+//!   queries; size is configurable).
+//! * **Scale** — numeric-only predicates, 0–4 joins (paper: 500 queries).
+//! * **JOB-light** — numeric-only predicates, 1–4 joins over the fact tables
+//!   (paper: 70 queries).
+//! * **JOB (strings)** — multi-join queries with complex string + numeric
+//!   predicates (paper: the 113 hand-written JOB queries); used for
+//!   Tables 10 and 11 and Figures 8–10.
+
+use crate::generator::{generate_workload, QuerySample, WorkloadConfig};
+use imdb::Database;
+
+/// Which evaluation workload to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    Synthetic,
+    Scale,
+    JobLight,
+    JobStrings,
+    /// Single-table workload with string predicates (Figure 8).
+    SingleTableStrings,
+}
+
+/// Scale factor applied to the paper's workload sizes so the reproduction
+/// runs on a laptop; 1.0 keeps the reduced defaults below.
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteConfig {
+    /// Number of training queries for the learned models.
+    pub train_queries: usize,
+    /// Number of evaluation queries.
+    pub test_queries: usize,
+    /// Seed offset so train and test sets differ.
+    pub seed: u64,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig { train_queries: 400, test_queries: 60, seed: 1000 }
+    }
+}
+
+/// The base generator configuration of one workload kind.
+pub fn workload_config(kind: WorkloadKind, num_queries: usize, seed: u64) -> WorkloadConfig {
+    match kind {
+        WorkloadKind::Synthetic => WorkloadConfig {
+            num_queries,
+            min_joins: 0,
+            max_joins: 2,
+            max_predicates_per_table: 2,
+            use_string_predicates: false,
+            or_probability: 0.2,
+            seed,
+        },
+        WorkloadKind::Scale => WorkloadConfig {
+            num_queries,
+            min_joins: 0,
+            max_joins: 4,
+            max_predicates_per_table: 2,
+            use_string_predicates: false,
+            or_probability: 0.2,
+            seed,
+        },
+        WorkloadKind::JobLight => WorkloadConfig {
+            num_queries,
+            min_joins: 1,
+            max_joins: 4,
+            max_predicates_per_table: 2,
+            use_string_predicates: false,
+            or_probability: 0.15,
+            seed,
+        },
+        WorkloadKind::JobStrings => WorkloadConfig {
+            num_queries,
+            min_joins: 1,
+            max_joins: 4,
+            max_predicates_per_table: 3,
+            use_string_predicates: true,
+            or_probability: 0.3,
+            seed,
+        },
+        WorkloadKind::SingleTableStrings => WorkloadConfig {
+            num_queries,
+            min_joins: 0,
+            max_joins: 0,
+            max_predicates_per_table: 4,
+            use_string_predicates: true,
+            or_probability: 0.35,
+            seed,
+        },
+    }
+}
+
+/// A train/test split of annotated plans for one workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadSuite {
+    pub kind: WorkloadKind,
+    pub train: Vec<QuerySample>,
+    pub test: Vec<QuerySample>,
+}
+
+impl WorkloadSuite {
+    /// Generate the train and test sets (different seeds) for a workload kind.
+    pub fn build(db: &Database, kind: WorkloadKind, config: SuiteConfig) -> Self {
+        let train = generate_workload(db, workload_config(kind, config.train_queries, config.seed));
+        let test = generate_workload(db, workload_config(kind, config.test_queries, config.seed + 7919));
+        WorkloadSuite { kind, train, test }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imdb::{generate_imdb, GeneratorConfig};
+
+    #[test]
+    fn workload_configs_match_paper_shapes() {
+        let synth = workload_config(WorkloadKind::Synthetic, 10, 1);
+        assert_eq!(synth.max_joins, 2);
+        assert!(!synth.use_string_predicates);
+        let scale = workload_config(WorkloadKind::Scale, 10, 1);
+        assert_eq!(scale.max_joins, 4);
+        let job_light = workload_config(WorkloadKind::JobLight, 10, 1);
+        assert_eq!(job_light.min_joins, 1);
+        assert!(!job_light.use_string_predicates);
+        let job = workload_config(WorkloadKind::JobStrings, 10, 1);
+        assert!(job.use_string_predicates);
+        let single = workload_config(WorkloadKind::SingleTableStrings, 10, 1);
+        assert_eq!(single.max_joins, 0);
+    }
+
+    #[test]
+    fn suite_builds_disjoint_train_test() {
+        let db = generate_imdb(GeneratorConfig::tiny());
+        let suite = WorkloadSuite::build(
+            &db,
+            WorkloadKind::Synthetic,
+            SuiteConfig { train_queries: 12, test_queries: 5, seed: 3 },
+        );
+        assert_eq!(suite.train.len(), 12);
+        assert_eq!(suite.test.len(), 5);
+        // Different seeds should give (almost surely) different first queries.
+        assert_ne!(suite.train[0].query.to_sql(), suite.test[0].query.to_sql());
+    }
+
+    #[test]
+    fn job_light_queries_always_have_joins() {
+        let db = generate_imdb(GeneratorConfig::tiny());
+        let suite = WorkloadSuite::build(
+            &db,
+            WorkloadKind::JobLight,
+            SuiteConfig { train_queries: 8, test_queries: 4, seed: 5 },
+        );
+        for s in suite.train.iter().chain(suite.test.iter()) {
+            assert!(s.query.num_joins() >= 1);
+        }
+    }
+}

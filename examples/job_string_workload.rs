@@ -1,0 +1,63 @@
+//! String-predicate workload (the setting of Tables 10 and 11): build the
+//! rule-based string embedding of Section 5, train the tree model with
+//! min/max predicate pooling and compare against the hash-bitmap encoding.
+//!
+//! Run with: `cargo run --release --example job_string_workload`
+
+use e2e_cost_estimator::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let db = Arc::new(generate_imdb(GeneratorConfig { n_titles: 2_000, sample_size: 128, seed: 42 }));
+    let suite = WorkloadSuite::build(
+        &db,
+        WorkloadKind::JobStrings,
+        SuiteConfig { train_queries: 120, test_queries: 30, seed: 1000 },
+    );
+    let strings = workload_strings(&suite.train);
+    println!("workload uses {} distinct string operands, e.g. {:?}", strings.len(), &strings[..strings.len().min(5)]);
+
+    let mut table = ReportTable::new("JOB-shaped string workload — cardinality q-errors");
+
+    let pg = TraditionalEstimator::analyze(&db);
+    let pg_errors: Vec<f64> = suite
+        .test
+        .iter()
+        .map(|s| {
+            let mut plan = s.plan.clone();
+            let (card, _) = pg.estimate_plan(&mut plan);
+            q_error(card, s.true_cardinality().max(1.0))
+        })
+        .collect();
+    table.add_errors("PGCard", &pg_errors);
+
+    let variants: [(&str, StringEncoding, PredicateModelKind); 3] = [
+        ("TLSTMHashCard", StringEncoding::Hash, PredicateModelKind::TreeLstm),
+        ("TLSTMEmbRCard", StringEncoding::EmbedRule, PredicateModelKind::TreeLstm),
+        ("TPoolEmbRCard", StringEncoding::EmbedRule, PredicateModelKind::MinMaxPool),
+    ];
+    for (label, encoding, predicate) in variants {
+        let encoder = build_string_encoder(
+            &db,
+            &strings,
+            encoding,
+            EmbedderConfig { dim: 16, max_rows_per_table: 300, epochs: 2, ..Default::default() },
+        );
+        let enc = EncodingConfig::from_database(&db, 16, 128);
+        let extractor = FeatureExtractor::new(db.clone(), enc, encoder);
+        let mut estimator = CostEstimator::new(
+            extractor,
+            ModelConfig { predicate, task: TaskMode::Multitask, ..Default::default() },
+            TrainConfig { epochs: 5, ..Default::default() },
+        );
+        let plans: Vec<PlanNode> = suite.train.iter().map(|s| s.plan.clone()).collect();
+        estimator.fit(&plans);
+        let errors: Vec<f64> = suite
+            .test
+            .iter()
+            .map(|s| q_error(estimator.estimate(&s.plan).1, s.true_cardinality().max(1.0)))
+            .collect();
+        table.add_errors(label, &errors);
+    }
+    table.print();
+}

@@ -1,0 +1,69 @@
+//! Numeric-predicate workloads (the setting of Tables 7 and 8): train the
+//! tree-LSTM model, the tree-NN ablation and MSCN on a JOB-light-shaped
+//! workload and print the cardinality error table.
+//!
+//! Run with: `cargo run --release --example numeric_workloads`
+
+use e2e_cost_estimator::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let db = Arc::new(generate_imdb(GeneratorConfig { n_titles: 2_000, sample_size: 128, seed: 42 }));
+    let suite = WorkloadSuite::build(
+        &db,
+        WorkloadKind::JobLight,
+        SuiteConfig { train_queries: 120, test_queries: 30, seed: 1000 },
+    );
+
+    let mut table = ReportTable::new("JOB-light-shaped workload — cardinality q-errors");
+
+    // Traditional estimator.
+    let pg = TraditionalEstimator::analyze(&db);
+    let pg_errors: Vec<f64> = suite
+        .test
+        .iter()
+        .map(|s| {
+            let mut plan = s.plan.clone();
+            let (card, _) = pg.estimate_plan(&mut plan);
+            q_error(card, s.true_cardinality().max(1.0))
+        })
+        .collect();
+    table.add_errors("PGCard", &pg_errors);
+
+    // MSCN baseline.
+    let mscn_fx = MscnFeaturizer::new(db.clone(), EncodingConfig::from_database(&db, 16, 128));
+    let train_sets: Vec<_> = suite.train.iter().map(|s| mscn_fx.featurize(&s.plan)).collect();
+    let test_sets: Vec<_> = suite.test.iter().map(|s| mscn_fx.featurize(&s.plan)).collect();
+    let mscn_model = MscnModel::new(
+        mscn_fx.table_dim(),
+        mscn_fx.join_dim(),
+        mscn_fx.predicate_dim(),
+        MscnConfig { epochs: 5, ..Default::default() },
+    );
+    let mut mscn = MscnTrainer::new(mscn_model, &train_sets);
+    mscn.train(&train_sets);
+    let mscn_errors: Vec<f64> =
+        test_sets.iter().map(|s| q_error(mscn.estimate(s), s.true_cardinality)).collect();
+    table.add_errors("MSCNCard", &mscn_errors);
+
+    // Tree models (NN and LSTM representation cells).
+    for (label, cell) in [("TNNCard", RepresentationCellKind::Nn), ("TLSTMCard", RepresentationCellKind::Lstm)] {
+        let enc = EncodingConfig::from_database(&db, 16, 128);
+        let extractor = FeatureExtractor::new(db.clone(), enc, Arc::new(HashBitmapEncoder::new(16)));
+        let mut estimator = CostEstimator::new(
+            extractor,
+            ModelConfig { cell, task: TaskMode::CardinalityOnly, ..Default::default() },
+            TrainConfig { epochs: 5, ..Default::default() },
+        );
+        let plans: Vec<PlanNode> = suite.train.iter().map(|s| s.plan.clone()).collect();
+        estimator.fit(&plans);
+        let errors: Vec<f64> = suite
+            .test
+            .iter()
+            .map(|s| q_error(estimator.estimate(&s.plan).1, s.true_cardinality().max(1.0)))
+            .collect();
+        table.add_errors(label, &errors);
+    }
+
+    table.print();
+}

@@ -1,0 +1,58 @@
+//! Quickstart: train the end-to-end estimator on a generated workload and
+//! compare its estimates with the traditional (PostgreSQL-style) baseline on
+//! a handful of held-out queries.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use e2e_cost_estimator::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // 1. Synthetic IMDB-like database (deterministic).
+    let db = Arc::new(generate_imdb(GeneratorConfig { n_titles: 2_000, sample_size: 128, seed: 42 }));
+    println!("database: {} tables, title has {} rows", db.schema().tables.len(), db.table_rows("title"));
+
+    // 2. Training workload: queries from the join graph, executed for ground truth.
+    let train = generate_workload(
+        &db,
+        WorkloadConfig { num_queries: 150, max_joins: 3, seed: 11, ..Default::default() },
+    );
+    let test = generate_workload(
+        &db,
+        WorkloadConfig { num_queries: 20, max_joins: 3, seed: 999, ..Default::default() },
+    );
+    println!("generated {} training and {} test queries", train.len(), test.len());
+
+    // 3. Learned estimator: hash-bitmap string encoding, tree-LSTM cell, multitask.
+    let enc = EncodingConfig::from_database(&db, 16, 128);
+    let extractor = FeatureExtractor::new(db.clone(), enc, Arc::new(HashBitmapEncoder::new(16)));
+    let mut estimator = CostEstimator::new(
+        extractor,
+        ModelConfig::default(),
+        TrainConfig { epochs: 5, ..Default::default() },
+    );
+    let plans: Vec<PlanNode> = train.iter().map(|s| s.plan.clone()).collect();
+    let stats = estimator.fit(&plans);
+    println!(
+        "trained {} epochs; final validation card q-error {:.2}",
+        stats.len(),
+        stats.last().map(|s| s.validation_card_qerror_mean).unwrap_or(f64::NAN)
+    );
+
+    // 4. Compare with the traditional estimator on the held-out queries.
+    let traditional = TraditionalEstimator::analyze(&db);
+    println!("\n{:<60} {:>12} {:>12} {:>12}", "query", "true card", "PG q-err", "learned q-err");
+    for sample in test.iter().take(10) {
+        let true_card = sample.true_cardinality().max(1.0);
+        let mut plan = sample.plan.clone();
+        let (pg_card, _) = traditional.estimate_plan(&mut plan);
+        let (_, learned_card) = estimator.estimate(&sample.plan);
+        println!(
+            "{:<60} {:>12.0} {:>12.2} {:>12.2}",
+            sample.query.to_sql().chars().take(58).collect::<String>(),
+            true_card,
+            q_error(pg_card, true_card),
+            q_error(learned_card, true_card),
+        );
+    }
+}
