@@ -48,8 +48,7 @@ fn main() {
             Some(encoding),
             true,
         );
-        let pairs: Vec<(f64, f64)> =
-            test.iter().map(|p| (p.true_cost, est.estimate_encoded(p).0)).collect();
+        let pairs: Vec<(f64, f64)> = test.iter().map(|p| (p.true_cost, est.estimate_encoded(p).0)).collect();
         print_scatter(label, &pairs);
     }
 }

@@ -23,7 +23,12 @@ fn main() {
                 estimation_hidden_dim: 16,
                 ..Default::default()
             },
-            estimator_core::TrainConfig { epochs: pipeline.scale.epochs, batch_size: 16, learning_rate: 0.003, ..Default::default() },
+            estimator_core::TrainConfig {
+                epochs: pipeline.scale.epochs,
+                batch_size: 16,
+                learning_rate: 0.003,
+                ..Default::default()
+            },
         );
         let plans: Vec<_> = suite.train.iter().map(|s| s.plan.clone()).collect();
         let stats = est.fit(&plans);
@@ -45,7 +50,12 @@ fn main() {
                 estimation_hidden_dim: 16,
                 ..Default::default()
             },
-            estimator_core::TrainConfig { epochs: pipeline.scale.epochs, batch_size: 16, learning_rate: 0.003, ..Default::default() },
+            estimator_core::TrainConfig {
+                epochs: pipeline.scale.epochs,
+                batch_size: 16,
+                learning_rate: 0.003,
+                ..Default::default()
+            },
         );
         let plans: Vec<_> = suite.train.iter().map(|s| s.plan.clone()).collect();
         let stats = est.fit(&plans);

@@ -1,32 +1,87 @@
 //! Table 12 — estimation efficiency (milliseconds per query) on the JOB
 //! workload: the traditional estimator, MSCN, and the tree models with and
 //! without level-wise batched inference.
+//!
+//! Run with `cargo bench -p bench --bench table12_efficiency`.  Besides the
+//! printed table, the harness writes `BENCH_table12.json` (into
+//! `E2E_BENCH_OUT` or the current directory) recording plans/sec for each
+//! path plus the headline speed-ups:
+//!
+//! * `batch_vs_per_node` — level-batched vs. one-plan-at-a-time inference
+//!   (the paper's Table-12 comparison), and
+//! * `batch_vs_reference` — the optimized batched path vs. the
+//!   pre-optimization batched implementation kept in
+//!   `estimator_core::batch::reference` (the regression guard for this
+//!   repo's perf work).
+
 use bench::Pipeline;
 use estimator_core::{PredicateModelKind, RepresentationCellKind, TaskMode};
 use mscn::{MscnConfig, MscnFeaturizer, MscnModel, MscnTrainer};
 use pgest::TraditionalEstimator;
+use std::fmt::Write as _;
 use std::time::Instant;
 use strembed::StringEncoding;
 use workloads::WorkloadKind;
 
-fn report(label: &str, total_ms: f64, queries: usize) {
-    println!("{label:<14} {:>10.3} ms/query   ({queries} queries)", total_ms / queries as f64);
+struct Row {
+    label: String,
+    ms_per_query: f64,
+    plans_per_sec: f64,
+}
+
+fn report(rows: &mut Vec<Row>, label: &str, total_secs: f64, queries: usize) {
+    let ms_per_query = total_secs * 1e3 / queries as f64;
+    let plans_per_sec = queries as f64 / total_secs;
+    println!("{label:<18} {ms_per_query:>10.3} ms/query {plans_per_sec:>12.1} plans/s   ({queries} queries)");
+    rows.push(Row { label: label.to_string(), ms_per_query, plans_per_sec });
+}
+
+/// Time `f` over `reps` repetitions after one untimed warmup (page-cache,
+/// buffer pools), returning seconds for the **fastest** repetition — the
+/// standard anti-noise estimator on a shared machine.
+fn time_reps(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
 }
 
 fn main() {
+    // The synthetic generator's zipf approximation concentrates ~11% of the
+    // fact-table rows on the hottest movie, so at full scale a 4-way star
+    // join on movie_id can materialize ~1e8 ground-truth rows while the
+    // suite executes.  Until the generator's skew is fixed (see ROADMAP
+    // "Open items"), default this harness to a scale whose worst-case join
+    // stays in memory; E2E_SCALE still overrides.
+    if std::env::var("E2E_SCALE").is_err() {
+        std::env::set_var("E2E_SCALE", "0.35");
+    }
+    // Table 12 measures batched estimation over the whole JOB workload, so
+    // give the batch something to amortize over: a larger test set (without
+    // growing the database or the training set above the default scale).
+    if std::env::var("E2E_TEST_QUERIES").is_err() {
+        std::env::set_var("E2E_TEST_QUERIES", "60");
+    }
     let pipeline = Pipeline::new();
     let suite = pipeline.suite(WorkloadKind::JobStrings);
     let n = suite.test.len();
-    println!("== Table 12 — estimation efficiency ==");
+    let reps: usize = std::env::var("E2E_BENCH_REPS").ok().and_then(|s| s.parse().ok()).unwrap_or(3).max(1);
+    println!("== Table 12 — estimation efficiency ({n} queries, {reps} reps) ==");
+    let mut rows: Vec<Row> = Vec::new();
 
     // PostgreSQL-style estimator.
     let pg = TraditionalEstimator::analyze(&pipeline.db);
-    let start = Instant::now();
-    for s in &suite.test {
-        let mut plan = s.plan.clone();
-        pg.estimate_plan(&mut plan);
-    }
-    report("PostgreSQL", start.elapsed().as_secs_f64() * 1e3, n);
+    let secs = time_reps(reps, || {
+        for s in &suite.test {
+            let mut plan = s.plan.clone();
+            pg.estimate_plan(&mut plan);
+        }
+    });
+    report(&mut rows, "PostgreSQL", secs, n);
 
     // MSCN (one by one vs whole-set timing; MSCN has no tree to batch, so the
     // "batch" variant just amortizes featurization).
@@ -41,22 +96,30 @@ fn main() {
     );
     let mut mscn = MscnTrainer::new(model, &train);
     mscn.train(&train);
-    let start = Instant::now();
-    for s in &suite.test {
-        let sets = fx.featurize(&s.plan);
-        mscn.estimate(&sets);
-    }
-    report("MSCN", start.elapsed().as_secs_f64() * 1e3, n);
-    let start = Instant::now();
-    for s in &test {
-        mscn.estimate(s);
-    }
-    report("MSCNBatch", start.elapsed().as_secs_f64() * 1e3, n);
+    let secs = time_reps(reps, || {
+        for s in &suite.test {
+            let sets = fx.featurize(&s.plan);
+            mscn.estimate(&sets);
+        }
+    });
+    report(&mut rows, "MSCN", secs, n);
+    let secs = time_reps(reps, || {
+        for s in &test {
+            mscn.estimate(s);
+        }
+    });
+    report(&mut rows, "MSCNBatch", secs, n);
 
-    // Tree models: TLSTM and TPool, one-by-one vs level-batched.
-    for (label, predicate) in
-        [("TLSTM", PredicateModelKind::TreeLstm), ("TPool", PredicateModelKind::MinMaxPool)]
-    {
+    // Tree models: TLSTM and TPool — four paths each.  The `*Ref` rows
+    // re-create the pre-optimization behavior (seed-compat tape: eager
+    // gradient allocation, a parameter copy per layer application) so the
+    // speed-ups measure this PR's work, not just batching:
+    //   <label>Ref      naive per-node path, as it shipped in the seed
+    //   <label>         optimized per-node path (inference tape)
+    //   <label>BatchRef pre-optimization level-batched path
+    //   <label>Batch    optimized level-batched path
+    let mut speedups = String::new();
+    for (label, predicate) in [("TLSTM", PredicateModelKind::TreeLstm), ("TPool", PredicateModelKind::MinMaxPool)] {
         let (est, test_encoded) = pipeline.train_tree_model(
             &suite,
             RepresentationCellKind::Lstm,
@@ -65,13 +128,68 @@ fn main() {
             Some(StringEncoding::EmbedRule),
             true,
         );
-        let start = Instant::now();
-        for plan in &test_encoded {
-            est.estimate_encoded(plan);
+        let per_node_ref = time_reps(reps, || {
+            for plan in &test_encoded {
+                est.estimate_encoded_reference(plan);
+            }
+        });
+        report(&mut rows, &format!("{label}Ref"), per_node_ref, n);
+        let per_node = time_reps(reps, || {
+            for plan in &test_encoded {
+                est.estimate_encoded(plan);
+            }
+        });
+        report(&mut rows, label, per_node, n);
+        let reference = time_reps(reps, || {
+            est.estimate_encoded_batch_reference(&test_encoded);
+        });
+        report(&mut rows, &format!("{label}BatchRef"), reference, n);
+        let batched = time_reps(reps, || {
+            est.estimate_encoded_batch(&test_encoded);
+        });
+        report(&mut rows, &format!("{label}Batch"), batched, n);
+
+        let vs_per_node = per_node_ref / batched;
+        let vs_per_node_optimized = per_node / batched;
+        let vs_reference = reference / batched;
+        println!(
+            "{label}: batch is {vs_per_node:.1}x naive per-node ({vs_per_node_optimized:.1}x optimized per-node), \
+             {vs_reference:.1}x pre-optimization batch"
+        );
+        if !speedups.is_empty() {
+            speedups.push(',');
         }
-        report(label, start.elapsed().as_secs_f64() * 1e3, n);
-        let start = Instant::now();
-        est.estimate_encoded_batch(&test_encoded);
-        report(&format!("{label}Batch"), start.elapsed().as_secs_f64() * 1e3, n);
+        let _ = write!(
+            speedups,
+            "\n    \"{}\": {{ \"batch_vs_per_node\": {:.3}, \"batch_vs_per_node_optimized\": {:.3}, \
+             \"batch_vs_reference\": {:.3} }}",
+            label.to_lowercase(),
+            vs_per_node,
+            vs_per_node_optimized,
+            vs_reference
+        );
     }
+
+    // Emit the machine-readable trajectory record.
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"table12_efficiency\",");
+    let _ = writeln!(json, "  \"queries\": {n},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"estimator\": \"{}\", \"ms_per_query\": {:.6}, \"plans_per_sec\": {:.1} }}{comma}",
+            r.label, r.ms_per_query, r.plans_per_sec
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"speedups\": {{{speedups}\n  }}");
+    json.push_str("}\n");
+
+    let out_dir = std::env::var("E2E_BENCH_OUT").unwrap_or_else(|_| ".".to_string());
+    let path = format!("{out_dir}/BENCH_table12.json");
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("wrote {path}");
 }

@@ -7,11 +7,9 @@ use workloads::WorkloadKind;
 
 fn main() {
     let pipeline = Pipeline::new();
-    for (name, kind) in [
-        ("JOB-light", WorkloadKind::JobLight),
-        ("Synthetic", WorkloadKind::Synthetic),
-        ("Scale", WorkloadKind::Scale),
-    ] {
+    for (name, kind) in
+        [("JOB-light", WorkloadKind::JobLight), ("Synthetic", WorkloadKind::Synthetic), ("Scale", WorkloadKind::Scale)]
+    {
         let suite = pipeline.suite(kind);
         let mut table = ReportTable::new(format!("Table 7 — cardinality q-errors, {name} workload"));
         let (pg_card, _) = pipeline.pg_errors(&suite);

@@ -7,11 +7,9 @@ use workloads::WorkloadKind;
 
 fn main() {
     let pipeline = Pipeline::new();
-    for (name, kind) in [
-        ("JOB-light", WorkloadKind::JobLight),
-        ("Synthetic", WorkloadKind::Synthetic),
-        ("Scale", WorkloadKind::Scale),
-    ] {
+    for (name, kind) in
+        [("JOB-light", WorkloadKind::JobLight), ("Synthetic", WorkloadKind::Synthetic), ("Scale", WorkloadKind::Scale)]
+    {
         let suite = pipeline.suite(kind);
         let mut table = ReportTable::new(format!("Table 8 — cost q-errors, {name} workload"));
         let (_, pg_cost) = pipeline.pg_errors(&suite);
@@ -22,8 +20,7 @@ fn main() {
             ("TNNMCost", RepresentationCellKind::Nn, TaskMode::Multitask),
             ("TLSTMMCost", RepresentationCellKind::Lstm, TaskMode::Multitask),
         ] {
-            let (est, test) =
-                pipeline.train_tree_model(&suite, cell, PredicateModelKind::TreeLstm, task, None, true);
+            let (est, test) = pipeline.train_tree_model(&suite, cell, PredicateModelKind::TreeLstm, task, None, true);
             table.add_errors(label, &pipeline.tree_errors(&est, &test).1);
         }
         table.print();

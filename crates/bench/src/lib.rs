@@ -8,9 +8,7 @@
 //! harness can run as a quick smoke test or a longer, closer-to-paper run.
 
 use engine::CostModel;
-use estimator_core::{
-    CostEstimator, ModelConfig, PredicateModelKind, RepresentationCellKind, TaskMode, TrainConfig,
-};
+use estimator_core::{CostEstimator, ModelConfig, PredicateModelKind, RepresentationCellKind, TaskMode, TrainConfig};
 use featurize::{EncodedPlan, EncodingConfig, FeatureExtractor};
 use imdb::{generate_imdb, Database, GeneratorConfig};
 use metrics::q_error;
@@ -30,18 +28,18 @@ pub struct BenchScale {
 }
 
 impl BenchScale {
-    /// Read the scale from `E2E_SCALE` / `E2E_QUERIES` / `E2E_EPOCHS`.
+    /// Read the scale from `E2E_SCALE` / `E2E_QUERIES` / `E2E_TEST_QUERIES`
+    /// / `E2E_EPOCHS`.
     pub fn from_env() -> Self {
         let scale: f64 = std::env::var("E2E_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0);
         let train_queries =
             std::env::var("E2E_QUERIES").ok().and_then(|s| s.parse().ok()).unwrap_or((120.0 * scale) as usize);
+        let test_queries = std::env::var("E2E_TEST_QUERIES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or((train_queries / 4).clamp(20, 200));
         let epochs = std::env::var("E2E_EPOCHS").ok().and_then(|s| s.parse().ok()).unwrap_or(5);
-        BenchScale {
-            n_titles: (2000.0 * scale) as usize,
-            train_queries: train_queries.max(40),
-            test_queries: ((train_queries / 4).max(20)).min(200),
-            epochs,
-        }
+        BenchScale { n_titles: (2000.0 * scale) as usize, train_queries: train_queries.max(40), test_queries, epochs }
     }
 }
 

@@ -89,6 +89,31 @@ impl CostEstimator {
         estimate_batch(&trainer.model, &trainer.model.params, &trainer.normalization, plans)
     }
 
+    /// Pre-optimization one-by-one estimation (per-node forward on a
+    /// seed-compat tape) — the naive baseline of the Table-12 bench.
+    pub fn estimate_encoded_reference(&self, plan: &EncodedPlan) -> (f64, f64) {
+        let trainer = self.trainer.as_ref().expect("CostEstimator::estimate_encoded_reference called before fit");
+        crate::batch::reference::estimate_per_node_reference(
+            &trainer.model,
+            &trainer.model.params,
+            &trainer.normalization,
+            plan,
+        )
+    }
+
+    /// Pre-optimization batched estimation (the reference implementation in
+    /// `batch::reference`); the Table-12 efficiency bench reports the
+    /// optimized path's speed-up against this baseline.
+    pub fn estimate_encoded_batch_reference(&self, plans: &[EncodedPlan]) -> Vec<(f64, f64)> {
+        let trainer = self.trainer.as_ref().expect("CostEstimator::estimate_encoded_batch_reference called before fit");
+        crate::batch::reference::estimate_batch_reference(
+            &trainer.model,
+            &trainer.model.params,
+            &trainer.normalization,
+            plans,
+        )
+    }
+
     /// Cache statistics of the representation memory pool `(hits, misses)`.
     pub fn cache_stats(&self) -> (u64, u64) {
         self.pool.stats()

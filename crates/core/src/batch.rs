@@ -6,13 +6,36 @@
 //! level.  The model only needs `D` cell invocations for a batch (where `D`
 //! is the maximum tree depth) instead of one per node — the speed-up that
 //! Table 12 measures.
+//!
+//! # Hot-path layout
+//!
+//! The implementation here is the optimized form (see `docs/perf.md`):
+//!
+//! * nodes are bucketed by level in **one pass** over the flattened batch
+//!   (`O(N)`), not re-scanned once per level (`O(D·N)`);
+//! * per-node cell state lives in a dense `Vec` indexed by flat-node id, not
+//!   a `HashMap`;
+//! * the feature embedding layers run once per level over column-stacked
+//!   inputs ([`TreeModel::embed_nodes_batch`]) instead of once per node;
+//! * inference runs on an inference-mode tape ([`Graph::inference`]): no
+//!   gradient slots, no op metadata;
+//! * independent groups of plans are estimated in parallel with rayon.
+//!
+//! [`reference::estimate_batch_reference`] preserves the original
+//! implementation as a correctness oracle and as the "pre-optimization
+//! batched path" baseline of the Table-12 efficiency bench.
 
 use crate::model::TreeModel;
 use crate::trainer::TargetNormalization;
 use featurize::EncodedPlan;
 use nn::cells::CellOutput;
 use nn::{Graph, NodeId, ParamStore};
-use std::collections::HashMap;
+use rayon::prelude::*;
+
+/// Plans per parallel group.  Large enough that the per-level matrices fill
+/// the blocked-matmul tiles and the per-level tape overhead amortizes,
+/// small enough that large batches still split across cores.
+const GROUP_SIZE: usize = 64;
 
 /// Flattened view of one node of one plan in the batch.
 struct FlatNode<'a> {
@@ -21,16 +44,15 @@ struct FlatNode<'a> {
     encoded: &'a EncodedPlan,
 }
 
-fn flatten<'a>(plan: &'a EncodedPlan, plan_idx: usize, out: &mut Vec<FlatNode<'a>>) -> (usize, usize) {
+/// Flatten `plan` into `out`, returning `(flat index of the root, height)`.
+fn flatten<'a>(plan: &'a EncodedPlan, out: &mut Vec<FlatNode<'a>>) -> (usize, usize) {
+    // Reserve our slot first; children are pushed after and linked by index.
+    let my_idx = out.len();
+    out.push(FlatNode { height: 1, children: Vec::new(), encoded: plan });
     let mut child_ids = Vec::new();
     let mut max_child_height = 0;
-    // Reserve our slot first so parents precede children in `out` order is
-    // irrelevant — we only need indices.
-    let my_idx = out.len();
-    let _ = plan_idx;
-    out.push(FlatNode { height: 1, children: Vec::new(), encoded: plan });
     for c in &plan.children {
-        let (cid, ch) = flatten(c, plan_idx, out);
+        let (cid, ch) = flatten(c, out);
         child_ids.push(cid);
         max_child_height = max_child_height.max(ch);
     }
@@ -43,98 +65,274 @@ fn flatten<'a>(plan: &'a EncodedPlan, plan_idx: usize, out: &mut Vec<FlatNode<'a
 /// Estimate a batch of encoded plans with level-wise batching.
 ///
 /// Returns `(cost, cardinality)` per plan, in input order, denormalized with
-/// `normalization`.
+/// `normalization`.  Groups of [`GROUP_SIZE`] plans are estimated in
+/// parallel.
 pub fn estimate_batch(
     model: &TreeModel,
     store: &ParamStore,
     normalization: &TargetNormalization,
     plans: &[EncodedPlan],
 ) -> Vec<(f64, f64)> {
+    let refs: Vec<&EncodedPlan> = plans.iter().collect();
+    estimate_batch_refs(model, store, normalization, &refs)
+}
+
+/// [`estimate_batch`] over plan references (avoids cloning plans when the
+/// caller batches a subset, e.g. the trainer's validation split).
+pub fn estimate_batch_refs(
+    model: &TreeModel,
+    store: &ParamStore,
+    normalization: &TargetNormalization,
+    plans: &[&EncodedPlan],
+) -> Vec<(f64, f64)> {
     if plans.is_empty() {
         return Vec::new();
     }
-    let mut flat: Vec<FlatNode> = Vec::new();
-    let mut roots = Vec::with_capacity(plans.len());
-    for (pi, p) in plans.iter().enumerate() {
-        let (root_idx, _) = flatten(p, pi, &mut flat);
-        roots.push(root_idx);
+    if plans.len() <= GROUP_SIZE {
+        return estimate_group(model, store, normalization, plans);
     }
-    let max_height = flat.iter().map(|n| n.height).max().unwrap_or(1);
+    let groups: Vec<Vec<(f64, f64)>> =
+        plans.par_chunks(GROUP_SIZE).map(|chunk| estimate_group(model, store, normalization, chunk)).collect();
+    groups.concat()
+}
 
-    let mut g = Graph::new();
-    // Embed every node individually (feature widths differ per group), then
-    // run the representation cell once per level over column-concatenated
-    // embeddings.
-    let embedded: Vec<NodeId> =
-        flat.iter().map(|n| model.embed_node(&mut g, store, &n.encoded.features)).collect();
+/// Warm inference tapes, one popped per group estimate and returned
+/// afterwards: their buffer pools persist across calls, so steady-state
+/// batched inference stops allocating entirely.  A process-wide mutex pool
+/// (not a thread-local) so tapes survive the short-lived worker threads the
+/// parallel path runs groups on; it is touched twice per *group*, so the
+/// lock is nowhere near the hot loop.
+static INFERENCE_TAPES: std::sync::Mutex<Vec<Graph>> = std::sync::Mutex::new(Vec::new());
 
-    // node index -> its computed (G, R) columns.
-    let mut states: HashMap<usize, CellOutput> = HashMap::new();
-
-    for level in 1..=max_height {
-        let level_nodes: Vec<usize> =
-            flat.iter().enumerate().filter(|(_, n)| n.height == level).map(|(i, _)| i).collect();
-        if level_nodes.is_empty() {
-            continue;
-        }
-        // Batched feature input for the level.
-        let xs: Vec<NodeId> = level_nodes.iter().map(|&i| embedded[i]).collect();
-        let x_batch = g.concat_cols(&xs);
-
-        // Batched children states: for each node take its (left, right) child
-        // state columns, using zero states for missing children.
-        let zero = model.zero_state_batch(&mut g, 1);
-        let mut left_cols = Vec::with_capacity(level_nodes.len());
-        let mut right_cols = Vec::with_capacity(level_nodes.len());
-        for &i in &level_nodes {
-            let children = &flat[i].children;
-            let left = children.first().and_then(|c| states.get(c)).copied().unwrap_or(zero);
-            let right = children.get(1).and_then(|c| states.get(c)).copied().unwrap_or(zero);
-            left_cols.push(left);
-            right_cols.push(right);
-        }
-        let left_g = g.concat_cols(&left_cols.iter().map(|c| c.g).collect::<Vec<_>>());
-        let left_r = g.concat_cols(&left_cols.iter().map(|c| c.r).collect::<Vec<_>>());
-        let right_g = g.concat_cols(&right_cols.iter().map(|c| c.g).collect::<Vec<_>>());
-        let right_r = g.concat_cols(&right_cols.iter().map(|c| c.r).collect::<Vec<_>>());
-
-        let out = model.apply_cell(
-            &mut g,
-            store,
-            x_batch,
-            CellOutput { g: left_g, r: left_r },
-            CellOutput { g: right_g, r: right_r },
-        );
-        // Split the batched output back into per-node columns.
-        for (col, &i) in level_nodes.iter().enumerate() {
-            let gi = g.column_at(out.g, col);
-            let ri = g.column_at(out.r, col);
-            states.insert(i, CellOutput { g: gi, r: ri });
-        }
-    }
-
-    // Batched estimation heads over all roots at once.
-    let root_rs: Vec<NodeId> = roots.iter().map(|r| states[r].r).collect();
-    let r_batch = g.concat_cols(&root_rs);
-    let (cost_out, card_out) = model.estimate_from_representation(&mut g, store, r_batch);
-    let cost_vals = g.value(cost_out).clone();
-    let card_vals = g.value(card_out).clone();
-
-    (0..plans.len())
+/// Estimate one group of plans on one (recycled) inference-mode tape.
+fn estimate_group(
+    model: &TreeModel,
+    store: &ParamStore,
+    normalization: &TargetNormalization,
+    plans: &[&EncodedPlan],
+) -> Vec<(f64, f64)> {
+    let mut g = INFERENCE_TAPES.lock().ok().and_then(|mut tapes| tapes.pop()).unwrap_or_else(Graph::inference);
+    g.reset();
+    let (cost_out, card_out) = forward_batch(model, store, &mut g, plans);
+    let cost_vals = g.value(cost_out);
+    let card_vals = g.value(card_out);
+    let out = (0..plans.len())
         .map(|i| {
             (
                 normalization.cost.denormalize(cost_vals.get(0, i)),
                 normalization.cardinality.denormalize(card_vals.get(0, i)),
             )
         })
-        .collect()
+        .collect();
+    if let Ok(mut tapes) = INFERENCE_TAPES.lock() {
+        tapes.push(g);
+    }
+    out
+}
+
+/// Level-batched forward pass over `plans` on an existing tape, returning the
+/// batched `(cost, cardinality)` head outputs (`1 x plans.len()` each, in
+/// plan order, normalized space).
+///
+/// On a train-mode graph this is the forward half of mini-batch training
+/// (`Trainer::train` seeds both heads and runs one backward sweep); on an
+/// inference-mode graph it is the Table-12 batched estimation path.
+///
+/// # Panics
+/// Panics if `plans` is empty.
+pub fn forward_batch(model: &TreeModel, store: &ParamStore, g: &mut Graph, plans: &[&EncodedPlan]) -> (NodeId, NodeId) {
+    assert!(!plans.is_empty(), "forward_batch needs at least one plan");
+    let mut flat: Vec<FlatNode> = Vec::new();
+    let mut roots = Vec::with_capacity(plans.len());
+    let mut max_height = 1;
+    for p in plans {
+        let (root_idx, h) = flatten(p, &mut flat);
+        roots.push(root_idx);
+        max_height = max_height.max(h);
+    }
+
+    // One-pass level bucketing: levels[h-1] holds the flat indices of all
+    // nodes at height h, across every plan in the group.
+    let mut levels: Vec<Vec<usize>> = vec![Vec::new(); max_height];
+    for (i, n) in flat.iter().enumerate() {
+        levels[n.height - 1].push(i);
+    }
+
+    // Dense per-node cell state, indexed by flat-node id.  A state is a
+    // (level-output node, column) pair per channel — columns are gathered
+    // lazily with one `gather_cols` tape node per channel per level instead
+    // of one `column_at` node per plan node.
+    #[derive(Clone, Copy)]
+    struct StateRef {
+        g: (NodeId, usize),
+        r: (NodeId, usize),
+    }
+    let mut states: Vec<Option<StateRef>> = vec![None; flat.len()];
+    let zero = model.zero_state_batch(g, 1);
+    let zero_ref = StateRef { g: (zero.g, 0), r: (zero.r, 0) };
+
+    for level_nodes in &levels {
+        if level_nodes.is_empty() {
+            continue;
+        }
+        // Batched feature embedding for the level: the op/meta/sample
+        // embedding layers run once over column-stacked inputs.
+        let feats: Vec<&featurize::NodeFeatures> = level_nodes.iter().map(|&i| &flat[i].encoded.features).collect();
+        let x_batch = model.embed_nodes_batch(g, store, &feats);
+
+        // Batched children states: for each node take its (left, right) child
+        // state columns, using zero states for missing children.
+        let mut left_g = Vec::with_capacity(level_nodes.len());
+        let mut left_r = Vec::with_capacity(level_nodes.len());
+        let mut right_g = Vec::with_capacity(level_nodes.len());
+        let mut right_r = Vec::with_capacity(level_nodes.len());
+        for &i in level_nodes {
+            let children = &flat[i].children;
+            let left = children.first().and_then(|&c| states[c]).unwrap_or(zero_ref);
+            let right = children.get(1).and_then(|&c| states[c]).unwrap_or(zero_ref);
+            left_g.push(left.g);
+            left_r.push(left.r);
+            right_g.push(right.g);
+            right_r.push(right.r);
+        }
+        let left = CellOutput { g: g.gather_cols(&left_g), r: g.gather_cols(&left_r) };
+        let right = CellOutput { g: g.gather_cols(&right_g), r: g.gather_cols(&right_r) };
+
+        let out = model.apply_cell(g, store, x_batch, left, right);
+        for (col, &i) in level_nodes.iter().enumerate() {
+            states[i] = Some(StateRef { g: (out.g, col), r: (out.r, col) });
+        }
+    }
+
+    // Batched estimation heads over all roots at once.
+    let root_rs: Vec<(NodeId, usize)> = roots.iter().map(|&r| states[r].expect("root state computed").r).collect();
+    let r_batch = g.gather_cols(&root_rs);
+    model.estimate_from_representation(g, store, r_batch)
+}
+
+pub mod reference {
+    //! The original (pre-optimization) batched implementation, kept as the
+    //! correctness oracle for the optimized path and as the baseline the
+    //! Table-12 efficiency bench reports the optimization speed-up against.
+    //! Characteristics: seed-compat tape (eager zero-gradient allocation per
+    //! node, a parameter copy per layer application), one `filter` scan over
+    //! all flat nodes per level (`O(D·N)`), `HashMap` cell-state storage,
+    //! per-node embedding invocations, no parallelism.
+
+    use super::{flatten, FlatNode};
+    use crate::model::TreeModel;
+    use crate::trainer::TargetNormalization;
+    use featurize::EncodedPlan;
+    use nn::cells::CellOutput;
+    use nn::{Graph, NodeId, ParamStore};
+    use std::collections::HashMap;
+
+    /// Unoptimized one-plan-at-a-time estimation: the per-node recursive
+    /// forward on a seed-compat tape.  This is the "naive per-node path"
+    /// Table 12 compares batched inference against.
+    pub fn estimate_per_node_reference(
+        model: &TreeModel,
+        store: &ParamStore,
+        normalization: &TargetNormalization,
+        plan: &EncodedPlan,
+    ) -> (f64, f64) {
+        let mut g = Graph::seed_compat();
+        let (cost_out, card_out) = model.forward(&mut g, store, plan);
+        (
+            normalization.cost.denormalize(g.value(cost_out).data()[0]),
+            normalization.cardinality.denormalize(g.value(card_out).data()[0]),
+        )
+    }
+
+    /// Unoptimized level-batched estimation (see module docs).
+    pub fn estimate_batch_reference(
+        model: &TreeModel,
+        store: &ParamStore,
+        normalization: &TargetNormalization,
+        plans: &[EncodedPlan],
+    ) -> Vec<(f64, f64)> {
+        if plans.is_empty() {
+            return Vec::new();
+        }
+        let mut flat: Vec<FlatNode> = Vec::new();
+        let mut roots = Vec::with_capacity(plans.len());
+        for p in plans.iter() {
+            let (root_idx, _) = flatten(p, &mut flat);
+            roots.push(root_idx);
+        }
+        let max_height = flat.iter().map(|n| n.height).max().unwrap_or(1);
+
+        // A seed-compat tape reproduces the pre-optimization allocation
+        // behavior: an eager zero gradient per node, a parameter copy per
+        // layer application.
+        let mut g = Graph::seed_compat();
+        // Embed every node individually, then run the representation cell
+        // once per level over column-concatenated embeddings.
+        let embedded: Vec<NodeId> = flat.iter().map(|n| model.embed_node(&mut g, store, &n.encoded.features)).collect();
+
+        // node index -> its computed (G, R) columns.
+        let mut states: HashMap<usize, CellOutput> = HashMap::new();
+
+        for level in 1..=max_height {
+            let level_nodes: Vec<usize> =
+                flat.iter().enumerate().filter(|(_, n)| n.height == level).map(|(i, _)| i).collect();
+            if level_nodes.is_empty() {
+                continue;
+            }
+            let xs: Vec<NodeId> = level_nodes.iter().map(|&i| embedded[i]).collect();
+            let x_batch = g.concat_cols(&xs);
+
+            let zero = model.zero_state_batch(&mut g, 1);
+            let mut left_cols = Vec::with_capacity(level_nodes.len());
+            let mut right_cols = Vec::with_capacity(level_nodes.len());
+            for &i in &level_nodes {
+                let children = &flat[i].children;
+                let left = children.first().and_then(|c| states.get(c)).copied().unwrap_or(zero);
+                let right = children.get(1).and_then(|c| states.get(c)).copied().unwrap_or(zero);
+                left_cols.push(left);
+                right_cols.push(right);
+            }
+            let left_g = g.concat_cols(&left_cols.iter().map(|c| c.g).collect::<Vec<_>>());
+            let left_r = g.concat_cols(&left_cols.iter().map(|c| c.r).collect::<Vec<_>>());
+            let right_g = g.concat_cols(&right_cols.iter().map(|c| c.g).collect::<Vec<_>>());
+            let right_r = g.concat_cols(&right_cols.iter().map(|c| c.r).collect::<Vec<_>>());
+
+            let out = model.apply_cell(
+                &mut g,
+                store,
+                x_batch,
+                CellOutput { g: left_g, r: left_r },
+                CellOutput { g: right_g, r: right_r },
+            );
+            for (col, &i) in level_nodes.iter().enumerate() {
+                let gi = g.column_at(out.g, col);
+                let ri = g.column_at(out.r, col);
+                states.insert(i, CellOutput { g: gi, r: ri });
+            }
+        }
+
+        let root_rs: Vec<NodeId> = roots.iter().map(|r| states[r].r).collect();
+        let r_batch = g.concat_cols(&root_rs);
+        let (cost_out, card_out) = model.estimate_from_representation(&mut g, store, r_batch);
+        let cost_vals = g.value(cost_out).clone();
+        let card_vals = g.value(card_out).clone();
+
+        (0..plans.len())
+            .map(|i| {
+                (
+                    normalization.cost.denormalize(cost_vals.get(0, i)),
+                    normalization.cardinality.denormalize(card_vals.get(0, i)),
+                )
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::model::{ModelConfig, TreeModel};
-    use crate::trainer::{Trainer, TrainConfig};
+    use crate::trainer::{TrainConfig, Trainer};
     use featurize::{EncodingConfig, FeatureExtractor};
     use imdb::{generate_imdb, GeneratorConfig};
     use query::{CompareOp, JoinPredicate, Operand, PhysicalOp, PlanNode, Predicate};
@@ -186,6 +384,58 @@ mod tests {
     }
 
     #[test]
+    fn optimized_batch_matches_reference_implementation() {
+        let (plans, cfg) = samples(12);
+        let model = TreeModel::new(
+            &cfg,
+            ModelConfig { feature_embed_dim: 8, hidden_dim: 12, estimation_hidden_dim: 8, ..Default::default() },
+        );
+        let trainer = Trainer::new(model, &plans, TrainConfig::default());
+        let fast = estimate_batch(&trainer.model, &trainer.model.params, &trainer.normalization, &plans);
+        let slow =
+            reference::estimate_batch_reference(&trainer.model, &trainer.model.params, &trainer.normalization, &plans);
+        for ((fc, fk), (sc, sk)) in fast.iter().zip(slow.iter()) {
+            assert!((fc.ln() - sc.ln()).abs() < 1e-3, "cost mismatch: {fc} vs {sc}");
+            assert!((fk.ln() - sk.ln()).abs() < 1e-3, "card mismatch: {fk} vs {sk}");
+        }
+    }
+
+    #[test]
+    fn large_batch_crosses_parallel_group_boundary() {
+        // More plans than GROUP_SIZE forces the parallel path; results must
+        // stay in input order and match the one-by-one estimates.
+        let (plans, cfg) = samples(GROUP_SIZE + 9);
+        let model = TreeModel::new(
+            &cfg,
+            ModelConfig { feature_embed_dim: 8, hidden_dim: 12, estimation_hidden_dim: 8, ..Default::default() },
+        );
+        let trainer = Trainer::new(model, &plans, TrainConfig::default());
+        let batched = estimate_batch(&trainer.model, &trainer.model.params, &trainer.normalization, &plans);
+        assert_eq!(batched.len(), plans.len());
+        for (plan, (bcost, bcard)) in plans.iter().zip(batched.iter()) {
+            let (cost, card) = trainer.estimate(plan);
+            assert!((cost.ln() - bcost.ln()).abs() < 1e-3, "cost mismatch: {cost} vs {bcost}");
+            assert!((card.ln() - bcard.ln()).abs() < 1e-3, "card mismatch: {card} vs {bcard}");
+        }
+    }
+
+    #[test]
+    fn train_mode_forward_batch_matches_inference_mode() {
+        let (plans, cfg) = samples(6);
+        let model = TreeModel::new(
+            &cfg,
+            ModelConfig { feature_embed_dim: 8, hidden_dim: 12, estimation_hidden_dim: 8, ..Default::default() },
+        );
+        let refs: Vec<&EncodedPlan> = plans.iter().collect();
+        let mut train_g = Graph::new();
+        let (tc, tk) = forward_batch(&model, &model.params, &mut train_g, &refs);
+        let mut infer_g = Graph::inference();
+        let (ic, ik) = forward_batch(&model, &model.params, &mut infer_g, &refs);
+        assert_eq!(train_g.value(tc), infer_g.value(ic), "cost heads diverge across modes");
+        assert_eq!(train_g.value(tk), infer_g.value(ik), "card heads diverge across modes");
+    }
+
+    #[test]
     fn empty_batch_returns_empty() {
         let (plans, cfg) = samples(2);
         let model = TreeModel::new(&cfg, ModelConfig::default());
@@ -206,7 +456,8 @@ mod tests {
             ModelConfig { feature_embed_dim: 8, hidden_dim: 12, estimation_hidden_dim: 8, ..Default::default() },
         );
         let trainer = Trainer::new(model, std::slice::from_ref(&plan), TrainConfig::default());
-        let out = estimate_batch(&trainer.model, &trainer.model.params, &trainer.normalization, &[plan.clone()]);
+        let out =
+            estimate_batch(&trainer.model, &trainer.model.params, &trainer.normalization, std::slice::from_ref(&plan));
         assert_eq!(out.len(), 1);
         assert!(out[0].0.is_finite() && out[0].1.is_finite());
     }

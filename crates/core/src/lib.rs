@@ -19,7 +19,7 @@ pub mod model;
 pub mod trainer;
 
 pub use api::CostEstimator;
-pub use batch::estimate_batch;
+pub use batch::{estimate_batch, estimate_batch_refs, forward_batch, reference::estimate_batch_reference};
 pub use memory::RepresentationMemoryPool;
 pub use model::{ModelConfig, PredicateModelKind, RepresentationCellKind, TaskMode, TreeModel};
 pub use trainer::{EpochStats, TargetNormalization, TrainConfig, Trainer};

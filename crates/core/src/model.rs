@@ -113,17 +113,33 @@ impl TreeModel {
         let pred_lstm = TreeLstmCell::new(&mut params, "embed.pred_lstm", d, d, &mut rng);
         let embed_dim = 4 * d;
         let cell = match config.cell {
-            RepresentationCellKind::Lstm => {
-                RepresentationCell::Lstm(TreeLstmCell::new(&mut params, "repr.lstm", embed_dim, config.hidden_dim, &mut rng))
-            }
+            RepresentationCellKind::Lstm => RepresentationCell::Lstm(TreeLstmCell::new(
+                &mut params,
+                "repr.lstm",
+                embed_dim,
+                config.hidden_dim,
+                &mut rng,
+            )),
             RepresentationCellKind::Nn => {
                 RepresentationCell::Nn(TreeNnCell::new(&mut params, "repr.nn", embed_dim, config.hidden_dim, &mut rng))
             }
         };
-        let cost_head =
-            nn::layers::Mlp2::new(&mut params, "est.cost", config.hidden_dim, config.estimation_hidden_dim, 1, &mut rng);
-        let card_head =
-            nn::layers::Mlp2::new(&mut params, "est.card", config.hidden_dim, config.estimation_hidden_dim, 1, &mut rng);
+        let cost_head = nn::layers::Mlp2::new(
+            &mut params,
+            "est.cost",
+            config.hidden_dim,
+            config.estimation_hidden_dim,
+            1,
+            &mut rng,
+        );
+        let card_head = nn::layers::Mlp2::new(
+            &mut params,
+            "est.card",
+            config.hidden_dim,
+            config.estimation_hidden_dim,
+            1,
+            &mut rng,
+        );
         TreeModel {
             config,
             params,
@@ -211,6 +227,203 @@ impl TreeModel {
         g.concat_rows(&[op, meta, samp, pred])
     }
 
+    /// Embed many nodes at once: the operation / metadata / sample-bitmap
+    /// groups are column-stacked into one `dim x n` input each, so the
+    /// embedding layers run **once per group per batch** instead of once per
+    /// node, and the predicate trees are level-batched the same way
+    /// ([`TreeModel::embed_predicates_batch`]).  Returns the `4d x n`
+    /// batched embedding `E`.
+    ///
+    /// # Panics
+    /// Panics if `features` is empty.
+    pub fn embed_nodes_batch(&self, g: &mut Graph, store: &ParamStore, features: &[&NodeFeatures]) -> NodeId {
+        assert!(!features.is_empty(), "embed_nodes_batch needs at least one node");
+        let n = features.len();
+        let stack = |g: &mut Graph, dim: usize, pick: &dyn Fn(&NodeFeatures) -> &[f32]| -> NodeId {
+            let mut m = Matrix::zeros(dim, n);
+            for (col, f) in features.iter().enumerate() {
+                for (row, &v) in pick(f).iter().enumerate() {
+                    m.set(row, col, v);
+                }
+            }
+            g.input(m)
+        };
+        let op_in = stack(g, self.op_embed.in_dim(), &|f| &f.operation);
+        let op = self.op_embed.forward_relu(g, store, op_in);
+        let meta_in = stack(g, self.meta_embed.in_dim(), &|f| &f.metadata);
+        let meta = self.meta_embed.forward_relu(g, store, meta_in);
+        let samp_in = stack(g, self.sample_embed.in_dim(), &|f| &f.sample_bitmap);
+        let samp = self.sample_embed.forward_relu(g, store, samp_in);
+        let preds: Vec<&PredicateEncoding> = features.iter().map(|f| &f.predicate).collect();
+        let pred = self.embed_predicates_batch(g, store, &preds);
+        g.concat_rows(&[op, meta, samp, pred])
+    }
+
+    /// Level-batched embedding of many predicate trees at once, returning a
+    /// `feature_embed_dim x preds.len()` node whose columns equal what
+    /// [`TreeModel::embed_predicate`] computes per tree.
+    ///
+    /// All atom leaves across all trees go through `pred_leaf` in a single
+    /// forward; the inner AND/OR levels then run once per predicate-tree
+    /// level over [`Graph::gather_cols`]-assembled children (min/max pooling
+    /// partitions each level into its AND and OR subsets; the tree-LSTM
+    /// variant feeds a zero feature batch).
+    fn embed_predicates_batch(&self, g: &mut Graph, store: &ParamStore, preds: &[&PredicateEncoding]) -> NodeId {
+        let d = self.config.feature_embed_dim;
+
+        // Flatten every tree into one arena, bucketing nodes by height.
+        enum PKind<'a> {
+            Empty,
+            Atom(&'a [f32]),
+            And(usize, usize),
+            Or(usize, usize),
+        }
+        struct PFlat<'a> {
+            kind: PKind<'a>,
+            height: usize,
+        }
+        fn flatten_pred<'a>(p: &'a PredicateEncoding, out: &mut Vec<PFlat<'a>>) -> (usize, usize) {
+            match p {
+                PredicateEncoding::None => {
+                    out.push(PFlat { kind: PKind::Empty, height: 1 });
+                    (out.len() - 1, 1)
+                }
+                PredicateEncoding::Atom(v) => {
+                    out.push(PFlat { kind: PKind::Atom(v), height: 1 });
+                    (out.len() - 1, 1)
+                }
+                PredicateEncoding::And(l, r) | PredicateEncoding::Or(l, r) => {
+                    let (li, lh) = flatten_pred(l, out);
+                    let (ri, rh) = flatten_pred(r, out);
+                    let height = 1 + lh.max(rh);
+                    let kind =
+                        if matches!(p, PredicateEncoding::And(_, _)) { PKind::And(li, ri) } else { PKind::Or(li, ri) };
+                    out.push(PFlat { kind, height });
+                    (out.len() - 1, height)
+                }
+            }
+        }
+        let mut flat: Vec<PFlat> = Vec::new();
+        let mut roots = Vec::with_capacity(preds.len());
+        let mut max_height = 1;
+        for p in preds {
+            let (root, h) = flatten_pred(p, &mut flat);
+            roots.push(root);
+            max_height = max_height.max(h);
+        }
+        let mut levels: Vec<Vec<usize>> = vec![Vec::new(); max_height];
+        for (i, n) in flat.iter().enumerate() {
+            levels[n.height - 1].push(i);
+        }
+
+        // One pred_leaf forward for every atom of every tree.
+        let atoms: Vec<usize> = levels[0].iter().copied().filter(|&i| matches!(flat[i].kind, PKind::Atom(_))).collect();
+        let mut atom_col = vec![usize::MAX; flat.len()];
+        let atom_embeds = if atoms.is_empty() {
+            None
+        } else {
+            let mut m = Matrix::zeros(self.pred_leaf.in_dim(), atoms.len());
+            for (col, &i) in atoms.iter().enumerate() {
+                atom_col[i] = col;
+                if let PKind::Atom(v) = flat[i].kind {
+                    for (row, &x) in v.iter().enumerate() {
+                        m.set(row, col, x);
+                    }
+                }
+            }
+            let x = g.input(m);
+            Some(self.pred_leaf.forward_relu(g, store, x))
+        };
+        let zero_col = g.input(Matrix::zeros(d, 1));
+
+        // (node, column) source of each flat predicate node's d-vector.
+        let mut vref: Vec<(NodeId, usize)> = vec![(zero_col, 0); flat.len()];
+
+        match self.config.predicate {
+            PredicateModelKind::MinMaxPool => {
+                for &i in &atoms {
+                    vref[i] = (atom_embeds.expect("atoms imply embeds"), atom_col[i]);
+                }
+                for level_nodes in levels.iter().skip(1) {
+                    // A level can mix ANDs and ORs; pool each subset at once.
+                    for want_and in [true, false] {
+                        let subset: Vec<usize> = level_nodes
+                            .iter()
+                            .copied()
+                            .filter(|&i| matches!(flat[i].kind, PKind::And(_, _)) == want_and)
+                            .collect();
+                        if subset.is_empty() {
+                            continue;
+                        }
+                        let lefts: Vec<(NodeId, usize)> = subset
+                            .iter()
+                            .map(|&i| match flat[i].kind {
+                                PKind::And(l, _) | PKind::Or(l, _) => vref[l],
+                                _ => unreachable!("leaf above level 1"),
+                            })
+                            .collect();
+                        let rights: Vec<(NodeId, usize)> = subset
+                            .iter()
+                            .map(|&i| match flat[i].kind {
+                                PKind::And(_, r) | PKind::Or(_, r) => vref[r],
+                                _ => unreachable!("leaf above level 1"),
+                            })
+                            .collect();
+                        let lg = g.gather_cols(&lefts);
+                        let rg = g.gather_cols(&rights);
+                        let pooled = if want_and { g.emin(lg, rg) } else { g.emax(lg, rg) };
+                        for (col, &i) in subset.iter().enumerate() {
+                            vref[i] = (pooled, col);
+                        }
+                    }
+                }
+            }
+            PredicateModelKind::TreeLstm => {
+                // State of each inner/atom node as (node, column) per channel.
+                let zero_state = self.pred_lstm.zero_state(g, 1);
+                let mut sref: Vec<((NodeId, usize), (NodeId, usize))> =
+                    vec![((zero_state.g, 0), (zero_state.r, 0)); flat.len()];
+                if let Some(embeds) = atom_embeds {
+                    // All atom leaves share zero children: one cell forward.
+                    let zeros = self.pred_lstm.zero_state(g, atoms.len());
+                    let out = self.pred_lstm.forward(g, store, embeds, zeros, zeros);
+                    for (col, &i) in atoms.iter().enumerate() {
+                        sref[i] = ((out.g, col), (out.r, col));
+                        vref[i] = (embeds, atom_col[i]);
+                    }
+                }
+                for level_nodes in levels.iter().skip(1) {
+                    let inner: Vec<usize> = level_nodes.to_vec();
+                    let (mut lg, mut lr, mut rg, mut rr) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+                    for &i in &inner {
+                        let (l, r) = match flat[i].kind {
+                            PKind::And(l, r) | PKind::Or(l, r) => (l, r),
+                            _ => unreachable!("leaf above level 1"),
+                        };
+                        lg.push(sref[l].0);
+                        lr.push(sref[l].1);
+                        rg.push(sref[r].0);
+                        rr.push(sref[r].1);
+                    }
+                    let left = nn::cells::CellOutput { g: g.gather_cols(&lg), r: g.gather_cols(&lr) };
+                    let right = nn::cells::CellOutput { g: g.gather_cols(&rg), r: g.gather_cols(&rr) };
+                    let x = g.input(Matrix::zeros(d, inner.len()));
+                    let out = self.pred_lstm.forward(g, store, x, left, right);
+                    for (col, &i) in inner.iter().enumerate() {
+                        sref[i] = ((out.g, col), (out.r, col));
+                        // An inner node's embedding is its state's R channel.
+                        vref[i] = (out.r, col);
+                    }
+                }
+            }
+        }
+
+        // Per-tree answer columns (a root atom uses its plain leaf embedding
+        // in both predicate models, matching `embed_predicate`).
+        let answers: Vec<(NodeId, usize)> = roots.iter().map(|&r| vref[r]).collect();
+        g.gather_cols(&answers)
+    }
+
     /// Apply the representation cell to an embedded node and children states.
     pub fn apply_cell(
         &self,
@@ -248,10 +461,7 @@ impl TreeModel {
                 let c = self.forward_plan(g, store, &plan.children[0]);
                 (c, self.zero_state(g))
             }
-            _ => (
-                self.forward_plan(g, store, &plan.children[0]),
-                self.forward_plan(g, store, &plan.children[1]),
-            ),
+            _ => (self.forward_plan(g, store, &plan.children[0]), self.forward_plan(g, store, &plan.children[1])),
         };
         self.apply_cell(g, store, x, left, right)
     }
@@ -287,13 +497,14 @@ mod tests {
     }
 
     fn sample_encoded_plan(fx: &FeatureExtractor) -> EncodedPlan {
-        let scan_t = PlanNode::leaf(PhysicalOp::SeqScan {
-            table: "title".into(),
-            predicate: Some(
-                Predicate::atom("title", "production_year", CompareOp::Gt, Operand::Num(2000.0))
-                    .and(Predicate::atom("title", "kind_id", CompareOp::Eq, Operand::Num(1.0))),
-            ),
-        });
+        let scan_t =
+            PlanNode::leaf(PhysicalOp::SeqScan {
+                table: "title".into(),
+                predicate: Some(
+                    Predicate::atom("title", "production_year", CompareOp::Gt, Operand::Num(2000.0))
+                        .and(Predicate::atom("title", "kind_id", CompareOp::Eq, Operand::Num(1.0))),
+                ),
+            });
         let scan_mc = PlanNode::leaf(PhysicalOp::SeqScan { table: "movie_companies".into(), predicate: None });
         let join = PlanNode::inner(
             PhysicalOp::HashJoin { condition: JoinPredicate::new("movie_companies", "movie_id", "title", "id") },

@@ -1,7 +1,14 @@
 //! Training loop (Section 4.3): q-error loss on normalized log targets,
 //! multitask cost+cardinality learning, Adam, mini-batches, per-epoch
 //! validation statistics (the curves of Figures 7 and 8).
+//!
+//! Each mini-batch runs as **one** level-batched forward pass
+//! ([`crate::batch::forward_batch`]) over a single reused tape, followed by a
+//! single backward sweep seeded at both estimation heads
+//! (`Graph::backward_multi`) — the same batching that accelerates inference
+//! accelerates training.  Validation also goes through the batched path.
 
+use crate::batch::{estimate_batch_refs, forward_batch};
 use crate::model::{TaskMode, TreeModel};
 use featurize::EncodedPlan;
 use metrics::q_error;
@@ -80,19 +87,20 @@ impl Trainer {
         let mut optimizer = Adam::new(self.config.learning_rate);
         let mut stats = Vec::with_capacity(self.config.epochs);
         let mut train_order: Vec<usize> = train_idx.to_vec();
+        // One tape reused across every mini-batch of every epoch: after the
+        // first batch the forward pass draws all buffers from the pool.
+        let mut g = Graph::new();
 
         for epoch in 0..self.config.epochs {
             train_order.shuffle(&mut rng);
             let mut epoch_loss = 0.0;
             let mut seen = 0usize;
-            self.model.params.zero_grad();
-            for (i, &si) in train_order.iter().enumerate() {
-                epoch_loss += self.accumulate_gradients(&samples[si]);
-                seen += 1;
-                if (i + 1) % self.config.batch_size == 0 || i + 1 == train_order.len() {
-                    optimizer.step(&mut self.model.params);
-                    self.model.params.zero_grad();
-                }
+            for batch_idx in train_order.chunks(self.config.batch_size.max(1)) {
+                self.model.params.zero_grad();
+                g.reset();
+                epoch_loss += self.train_batch(&mut g, samples, batch_idx);
+                seen += batch_idx.len();
+                optimizer.step(&mut self.model.params);
             }
             let (card_q, cost_q) = self.validation_error(samples, val_idx);
             stats.push(EpochStats {
@@ -105,52 +113,62 @@ impl Trainer {
         stats
     }
 
-    /// Forward + backward for one sample; returns its loss.
-    fn accumulate_gradients(&mut self, sample: &EncodedPlan) -> f64 {
-        let cost_target = self.normalization.cost.normalize(sample.true_cost);
-        let card_target = self.normalization.cardinality.normalize(sample.true_cardinality);
-        let mut g = Graph::new();
-        let (cost_out, card_out) = self.model.forward(&mut g, &self.model.params, sample);
-        let cost_val = g.value(cost_out).data()[0];
-        let card_val = g.value(card_out).data()[0];
+    /// One level-batched forward + one two-head backward sweep over a
+    /// mini-batch; returns the summed loss.
+    fn train_batch(&mut self, g: &mut Graph, samples: &[EncodedPlan], batch_idx: &[usize]) -> f64 {
+        let batch: Vec<&EncodedPlan> = batch_idx.iter().map(|&si| &samples[si]).collect();
+        let (cost_out, card_out) = forward_batch(&self.model, &self.model.params, g, &batch);
 
         let task = self.model.config.task;
         let omega = self.model.config.cost_loss_weight as f32;
+        let n = batch.len();
         let mut loss = 0.0f64;
+        let mut seeds = Vec::with_capacity(2);
         if matches!(task, TaskMode::CostOnly | TaskMode::Multitask) {
-            let (l, grad) = self.normalization.cost.loss_and_grad(cost_val, cost_target);
-            loss += self.model.config.cost_loss_weight * l;
-            g.backward(cost_out, Matrix::from_vec(1, 1, vec![omega * grad]), &mut self.model.params);
+            let mut seed = Matrix::zeros(1, n);
+            for (j, sample) in batch.iter().enumerate() {
+                let target = self.normalization.cost.normalize(sample.true_cost);
+                let (l, grad) = self.normalization.cost.loss_and_grad(g.value(cost_out).get(0, j), target);
+                loss += self.model.config.cost_loss_weight * l;
+                seed.set(0, j, omega * grad);
+            }
+            seeds.push((cost_out, seed));
         }
         if matches!(task, TaskMode::CardinalityOnly | TaskMode::Multitask) {
-            let (l, grad) = self.normalization.cardinality.loss_and_grad(card_val, card_target);
-            loss += l;
-            g.backward(card_out, Matrix::from_vec(1, 1, vec![grad]), &mut self.model.params);
+            let mut seed = Matrix::zeros(1, n);
+            for (j, sample) in batch.iter().enumerate() {
+                let target = self.normalization.cardinality.normalize(sample.true_cardinality);
+                let (l, grad) = self.normalization.cardinality.loss_and_grad(g.value(card_out).get(0, j), target);
+                loss += l;
+                seed.set(0, j, grad);
+            }
+            seeds.push((card_out, seed));
         }
+        g.backward_multi(seeds, &mut self.model.params);
         loss
     }
 
-    /// Mean validation q-errors `(cardinality, cost)`.
+    /// Mean validation q-errors `(cardinality, cost)`, computed with the
+    /// level-batched inference path.
     fn validation_error(&self, samples: &[EncodedPlan], val_idx: &[usize]) -> (f64, f64) {
         if val_idx.is_empty() {
             return (1.0, 1.0);
         }
-        let mut card_errs = Vec::with_capacity(val_idx.len());
-        let mut cost_errs = Vec::with_capacity(val_idx.len());
-        for &i in val_idx {
-            let (cost, card) = self.estimate(&samples[i]);
-            cost_errs.push(q_error(cost, samples[i].true_cost));
-            card_errs.push(q_error(card, samples[i].true_cardinality));
+        let val: Vec<&EncodedPlan> = val_idx.iter().map(|&i| &samples[i]).collect();
+        let estimates = estimate_batch_refs(&self.model, &self.model.params, &self.normalization, &val);
+        let mut card_sum = 0.0;
+        let mut cost_sum = 0.0;
+        for (plan, (cost, card)) in val.iter().zip(estimates.iter()) {
+            cost_sum += q_error(*cost, plan.true_cost);
+            card_sum += q_error(*card, plan.true_cardinality);
         }
-        (
-            card_errs.iter().sum::<f64>() / card_errs.len() as f64,
-            cost_errs.iter().sum::<f64>() / cost_errs.len() as f64,
-        )
+        (card_sum / val.len() as f64, cost_sum / val.len() as f64)
     }
 
-    /// Estimate (denormalized) `(cost, cardinality)` for one encoded plan.
+    /// Estimate (denormalized) `(cost, cardinality)` for one encoded plan via
+    /// the per-node recursive forward on an inference-mode tape.
     pub fn estimate(&self, plan: &EncodedPlan) -> (f64, f64) {
-        let mut g = Graph::new();
+        let mut g = Graph::inference();
         let (cost_out, card_out) = self.model.forward(&mut g, &self.model.params, plan);
         (
             self.normalization.cost.denormalize(g.value(cost_out).data()[0]),
@@ -229,15 +247,15 @@ mod tests {
             )
         };
         let untrained = Trainer::new(mk(), &samples, TrainConfig::default());
-        let mut trained = Trainer::new(mk(), &samples, TrainConfig { epochs: 12, batch_size: 8, learning_rate: 0.005, ..Default::default() });
+        let mut trained = Trainer::new(
+            mk(),
+            &samples,
+            TrainConfig { epochs: 12, batch_size: 8, learning_rate: 0.005, ..Default::default() },
+        );
         trained.train(&samples);
 
         let mean_q = |t: &Trainer| {
-            samples
-                .iter()
-                .map(|s| q_error(t.estimate(s).1, s.true_cardinality))
-                .sum::<f64>()
-                / samples.len() as f64
+            samples.iter().map(|s| q_error(t.estimate(s).1, s.true_cardinality)).sum::<f64>() / samples.len() as f64
         };
         let q_untrained = mean_q(&untrained);
         let q_trained = mean_q(&trained);
@@ -265,7 +283,8 @@ mod tests {
                             ..Default::default()
                         },
                     );
-                    let mut trainer = Trainer::new(model, &samples, TrainConfig { epochs: 1, batch_size: 4, ..Default::default() });
+                    let mut trainer =
+                        Trainer::new(model, &samples, TrainConfig { epochs: 1, batch_size: 4, ..Default::default() });
                     let stats = trainer.train(&samples);
                     assert_eq!(stats.len(), 1);
                     assert!(stats[0].train_loss.is_finite());

@@ -59,9 +59,7 @@ impl CostModel {
     /// Cost of a hash join with `build_rows` on the build side, `probe_rows`
     /// on the probe side and `output_rows` results.
     pub fn hash_join(&self, build_rows: f64, probe_rows: f64, output_rows: f64) -> f64 {
-        build_rows * self.hash_build_cost
-            + probe_rows * self.cpu_tuple_cost
-            + output_rows * self.cpu_tuple_cost
+        build_rows * self.hash_build_cost + probe_rows * self.cpu_tuple_cost + output_rows * self.cpu_tuple_cost
     }
 
     /// Cost of a sort-merge join (includes sorting both inputs).

@@ -42,6 +42,15 @@ pub fn execute_plan(db: &Database, plan: &mut PlanNode, model: &CostModel) -> Ex
     ExecutionResult { cardinality: rel.rows.len() as f64, cost }
 }
 
+/// Execute a batch of independent plans in parallel, annotating each in
+/// place; results come back in input order.  This is the ground-truth
+/// counterpart of the estimator's level-batched inference: workload
+/// generation and the bench harnesses execute whole query batches through it.
+pub fn execute_plans(db: &Database, plans: &mut [PlanNode], model: &CostModel) -> Vec<ExecutionResult> {
+    use rayon::prelude::*;
+    plans.par_iter_mut().map(|plan| execute_plan(db, plan, model)).collect()
+}
+
 fn filter_rows(db: &Database, table: &str, predicate: Option<&Predicate>) -> Vec<usize> {
     let t = match db.table(table) {
         Some(t) => t,
@@ -240,7 +249,12 @@ mod tests {
                 vec![
                     PlanNode::leaf(PhysicalOp::SeqScan {
                         table: "title".into(),
-                        predicate: Some(Predicate::atom("title", "production_year", CompareOp::Lt, Operand::Num(1950.0))),
+                        predicate: Some(Predicate::atom(
+                            "title",
+                            "production_year",
+                            CompareOp::Lt,
+                            Operand::Num(1950.0),
+                        )),
                     }),
                     PlanNode::leaf(PhysicalOp::SeqScan { table: "movie_info_idx".into(), predicate: None }),
                 ],

@@ -22,5 +22,5 @@ pub mod executor;
 pub mod planner;
 
 pub use cost::CostModel;
-pub use executor::{execute_plan, ExecutionResult};
+pub use executor::{execute_plan, execute_plans, ExecutionResult};
 pub use planner::{plan_query, PlannerConfig};

@@ -99,9 +99,8 @@ pub fn plan_query(db: &Database, query: &LogicalQuery, cfg: &PlannerConfig) -> P
         // Find a pending table connected to the joined set.
         let mut chosen: Option<(usize, JoinPredicate)> = None;
         for (i, (t, _, rows)) in pending.iter().enumerate() {
-            if let Some(j) = remaining_joins
-                .iter()
-                .find(|j| j.involves(t) && joined_tables.iter().any(|jt| j.involves(jt)))
+            if let Some(j) =
+                remaining_joins.iter().find(|j| j.involves(t) && joined_tables.iter().any(|jt| j.involves(jt)))
             {
                 match &chosen {
                     Some((best_i, _)) if pending[*best_i].2 <= *rows => {}
@@ -114,9 +113,13 @@ pub fn plan_query(db: &Database, query: &LogicalQuery, cfg: &PlannerConfig) -> P
             // Disconnected query (should not happen for generated workloads):
             // fall back to joining with the first pending table on a cross
             // product expressed as a hash join over the first remaining join.
-            None => (0, remaining_joins.first().cloned().unwrap_or_else(|| {
-                JoinPredicate::new(&joined_tables[0], "id", &pending[0].0, "id")
-            })),
+            None => (
+                0,
+                remaining_joins
+                    .first()
+                    .cloned()
+                    .unwrap_or_else(|| JoinPredicate::new(&joined_tables[0], "id", &pending[0].0, "id")),
+            ),
         };
         let (table, scan, scan_rows) = pending.remove(idx);
         remaining_joins.retain(|j| j != &join_pred);
@@ -135,7 +138,10 @@ pub fn plan_query(db: &Database, query: &LogicalQuery, cfg: &PlannerConfig) -> P
             .unwrap_or(false);
         let op = if current_rows <= cfg.nested_loop_threshold && inner_indexed {
             PhysicalOp::NestedLoopJoin { condition: join_pred }
-        } else if current_rows > 1000.0 && scan_rows > 1000.0 && (current_rows / scan_rows).max(scan_rows / current_rows) < 2.0 {
+        } else if current_rows > 1000.0
+            && scan_rows > 1000.0
+            && (current_rows / scan_rows).max(scan_rows / current_rows) < 2.0
+        {
             PhysicalOp::MergeJoin { condition: join_pred }
         } else {
             PhysicalOp::HashJoin { condition: join_pred }

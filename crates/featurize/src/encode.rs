@@ -199,10 +199,9 @@ impl FeatureExtractor {
             PhysicalOp::HashJoin { condition }
             | PhysicalOp::MergeJoin { condition }
             | PhysicalOp::NestedLoopJoin { condition } => {
-                for (t, c) in [
-                    (&condition.left_table, &condition.left_column),
-                    (&condition.right_table, &condition.right_column),
-                ] {
+                for (t, c) in
+                    [(&condition.left_table, &condition.left_column), (&condition.right_table, &condition.right_column)]
+                {
                     if let Some(&p) = cfg.table_pos.get(t.as_str()) {
                         v[p] = 1.0;
                     }
@@ -288,7 +287,12 @@ mod tests {
             table: "movie_companies".into(),
             predicate: Some(
                 Predicate::atom("movie_companies", "note", CompareOp::Like, Operand::Str("%(co-production)%".into()))
-                    .or(Predicate::atom("movie_companies", "note", CompareOp::Like, Operand::Str("%(presents)%".into()))),
+                    .or(Predicate::atom(
+                        "movie_companies",
+                        "note",
+                        CompareOp::Like,
+                        Operand::Str("%(presents)%".into()),
+                    )),
             ),
         })
     }

@@ -100,8 +100,7 @@ mod tests {
         let idx = db.index("movie_companies", "movie_id").expect("index exists");
         let key = mc.int("movie_id", 17).expect("int");
         let via_index = idx.lookup(key);
-        let via_scan: Vec<usize> =
-            (0..mc.n_rows()).filter(|&r| mc.int("movie_id", r) == Some(key)).collect();
+        let via_scan: Vec<usize> = (0..mc.n_rows()).filter(|&r| mc.int("movie_id", r) == Some(key)).collect();
         assert_eq!(via_index, via_scan.as_slice());
     }
 }

@@ -72,18 +72,71 @@ const NOUNS: &[&str] = &[
     "Letter", "Promise", "Journey", "Return", "Legacy", "Echo", "Horizon", "Winter",
 ];
 const COMPANY_WORDS: &[&str] = &[
-    "Universal", "Paramount", "Columbia", "Warner", "Gaumont", "Pathe", "Toho", "Shochiku", "Mosfilm", "Cinecitta",
-    "Nordisk", "Svensk", "Ealing", "Hammer", "Amblin", "Pixelight", "Northstar", "Bluebird", "Redwood", "Silverline",
+    "Universal",
+    "Paramount",
+    "Columbia",
+    "Warner",
+    "Gaumont",
+    "Pathe",
+    "Toho",
+    "Shochiku",
+    "Mosfilm",
+    "Cinecitta",
+    "Nordisk",
+    "Svensk",
+    "Ealing",
+    "Hammer",
+    "Amblin",
+    "Pixelight",
+    "Northstar",
+    "Bluebird",
+    "Redwood",
+    "Silverline",
 ];
 const COUNTRIES: &[&str] = &["[us]", "[gb]", "[fr]", "[de]", "[jp]", "[it]", "[in]", "[ca]", "[es]", "[se]"];
 const KEYWORD_STEMS: &[&str] = &[
-    "murder", "love", "revenge", "family", "war", "robbery", "friendship", "betrayal", "escape", "investigation",
-    "journey", "conspiracy", "survival", "redemption", "rivalry", "kidnapping", "heist", "trial", "rescue", "wedding",
+    "murder",
+    "love",
+    "revenge",
+    "family",
+    "war",
+    "robbery",
+    "friendship",
+    "betrayal",
+    "escape",
+    "investigation",
+    "journey",
+    "conspiracy",
+    "survival",
+    "redemption",
+    "rivalry",
+    "kidnapping",
+    "heist",
+    "trial",
+    "rescue",
+    "wedding",
 ];
 const INFO_TYPES: &[&str] = &[
-    "top 250 rank", "bottom 10 rank", "rating", "votes", "genres", "countries", "release dates", "languages",
-    "runtimes", "budget", "gross", "color info", "certificates", "sound mix", "camera", "tech info", "locations",
-    "taglines", "plot", "quotes",
+    "top 250 rank",
+    "bottom 10 rank",
+    "rating",
+    "votes",
+    "genres",
+    "countries",
+    "release dates",
+    "languages",
+    "runtimes",
+    "budget",
+    "gross",
+    "color info",
+    "certificates",
+    "sound mix",
+    "camera",
+    "tech info",
+    "locations",
+    "taglines",
+    "plot",
+    "quotes",
 ];
 const COMPANY_KINDS: &[&str] =
     &["production companies", "distributors", "special effects companies", "miscellaneous companies"];
@@ -144,7 +197,9 @@ pub fn generate_imdb(config: GeneratorConfig) -> Database {
                     })
                     .collect(),
             ),
-            Column::Str((0..n_companies).map(|i| COUNTRIES[zipf(&mut rng, COUNTRIES.len(), 0.8).min(COUNTRIES.len() - 1).max(0) + 0 * i].to_string()).collect()),
+            Column::Str(
+                (0..n_companies).map(|_| COUNTRIES[zipf(&mut rng, COUNTRIES.len(), 0.8)].to_string()).collect(),
+            ),
         ],
     );
 
@@ -167,7 +222,7 @@ pub fn generate_imdb(config: GeneratorConfig) -> Database {
         // Years skewed toward recent decades; older for low ids (correlation
         // with id that the "top 250 rank" generation below exploits).
         let base: i64 = if i < n_titles / 5 { 1930 } else { 1960 };
-        let spread: i64 = if i < n_titles / 5 { 60 } else { 60 };
+        let spread: i64 = 60;
         let year = base + (spread as f64 * (1.0 - (1.0 - rng.gen_range(0.0f64..1.0)).powf(2.0))) as i64;
         t_year.push(year.min(2019));
         if kind >= 6 {
@@ -206,7 +261,11 @@ pub fn generate_imdb(config: GeneratorConfig) -> Database {
         // Company type correlates with year: older movies are mostly
         // production companies, newer ones have more distributors.
         let ct = if year < 1970 {
-            if rng.gen_bool(0.75) { 1 } else { 1 + rng.gen_range(1..4) }
+            if rng.gen_bool(0.75) {
+                1
+            } else {
+                1 + rng.gen_range(1i64..4)
+            }
         } else if rng.gen_bool(0.45) {
             2
         } else {
@@ -215,7 +274,10 @@ pub fn generate_imdb(config: GeneratorConfig) -> Database {
         mc_type.push(ct);
         // Note patterns correlated with both company type and year.
         let note = if ct == 1 {
-            if year >= 2000 && rng.gen_bool(0.35) {
+            // Co-productions exist across all eras but are far more common
+            // for recent titles (the year correlation the model can learn).
+            let coprod_p = if year >= 2000 { 0.35 } else { 0.05 };
+            if rng.gen_bool(coprod_p) {
                 "(co-production)".to_string()
             } else if rng.gen_bool(0.3) {
                 "(presents)".to_string()
@@ -337,7 +399,11 @@ pub fn generate_imdb(config: GeneratorConfig) -> Database {
         ci_person.push(zipf(&mut rng, n_people, 0.9) as i64 + 1);
         let role = 1 + zipf(&mut rng, 11, 1.0) as i64;
         ci_role.push(role);
-        let note = if role >= 8 { CAST_NOTES[rng.gen_range(0..2)] } else { CAST_NOTES[rng.gen_range(0..CAST_NOTES.len())] };
+        let note = if role >= 8 {
+            CAST_NOTES[rng.gen_range(0..2usize)]
+        } else {
+            CAST_NOTES[rng.gen_range(0..CAST_NOTES.len())]
+        };
         ci_note.push(note.to_string());
     }
     let cast_info = Table::new(

@@ -84,11 +84,7 @@ mod tests {
         let def = Schema::imdb().table("movie_keyword").expect("exists").clone();
         let t = Table::new(
             def,
-            vec![
-                Column::Int(vec![1, 2, 3, 4]),
-                Column::Int(vec![10, 10, 20, 10]),
-                Column::Int(vec![1, 2, 3, 1]),
-            ],
+            vec![Column::Int(vec![1, 2, 3, 4]), Column::Int(vec![10, 10, 20, 10]), Column::Int(vec![1, 2, 3, 1])],
         );
         let idx = HashIndex::build(&t, "movie_id").expect("int column");
         assert_eq!(idx.lookup(10), &[0, 1, 3]);

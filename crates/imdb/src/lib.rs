@@ -26,7 +26,7 @@ pub mod table;
 pub mod value;
 
 pub use database::Database;
-pub use generator::{GeneratorConfig, generate_imdb};
+pub use generator::{generate_imdb, GeneratorConfig};
 pub use sample::TableSample;
 pub use schema::{ColumnDef, ColumnType, JoinEdge, Schema, TableDef};
 pub use table::{Column, Table};

@@ -150,18 +150,9 @@ impl Schema {
                     ColumnDef::str("note"),
                 ],
             },
-            TableDef {
-                name: "company_type".into(),
-                columns: vec![ColumnDef::pk("id"), ColumnDef::str("kind")],
-            },
-            TableDef {
-                name: "info_type".into(),
-                columns: vec![ColumnDef::pk("id"), ColumnDef::str("info")],
-            },
-            TableDef {
-                name: "keyword".into(),
-                columns: vec![ColumnDef::pk("id"), ColumnDef::str("keyword")],
-            },
+            TableDef { name: "company_type".into(), columns: vec![ColumnDef::pk("id"), ColumnDef::str("kind")] },
+            TableDef { name: "info_type".into(), columns: vec![ColumnDef::pk("id"), ColumnDef::str("info")] },
+            TableDef { name: "keyword".into(), columns: vec![ColumnDef::pk("id"), ColumnDef::str("keyword")] },
             TableDef {
                 name: "company_name".into(),
                 columns: vec![ColumnDef::pk("id"), ColumnDef::str("name"), ColumnDef::str("country_code")],
@@ -195,10 +186,7 @@ impl Schema {
 
     /// Join edges incident to a table.
     pub fn edges_for(&self, table: &str) -> Vec<JoinEdge> {
-        self.join_edges()
-            .into_iter()
-            .filter(|e| e.fk_table == table || e.pk_table == table)
-            .collect()
+        self.join_edges().into_iter().filter(|e| e.fk_table == table || e.pk_table == table).collect()
     }
 
     /// All (table, column) pairs, in schema order.  Used by the feature

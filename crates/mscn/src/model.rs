@@ -87,10 +87,8 @@ pub struct MscnTrainer {
 impl MscnTrainer {
     /// Fit target normalization and wrap the model.
     pub fn new(model: MscnModel, samples: &[QuerySets]) -> Self {
-        let targets: Vec<f64> = samples
-            .iter()
-            .map(|s| if model.config.predict_cost { s.true_cost } else { s.true_cardinality })
-            .collect();
+        let targets: Vec<f64> =
+            samples.iter().map(|s| if model.config.predict_cost { s.true_cost } else { s.true_cardinality }).collect();
         MscnTrainer { model, normalization: NormalizationStats::fit(&targets) }
     }
 

@@ -5,6 +5,27 @@
 //! pass: cheap to construct, trivially correct to differentiate.  Parameters
 //! live in a [`ParamStore`] outside the graph and receive accumulated
 //! gradients when [`Graph::backward`] runs.
+//!
+//! # Allocation discipline
+//!
+//! The tape is built for two very different workloads:
+//!
+//! * **Inference** ([`Graph::inference`]) — the estimator sits inside an
+//!   optimizer loop, so the forward pass must not pay for training
+//!   machinery.  No gradient matrix is ever allocated (gradients are
+//!   `Option` and stay `None`), no operation metadata is recorded, and
+//!   [`Graph::backward`] panics if called.
+//! * **Training** ([`Graph::new`]) — gradients are still *lazy*: a node's
+//!   gradient matrix is materialized only when the backward sweep first
+//!   reaches it, so nodes outside the loss cone never allocate one.
+//!
+//! In both modes, node values are computed with the `_into` kernels of
+//! [`Matrix`] into buffers drawn from an internal pool; [`Graph::reset`]
+//! clears the tape but keeps the buffers, so steady-state forward passes
+//! (one per plan, thousands per optimizer run) are allocation-free once the
+//! pool is warm.  The backward pass multiplies by transposed operands with
+//! [`Matrix::matmul_nt_into`]-style kernels instead of materializing
+//! transposes.
 
 use crate::matrix::Matrix;
 use crate::params::{ParamId, ParamStore};
@@ -13,9 +34,19 @@ use crate::params::{ParamId, ParamStore};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodeId(usize);
 
+/// Whether a graph records the metadata needed for a backward pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Record operations; `backward` is available.
+    Train,
+    /// Values only: no gradient slots, no op metadata, no backward.
+    Inference,
+}
+
 #[derive(Debug, Clone)]
 enum Op {
-    /// Constant input (feature vector); receives no gradient.
+    /// Constant input (feature vector); receives no gradient.  Also used for
+    /// every node of an inference-mode graph, where ops are never replayed.
     Input,
     /// Copy of a trainable parameter; gradient is accumulated into the store.
     Param(ParamId),
@@ -36,12 +67,17 @@ enum Op {
     SliceRows(NodeId, usize, usize),
     ConcatCols(Vec<NodeId>),
     ColumnAt(NodeId, usize),
+    /// Output column `j` is column `sources[j].1` of node `sources[j].0`.
+    /// The batched gather that assembles children-state matrices from the
+    /// per-level cell outputs without one tape node per column.
+    GatherCols(Vec<(NodeId, usize)>),
 }
 
 #[derive(Debug, Clone)]
 struct Node {
     value: Matrix,
-    grad: Matrix,
+    /// Materialized lazily by the backward sweep; `None` outside it.
+    grad: Option<Matrix>,
     op: Op,
 }
 
@@ -49,12 +85,46 @@ struct Node {
 #[derive(Debug, Default)]
 pub struct Graph {
     nodes: Vec<Node>,
+    inference: bool,
+    /// Reproduce the original tape's allocation behavior (see
+    /// [`Graph::seed_compat`]).
+    eager: bool,
+    /// Recycled value/grad buffers, refilled by [`Graph::reset`].
+    pool: Vec<Vec<f32>>,
+    /// Parameter id -> already-recorded node, so a tape copies each weight
+    /// matrix once per forward pass no matter how many times the layer is
+    /// applied (the shared-weight tree cell applies each one per node).
+    param_cache: Vec<(ParamId, NodeId)>,
 }
 
 impl Graph {
-    /// Create an empty graph.
+    /// Create an empty training-mode graph.
     pub fn new() -> Self {
-        Graph { nodes: Vec::new() }
+        Graph::default()
+    }
+
+    /// Create an empty inference-mode graph: forward values only, no
+    /// gradient bookkeeping of any kind.
+    pub fn inference() -> Self {
+        Graph { inference: true, ..Graph::default() }
+    }
+
+    /// Create a training-mode graph that reproduces the pre-optimization
+    /// tape's allocation behavior: a zero gradient matrix is allocated
+    /// eagerly for every node, and every `param` call records a fresh copy
+    /// of the parameter.  Exists so the benchmarks can measure the original
+    /// cost model faithfully (`batch::reference`); not for production use.
+    pub fn seed_compat() -> Self {
+        Graph { eager: true, ..Graph::default() }
+    }
+
+    /// The graph's mode.
+    pub fn mode(&self) -> Mode {
+        if self.inference {
+            Mode::Inference
+        } else {
+            Mode::Train
+        }
     }
 
     /// Number of nodes recorded so far.
@@ -67,10 +137,47 @@ impl Graph {
         self.nodes.is_empty()
     }
 
+    /// Clear the tape for a fresh forward pass, keeping (and recycling) every
+    /// buffer the previous pass allocated.  After a few passes the pool is
+    /// warm and node values stop hitting the allocator.
+    pub fn reset(&mut self) {
+        for node in self.nodes.drain(..) {
+            self.pool.push(node.value.into_vec());
+            if let Some(g) = node.grad {
+                self.pool.push(g.into_vec());
+            }
+        }
+        self.param_cache.clear();
+    }
+
+    fn take_buffer(&mut self) -> Vec<f32> {
+        self.pool.pop().unwrap_or_default()
+    }
+
+    /// A `rows x cols` matrix backed by a recycled buffer if any.  Contents
+    /// are unspecified: every op kernel writing into it either overwrites
+    /// all elements or (matmul) zero-fills before accumulating.
+    fn alloc(&mut self, rows: usize, cols: usize) -> Matrix {
+        let buf = self.take_buffer();
+        Matrix::from_pooled_uninit(rows, cols, buf)
+    }
+
     fn push(&mut self, value: Matrix, op: Op) -> NodeId {
-        let grad = Matrix::zeros(value.rows(), value.cols());
+        // Inference graphs never replay ops, so no metadata is kept.
+        let op = if self.inference { Op::Input } else { op };
+        let grad = if self.eager { Some(Matrix::zeros(value.rows(), value.cols())) } else { None };
         self.nodes.push(Node { value, grad, op });
         NodeId(self.nodes.len() - 1)
+    }
+
+    /// Build a node-list op payload, skipping the `Vec` allocation entirely
+    /// on inference tapes (where `push` discards the op anyway).
+    fn list_op(&self, make: impl FnOnce() -> Op) -> Op {
+        if self.inference {
+            Op::Input
+        } else {
+            make()
+        }
     }
 
     /// Current forward value of a node.
@@ -78,9 +185,14 @@ impl Graph {
         &self.nodes[id.0].value
     }
 
-    /// Gradient of the loss with respect to a node (valid after `backward`).
-    pub fn grad(&self, id: NodeId) -> &Matrix {
-        &self.nodes[id.0].grad
+    /// Pending (not yet swept) gradient of a node.  Node gradients are
+    /// **consumed** by the backward sweep — after `backward` returns, every
+    /// swept node's slot is `None` and the accumulated parameter gradients
+    /// live in the [`ParamStore`].  `Some` is only observable for gradients
+    /// seeded or propagated but not yet processed (i.e. mid-sweep, which no
+    /// public API exposes), so this is primarily a debugging hook.
+    pub fn grad(&self, id: NodeId) -> Option<&Matrix> {
+        self.nodes[id.0].grad.as_ref()
     }
 
     /// Record a constant input.
@@ -88,101 +200,199 @@ impl Graph {
         self.push(value, Op::Input)
     }
 
-    /// Record (a copy of) a trainable parameter.
+    /// Record (a copy of) a trainable parameter.  Repeated requests for the
+    /// same parameter on one tape return the already-recorded node: values
+    /// cannot change mid-forward, and gradient accumulation through a shared
+    /// node is identical to summing over separate copies.
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> NodeId {
-        self.push(store.value(id).clone(), Op::Param(id))
+        if self.eager {
+            // seed_compat reproduces the original copy-per-application cost
+            // and keeps no cache.
+            let value = Matrix::from_pooled_copy(store.value(id), Vec::new());
+            return self.push(value, Op::Param(id));
+        }
+        if let Some(&(_, node)) = self.param_cache.iter().find(|(pid, _)| *pid == id) {
+            return node;
+        }
+        let buf = self.take_buffer();
+        let value = Matrix::from_pooled_copy(store.value(id), buf);
+        let node = self.push(value, Op::Param(id));
+        self.param_cache.push((id, node));
+        node
     }
 
-    /// Matrix product.
+    /// Matrix product (cache-blocked kernel).
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let value = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
-        self.push(value, Op::MatMul(a, b))
+        let (rows, cols) = (self.nodes[a.0].value.rows(), self.nodes[b.0].value.cols());
+        let mut out = self.alloc(rows, cols);
+        self.nodes[a.0].value.matmul_into(&self.nodes[b.0].value, &mut out);
+        self.push(out, Op::MatMul(a, b))
     }
 
     /// Element-wise sum.
     pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let value = self.nodes[a.0].value.add(&self.nodes[b.0].value);
-        self.push(value, Op::Add(a, b))
+        let (rows, cols) = (self.nodes[a.0].value.rows(), self.nodes[a.0].value.cols());
+        let mut out = self.alloc(rows, cols);
+        self.nodes[a.0].value.add_into(&self.nodes[b.0].value, &mut out);
+        self.push(out, Op::Add(a, b))
     }
 
     /// Add a column-vector bias, broadcast over all columns of `x`.
     pub fn add_bias(&mut self, x: NodeId, bias: NodeId) -> NodeId {
-        let value = self.nodes[x.0].value.add_bias(&self.nodes[bias.0].value);
-        self.push(value, Op::AddBias(x, bias))
+        let buf = self.take_buffer();
+        let mut out = Matrix::from_pooled_copy(&self.nodes[x.0].value, buf);
+        out.add_bias_assign(&self.nodes[bias.0].value);
+        self.push(out, Op::AddBias(x, bias))
     }
 
     /// Element-wise product.
     pub fn hadamard(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let value = self.nodes[a.0].value.hadamard(&self.nodes[b.0].value);
-        self.push(value, Op::Hadamard(a, b))
+        let (rows, cols) = (self.nodes[a.0].value.rows(), self.nodes[a.0].value.cols());
+        let mut out = self.alloc(rows, cols);
+        self.nodes[a.0].value.hadamard_into(&self.nodes[b.0].value, &mut out);
+        self.push(out, Op::Hadamard(a, b))
     }
 
     /// Element-wise minimum — the AND pooling of the predicate tree (§4.2.1).
     pub fn emin(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let value = self.nodes[a.0].value.emin(&self.nodes[b.0].value);
-        self.push(value, Op::EMin(a, b))
+        let (rows, cols) = (self.nodes[a.0].value.rows(), self.nodes[a.0].value.cols());
+        let mut out = self.alloc(rows, cols);
+        self.nodes[a.0].value.emin_into(&self.nodes[b.0].value, &mut out);
+        self.push(out, Op::EMin(a, b))
     }
 
     /// Element-wise maximum — the OR pooling of the predicate tree (§4.2.1).
     pub fn emax(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let value = self.nodes[a.0].value.emax(&self.nodes[b.0].value);
-        self.push(value, Op::EMax(a, b))
+        let (rows, cols) = (self.nodes[a.0].value.rows(), self.nodes[a.0].value.cols());
+        let mut out = self.alloc(rows, cols);
+        self.nodes[a.0].value.emax_into(&self.nodes[b.0].value, &mut out);
+        self.push(out, Op::EMax(a, b))
     }
 
     /// `(a + b) / 2` — averaging of the two children representations (§4.2.2).
     pub fn mean2(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let value = self.nodes[a.0].value.add(&self.nodes[b.0].value).scale(0.5);
-        self.push(value, Op::Mean2(a, b))
+        let (rows, cols) = (self.nodes[a.0].value.rows(), self.nodes[a.0].value.cols());
+        let mut out = self.alloc(rows, cols);
+        self.nodes[a.0].value.add_into(&self.nodes[b.0].value, &mut out);
+        out.scale_inplace(0.5);
+        self.push(out, Op::Mean2(a, b))
     }
 
     /// Rectified linear unit.
     pub fn relu(&mut self, x: NodeId) -> NodeId {
-        let value = self.nodes[x.0].value.map(|v| v.max(0.0));
-        self.push(value, Op::Relu(x))
+        let (rows, cols) = (self.nodes[x.0].value.rows(), self.nodes[x.0].value.cols());
+        let mut out = self.alloc(rows, cols);
+        self.nodes[x.0].value.map_into(|v| v.max(0.0), &mut out);
+        self.push(out, Op::Relu(x))
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, x: NodeId) -> NodeId {
-        let value = self.nodes[x.0].value.map(|v| 1.0 / (1.0 + (-v).exp()));
-        self.push(value, Op::Sigmoid(x))
+        let (rows, cols) = (self.nodes[x.0].value.rows(), self.nodes[x.0].value.cols());
+        let mut out = self.alloc(rows, cols);
+        self.nodes[x.0].value.map_into(|v| 1.0 / (1.0 + (-v).exp()), &mut out);
+        self.push(out, Op::Sigmoid(x))
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, x: NodeId) -> NodeId {
-        let value = self.nodes[x.0].value.map(|v| v.tanh());
-        self.push(value, Op::Tanh(x))
+        let (rows, cols) = (self.nodes[x.0].value.rows(), self.nodes[x.0].value.cols());
+        let mut out = self.alloc(rows, cols);
+        self.nodes[x.0].value.map_into(|v| v.tanh(), &mut out);
+        self.push(out, Op::Tanh(x))
     }
 
     /// Multiply by a scalar constant.
     pub fn scale(&mut self, x: NodeId, s: f32) -> NodeId {
-        let value = self.nodes[x.0].value.scale(s);
-        self.push(value, Op::Scale(x, s))
+        let (rows, cols) = (self.nodes[x.0].value.rows(), self.nodes[x.0].value.cols());
+        let mut out = self.alloc(rows, cols);
+        self.nodes[x.0].value.map_into(|v| v * s, &mut out);
+        self.push(out, Op::Scale(x, s))
     }
 
     /// Vertical concatenation of feature vectors.
     pub fn concat_rows(&mut self, parts: &[NodeId]) -> NodeId {
-        let values: Vec<&Matrix> = parts.iter().map(|id| &self.nodes[id.0].value).collect();
-        let value = Matrix::concat_rows(&values);
-        self.push(value, Op::ConcatRows(parts.to_vec()))
+        assert!(!parts.is_empty(), "concat_rows needs at least one node");
+        let cols = self.nodes[parts[0].0].value.cols();
+        let rows: usize = parts.iter().map(|id| self.nodes[id.0].value.rows()).sum();
+        let mut out = self.alloc(rows, cols);
+        let mut offset = 0;
+        for id in parts {
+            let p = &self.nodes[id.0].value;
+            assert_eq!(p.cols(), cols, "concat_rows requires equal column counts");
+            out.data_mut()[offset..offset + p.len()].copy_from_slice(p.data());
+            offset += p.len();
+        }
+        let op = self.list_op(|| Op::ConcatRows(parts.to_vec()));
+        self.push(out, op)
     }
 
     /// Horizontal concatenation (batching of same-shaped vectors).
     pub fn concat_cols(&mut self, parts: &[NodeId]) -> NodeId {
-        let values: Vec<&Matrix> = parts.iter().map(|id| &self.nodes[id.0].value).collect();
-        let value = Matrix::concat_cols(&values);
-        self.push(value, Op::ConcatCols(parts.to_vec()))
+        assert!(!parts.is_empty(), "concat_cols needs at least one node");
+        let rows = self.nodes[parts[0].0].value.rows();
+        let cols: usize = parts.iter().map(|id| self.nodes[id.0].value.cols()).sum();
+        let mut out = self.alloc(rows, cols);
+        let mut col_off = 0;
+        for id in parts {
+            let p = &self.nodes[id.0].value;
+            assert_eq!(p.rows(), rows, "concat_cols requires equal row counts");
+            let pc = p.cols();
+            for r in 0..rows {
+                out.data_mut()[r * cols + col_off..r * cols + col_off + pc]
+                    .copy_from_slice(&p.data()[r * pc..(r + 1) * pc]);
+            }
+            col_off += pc;
+        }
+        let op = self.list_op(|| Op::ConcatCols(parts.to_vec()));
+        self.push(out, op)
     }
 
     /// Take a contiguous block of rows `[start, start+len)`.
     pub fn slice_rows(&mut self, x: NodeId, start: usize, len: usize) -> NodeId {
-        let value = self.nodes[x.0].value.slice_rows(start, len);
-        self.push(value, Op::SliceRows(x, start, len))
+        let src_cols = self.nodes[x.0].value.cols();
+        assert!(start + len <= self.nodes[x.0].value.rows(), "row slice out of range");
+        let mut out = self.alloc(len, src_cols);
+        out.data_mut().copy_from_slice(&self.nodes[x.0].value.data()[start * src_cols..(start + len) * src_cols]);
+        self.push(out, Op::SliceRows(x, start, len))
+    }
+
+    /// Gather one column per entry of `sources` into a new matrix: output
+    /// column `j` is column `sources[j].1` of node `sources[j].0`.  All
+    /// source nodes must share a row count.  One tape node assembles a whole
+    /// children-state batch, where `column_at` + `concat_cols` would record
+    /// a node per column.
+    ///
+    /// # Panics
+    /// Panics if `sources` is empty, a column index is out of range, or the
+    /// row counts differ.
+    pub fn gather_cols(&mut self, sources: &[(NodeId, usize)]) -> NodeId {
+        assert!(!sources.is_empty(), "gather_cols needs at least one column");
+        let rows = self.nodes[sources[0].0 .0].value.rows();
+        let n = sources.len();
+        let mut out = self.alloc(rows, n);
+        for (j, &(src, c)) in sources.iter().enumerate() {
+            let v = &self.nodes[src.0].value;
+            assert_eq!(v.rows(), rows, "gather_cols requires equal row counts");
+            assert!(c < v.cols(), "gather_cols column out of range");
+            let (vc, oc) = (v.cols(), n);
+            for r in 0..rows {
+                out.data_mut()[r * oc + j] = v.data()[r * vc + c];
+            }
+        }
+        let op = self.list_op(|| Op::GatherCols(sources.to_vec()));
+        self.push(out, op)
     }
 
     /// Take a single column of a batched matrix.
     pub fn column_at(&mut self, x: NodeId, c: usize) -> NodeId {
-        let value = self.nodes[x.0].value.column_at(c);
-        self.push(value, Op::ColumnAt(x, c))
+        let (rows, cols) = (self.nodes[x.0].value.rows(), self.nodes[x.0].value.cols());
+        assert!(c < cols, "column out of range");
+        let mut out = self.alloc(rows, 1);
+        for r in 0..rows {
+            out.data_mut()[r] = self.nodes[x.0].value.data()[r * cols + c];
+        }
+        self.push(out, Op::ColumnAt(x, c))
     }
 
     /// Backward pass: seed `root` with `seed_grad` (dLoss/dRoot), propagate
@@ -190,47 +400,69 @@ impl Graph {
     /// `store`.
     ///
     /// # Panics
-    /// Panics if the seed gradient shape does not match the root value shape.
+    /// Panics on an inference-mode graph or if the seed gradient shape does
+    /// not match the root value shape.
     pub fn backward(&mut self, root: NodeId, seed_grad: Matrix, store: &mut ParamStore) {
-        assert_eq!(seed_grad.rows(), self.nodes[root.0].value.rows(), "seed grad row mismatch");
-        assert_eq!(seed_grad.cols(), self.nodes[root.0].value.cols(), "seed grad col mismatch");
-        self.nodes[root.0].grad.add_assign(&seed_grad);
+        self.backward_multi(vec![(root, seed_grad)], store);
+    }
 
-        for i in (0..=root.0).rev() {
-            // Split borrows: take the grad out, read the op, write to parents.
-            let grad = self.nodes[i].grad.clone();
-            if grad.data().iter().all(|&x| x == 0.0) {
-                continue;
-            }
+    /// Backward pass seeded at several roots at once (e.g. the cost and
+    /// cardinality heads of a multitask forward), sweeping the tape a single
+    /// time.  Gradients are consumed by the sweep: each node's gradient is
+    /// taken when processed, so repeated calls propagate only their own
+    /// seeds and never double-count earlier contributions.
+    ///
+    /// # Panics
+    /// Panics on an inference-mode graph or any seed shape mismatch.
+    pub fn backward_multi(&mut self, seeds: Vec<(NodeId, Matrix)>, store: &mut ParamStore) {
+        assert!(!self.inference, "backward called on an inference-mode graph");
+        if seeds.is_empty() {
+            return;
+        }
+        let mut highest = 0usize;
+        for (root, seed) in seeds {
+            let value = &self.nodes[root.0].value;
+            assert_eq!(seed.rows(), value.rows(), "seed grad row mismatch");
+            assert_eq!(seed.cols(), value.cols(), "seed grad col mismatch");
+            accumulate(&mut self.nodes[root.0].grad, seed);
+            highest = highest.max(root.0);
+        }
+
+        for i in (0..=highest).rev() {
+            let Some(grad) = self.nodes[i].grad.take() else { continue };
             let op = self.nodes[i].op.clone();
             match op {
                 Op::Input => {}
                 Op::Param(pid) => store.accumulate_grad(pid, &grad),
                 Op::MatMul(a, b) => {
-                    let da = grad.matmul(&self.nodes[b.0].value.transpose());
-                    let db = self.nodes[a.0].value.transpose().matmul(&grad);
-                    self.nodes[a.0].grad.add_assign(&da);
-                    self.nodes[b.0].grad.add_assign(&db);
+                    // dA = dC · Bᵀ and dB = Aᵀ · dC via the transposed
+                    // kernels — no transpose matrix is materialized.
+                    let da = grad.matmul_nt(&self.nodes[b.0].value);
+                    let db = self.nodes[a.0].value.matmul_tn(&grad);
+                    accumulate(&mut self.nodes[a.0].grad, da);
+                    accumulate(&mut self.nodes[b.0].grad, db);
                 }
                 Op::Add(a, b) => {
-                    self.nodes[a.0].grad.add_assign(&grad);
-                    self.nodes[b.0].grad.add_assign(&grad);
+                    accumulate(&mut self.nodes[a.0].grad, grad.clone());
+                    accumulate(&mut self.nodes[b.0].grad, grad);
                 }
                 Op::AddBias(x, bias) => {
-                    self.nodes[x.0].grad.add_assign(&grad);
                     let db = grad.sum_cols();
-                    self.nodes[bias.0].grad.add_assign(&db);
+                    accumulate(&mut self.nodes[bias.0].grad, db);
+                    accumulate(&mut self.nodes[x.0].grad, grad);
                 }
                 Op::Hadamard(a, b) => {
-                    let da = grad.hadamard(&self.nodes[b.0].value);
-                    let db = grad.hadamard(&self.nodes[a.0].value);
-                    self.nodes[a.0].grad.add_assign(&da);
-                    self.nodes[b.0].grad.add_assign(&db);
+                    let mut da = grad.clone();
+                    da.hadamard_assign(&self.nodes[b.0].value);
+                    let mut db = grad;
+                    db.hadamard_assign(&self.nodes[a.0].value);
+                    accumulate(&mut self.nodes[a.0].grad, da);
+                    accumulate(&mut self.nodes[b.0].grad, db);
                 }
-                Op::EMin(a, b) | Op::EMax(a, b) => {
-                    let take_a_on_min = matches!(self.nodes[i].op, Op::EMin(_, _));
-                    let va = self.nodes[a.0].value.clone();
-                    let vb = self.nodes[b.0].value.clone();
+                ref op @ (Op::EMin(a, b) | Op::EMax(a, b)) => {
+                    let take_a_on_min = matches!(op, Op::EMin(_, _));
+                    let va = &self.nodes[a.0].value;
+                    let vb = &self.nodes[b.0].value;
                     let mut da = Matrix::zeros(va.rows(), va.cols());
                     let mut db = Matrix::zeros(vb.rows(), vb.cols());
                     for idx in 0..grad.len() {
@@ -246,46 +478,49 @@ impl Graph {
                             db.data_mut()[idx] = g;
                         }
                     }
-                    self.nodes[a.0].grad.add_assign(&da);
-                    self.nodes[b.0].grad.add_assign(&db);
+                    accumulate(&mut self.nodes[a.0].grad, da);
+                    accumulate(&mut self.nodes[b.0].grad, db);
                 }
                 Op::Mean2(a, b) => {
-                    let half = grad.scale(0.5);
-                    self.nodes[a.0].grad.add_assign(&half);
-                    self.nodes[b.0].grad.add_assign(&half);
+                    let mut half = grad;
+                    half.scale_inplace(0.5);
+                    accumulate(&mut self.nodes[a.0].grad, half.clone());
+                    accumulate(&mut self.nodes[b.0].grad, half);
                 }
                 Op::Relu(x) => {
-                    let vx = &self.nodes[x.0].value;
-                    let mut dx = grad.clone();
-                    for (g, &v) in dx.data_mut().iter_mut().zip(vx.data().iter()) {
+                    let mut dx = grad;
+                    for (g, &v) in dx.data_mut().iter_mut().zip(self.nodes[x.0].value.data().iter()) {
                         if v <= 0.0 {
                             *g = 0.0;
                         }
                     }
-                    self.nodes[x.0].grad.add_assign(&dx);
+                    accumulate(&mut self.nodes[x.0].grad, dx);
                 }
                 Op::Sigmoid(x) => {
-                    let s = &self.nodes[i].value;
-                    let ds = s.map(|v| v * (1.0 - v));
-                    let dx = grad.hadamard(&ds);
-                    self.nodes[x.0].grad.add_assign(&dx);
+                    let mut dx = grad;
+                    for (g, &s) in dx.data_mut().iter_mut().zip(self.nodes[i].value.data().iter()) {
+                        *g *= s * (1.0 - s);
+                    }
+                    accumulate(&mut self.nodes[x.0].grad, dx);
                 }
                 Op::Tanh(x) => {
-                    let t = &self.nodes[i].value;
-                    let dt = t.map(|v| 1.0 - v * v);
-                    let dx = grad.hadamard(&dt);
-                    self.nodes[x.0].grad.add_assign(&dx);
+                    let mut dx = grad;
+                    for (g, &t) in dx.data_mut().iter_mut().zip(self.nodes[i].value.data().iter()) {
+                        *g *= 1.0 - t * t;
+                    }
+                    accumulate(&mut self.nodes[x.0].grad, dx);
                 }
                 Op::Scale(x, s) => {
-                    let dx = grad.scale(s);
-                    self.nodes[x.0].grad.add_assign(&dx);
+                    let mut dx = grad;
+                    dx.scale_inplace(s);
+                    accumulate(&mut self.nodes[x.0].grad, dx);
                 }
                 Op::ConcatRows(parts) => {
                     let mut offset = 0;
                     for pid in parts {
                         let rows = self.nodes[pid.0].value.rows();
                         let piece = grad.slice_rows(offset, rows);
-                        self.nodes[pid.0].grad.add_assign(&piece);
+                        accumulate(&mut self.nodes[pid.0].grad, piece);
                         offset += rows;
                     }
                 }
@@ -300,7 +535,7 @@ impl Graph {
                                 piece.set(r, c, grad.get(r, offset + c));
                             }
                         }
-                        self.nodes[pid.0].grad.add_assign(&piece);
+                        accumulate(&mut self.nodes[pid.0].grad, piece);
                         offset += cols;
                     }
                 }
@@ -312,7 +547,7 @@ impl Graph {
                             dx.set(start + r, c, grad.get(r, c));
                         }
                     }
-                    self.nodes[x.0].grad.add_assign(&dx);
+                    accumulate(&mut self.nodes[x.0].grad, dx);
                 }
                 Op::ColumnAt(x, col) => {
                     let parent = &self.nodes[x.0].value;
@@ -320,10 +555,35 @@ impl Graph {
                     for r in 0..grad.rows() {
                         dx.set(r, col, grad.get(r, 0));
                     }
-                    self.nodes[x.0].grad.add_assign(&dx);
+                    accumulate(&mut self.nodes[x.0].grad, dx);
+                }
+                Op::GatherCols(sources) => {
+                    for (j, (src, c)) in sources.into_iter().enumerate() {
+                        let parent = &self.nodes[src.0].value;
+                        let (rows, cols) = (parent.rows(), parent.cols());
+                        // Scatter-add column j of the gradient into column c
+                        // of the source's (lazily materialized) gradient.
+                        let slot = &mut self.nodes[src.0].grad;
+                        let dst = slot.get_or_insert_with(|| Matrix::zeros(rows, cols));
+                        for r in 0..rows {
+                            let v = grad.get(r, j);
+                            if v != 0.0 {
+                                dst.data_mut()[r * cols + c] += v;
+                            }
+                        }
+                    }
                 }
             }
         }
+    }
+}
+
+/// Accumulate a gradient contribution into a lazily-materialized slot: the
+/// first contribution moves in without any zero-matrix allocation.
+fn accumulate(slot: &mut Option<Matrix>, contribution: Matrix) {
+    match slot {
+        Some(g) => g.add_assign(&contribution),
+        None => *slot = Some(contribution),
     }
 }
 
@@ -362,13 +622,7 @@ mod tests {
             store.value_mut(pid).data_mut()[i] = orig;
             let numeric = (f1 - f2) / (2.0 * eps);
             let a = analytic.data()[i];
-            assert!(
-                (a - numeric).abs() < tol,
-                "gradient mismatch at {}: analytic {} vs numeric {}",
-                i,
-                a,
-                numeric
-            );
+            assert!((a - numeric).abs() < tol, "gradient mismatch at {}: analytic {} vs numeric {}", i, a, numeric);
         }
     }
 
@@ -512,5 +766,122 @@ mod tests {
         let y = g.matmul(ones, s);
         g.backward(y, Matrix::from_vec(1, 1, vec![1.0]), &mut store);
         assert_eq!(store.grad(w), &Matrix::column(&[0.0, 1.0, 1.0]));
+    }
+
+    /// A small two-head forward shared by the mode/backward tests below.
+    fn two_head_forward(g: &mut Graph, store: &ParamStore, w: ParamId, v: ParamId) -> (NodeId, NodeId) {
+        let x = g.input(Matrix::column(&[0.4, -0.6]));
+        let wp = g.param(store, w);
+        let trunk = g.matmul(wp, x);
+        let trunk = g.tanh(trunk);
+        let vp = g.param(store, v);
+        let head1 = g.matmul(vp, trunk);
+        let head2 = g.scale(trunk, 2.0);
+        let ones = g.input(Matrix::from_vec(1, 2, vec![1.0, 1.0]));
+        let head2 = g.matmul(ones, head2);
+        (head1, head2)
+    }
+
+    fn two_params() -> (ParamStore, ParamId, ParamId) {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::from_vec(2, 2, vec![0.3, -0.8, 0.5, 0.1]));
+        let v = store.add("v", Matrix::from_vec(1, 2, vec![0.7, -0.4]));
+        (store, w, v)
+    }
+
+    #[test]
+    fn inference_forward_matches_train_forward() {
+        let (store, w, v) = two_params();
+        let mut train = Graph::new();
+        let (t1, t2) = two_head_forward(&mut train, &store, w, v);
+        let mut infer = Graph::inference();
+        let (i1, i2) = two_head_forward(&mut infer, &store, w, v);
+        assert_eq!(train.value(t1), infer.value(i1));
+        assert_eq!(train.value(t2), infer.value(i2));
+        assert_eq!(infer.mode(), Mode::Inference);
+        assert_eq!(train.mode(), Mode::Train);
+    }
+
+    #[test]
+    #[should_panic(expected = "inference-mode graph")]
+    fn backward_on_inference_graph_panics() {
+        let (mut store, w, v) = two_params();
+        let mut g = Graph::inference();
+        let (h1, _) = two_head_forward(&mut g, &store, w, v);
+        g.backward(h1, Matrix::from_vec(1, 1, vec![1.0]), &mut store);
+    }
+
+    #[test]
+    fn sequential_backwards_do_not_double_count() {
+        // Two backward calls on one tape must equal the sum of two fresh
+        // single-head backwards: gradients are consumed by each sweep.
+        let (mut store, w, v) = two_params();
+        let seed = Matrix::from_vec(1, 1, vec![1.0]);
+
+        let mut expected = ParamStore::new();
+        let we = expected.add("w", store.value(w).clone());
+        let ve = expected.add("v", store.value(v).clone());
+        let mut g1 = Graph::new();
+        let (h1, _) = two_head_forward(&mut g1, &expected, we, ve);
+        g1.backward(h1, seed.clone(), &mut expected);
+        let mut g2 = Graph::new();
+        let (_, h2) = two_head_forward(&mut g2, &expected, we, ve);
+        g2.backward(h2, seed.clone(), &mut expected);
+
+        store.zero_grad();
+        let mut g = Graph::new();
+        let (h1, h2) = two_head_forward(&mut g, &store, w, v);
+        g.backward(h1, seed.clone(), &mut store);
+        g.backward(h2, seed.clone(), &mut store);
+
+        for (pid, pe) in [(w, we), (v, ve)] {
+            for (a, b) in store.grad(pid).data().iter().zip(expected.grad(pe).data().iter()) {
+                assert!((a - b).abs() < 1e-6, "sequential backward grad mismatch: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn backward_multi_matches_sequential_backwards() {
+        let (mut store, w, v) = two_params();
+        let seed = Matrix::from_vec(1, 1, vec![1.0]);
+
+        let mut g = Graph::new();
+        let (h1, h2) = two_head_forward(&mut g, &store, w, v);
+        g.backward(h1, seed.clone(), &mut store);
+        g.backward(h2, seed.clone(), &mut store);
+        let sequential_w = store.grad(w).clone();
+        let sequential_v = store.grad(v).clone();
+
+        store.zero_grad();
+        let mut g = Graph::new();
+        let (h1, h2) = two_head_forward(&mut g, &store, w, v);
+        g.backward_multi(vec![(h1, seed.clone()), (h2, seed)], &mut store);
+
+        for (multi, seq) in [(store.grad(w), &sequential_w), (store.grad(v), &sequential_v)] {
+            for (a, b) in multi.data().iter().zip(seq.data().iter()) {
+                assert!((a - b).abs() < 1e-6, "backward_multi grad mismatch: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn reset_reuses_tape_for_identical_results() {
+        let (mut store, w, v) = two_params();
+        let mut g = Graph::new();
+        let (h1, _) = two_head_forward(&mut g, &store, w, v);
+        let first = g.value(h1).clone();
+        g.backward(h1, Matrix::from_vec(1, 1, vec![1.0]), &mut store);
+        let first_grad = store.grad(w).clone();
+
+        for _ in 0..3 {
+            g.reset();
+            assert!(g.is_empty());
+            store.zero_grad();
+            let (h1, _) = two_head_forward(&mut g, &store, w, v);
+            assert_eq!(g.value(h1), &first);
+            g.backward(h1, Matrix::from_vec(1, 1, vec![1.0]), &mut store);
+            assert_eq!(store.grad(w), &first_grad);
+        }
     }
 }

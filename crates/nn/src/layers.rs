@@ -66,7 +66,14 @@ pub struct Mlp2 {
 
 impl Mlp2 {
     /// Register the MLP's parameters.
-    pub fn new(store: &mut ParamStore, name: &str, in_dim: usize, hidden: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        out_dim: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
         Mlp2 {
             l1: Linear::new(store, &format!("{name}.l1"), in_dim, hidden, rng),
             l2: Linear::new(store, &format!("{name}.l2"), hidden, out_dim, rng),

@@ -30,7 +30,7 @@ pub mod optim;
 pub mod params;
 
 pub use cells::{TreeLstmCell, TreeNnCell};
-pub use graph::{Graph, NodeId};
+pub use graph::{Graph, Mode, NodeId};
 pub use layers::Linear;
 pub use loss::{qerror_from_normalized, NormalizationStats};
 pub use matrix::Matrix;

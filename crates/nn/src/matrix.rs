@@ -4,8 +4,77 @@
 //! are represented as single-column matrices; a mini-batch of `n` vectors is
 //! a matrix with `n` columns, which is how the level-wise batched inference
 //! of Section 4.3 is implemented.
+//!
+//! # Kernels
+//!
+//! The hot path of batched inference is matrix multiplication, so
+//! [`Matrix::matmul`] runs a cache-blocked kernel: the right-hand operand is
+//! packed one `KC x NC` tile at a time into a contiguous stack buffer (so the
+//! inner loops walk sequential memory regardless of `B`'s width) and the
+//! innermost update is an 8-wide unrolled axpy the compiler turns into SIMD.
+//! `matmul_nt` / `matmul_tn` multiply by a transposed operand *without*
+//! materializing the transpose — they are what `Graph::backward` uses for
+//! `dA = dC·Bᵀ` and `dB = Aᵀ·dC`.
+//!
+//! Every kernel also has a `*_into` variant writing into a caller-provided
+//! matrix, and the element-wise operations have in-place (`*_assign`,
+//! `*_inplace`) variants; together they let steady-state forward passes reuse
+//! buffers instead of allocating per op (see `Graph`'s buffer recycling).
+//! `matmul_naive` keeps the textbook triple loop as the reference the
+//! property tests compare the blocked kernel against.
 
 use std::fmt;
+
+/// Depth (K) extent of one packed tile of the right-hand operand.
+const KC: usize = 64;
+/// Width (N) extent of one packed tile; `KC * NC * 4` bytes = 16 KiB, half a
+/// typical L1d, leaving room for the output rows streaming through.
+const NC: usize = 64;
+
+/// 8-wide unrolled `out += a * b` over equal-length slices.
+#[inline(always)]
+fn axpy8(a: f32, b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(b.len(), out.len());
+    let split = out.len() - out.len() % 8;
+    let (b_main, b_tail) = b.split_at(split);
+    let (o_main, o_tail) = out.split_at_mut(split);
+    for (o, v) in o_main.chunks_exact_mut(8).zip(b_main.chunks_exact(8)) {
+        o[0] += a * v[0];
+        o[1] += a * v[1];
+        o[2] += a * v[2];
+        o[3] += a * v[3];
+        o[4] += a * v[4];
+        o[5] += a * v[5];
+        o[6] += a * v[6];
+        o[7] += a * v[7];
+    }
+    for (o, &v) in o_tail.iter_mut().zip(b_tail.iter()) {
+        *o += a * v;
+    }
+}
+
+/// 8-accumulator unrolled dot product of equal-length slices.
+#[inline(always)]
+fn dot8(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let split = a.len() - a.len() % 8;
+    let mut acc = [0.0f32; 8];
+    for (x, y) in a[..split].chunks_exact(8).zip(b[..split].chunks_exact(8)) {
+        acc[0] += x[0] * y[0];
+        acc[1] += x[1] * y[1];
+        acc[2] += x[2] * y[2];
+        acc[3] += x[3] * y[3];
+        acc[4] += x[4] * y[4];
+        acc[5] += x[5] * y[5];
+        acc[6] += x[6] * y[6];
+        acc[7] += x[7] * y[7];
+    }
+    let mut sum: f32 = a[split..].iter().zip(b[split..].iter()).map(|(x, y)| x * y).sum();
+    for v in acc {
+        sum += v;
+    }
+    sum
+}
 
 /// Dense row-major matrix of `f32` values.
 #[derive(Clone, PartialEq)]
@@ -90,26 +159,162 @@ impl Matrix {
         self.data[r * self.cols + c] = v;
     }
 
-    /// Matrix multiplication `self * other`.
+    /// Matrix multiplication `self * other` (cache-blocked kernel).
     ///
     /// # Panics
     /// Panics if the inner dimensions do not agree.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.rows, "matmul dimension mismatch: {}x{} * {}x{}", self.rows, self.cols, other.rows, other.cols);
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// Blocked matrix multiplication into a caller-provided output matrix
+    /// (overwritten, so `out` may hold stale data from a recycled buffer).
+    ///
+    /// Tiles of `other` are packed into a contiguous 16 KiB stack buffer so
+    /// the 8-wide unrolled inner axpy streams sequential memory for any
+    /// operand width.
+    ///
+    /// # Panics
+    /// Panics on any dimension mismatch.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(out.rows, self.rows, "matmul output row mismatch");
+        assert_eq!(out.cols, other.cols, "matmul output col mismatch");
+        out.fill_zero();
+        let (m, depth, n) = (self.rows, self.cols, other.cols);
+        if m == 0 || depth == 0 || n == 0 {
+            return;
+        }
+        if depth <= KC && n <= NC {
+            // Single-tile case: `other` already fits in L1, so packing would
+            // only add a copy (and the pack buffer's init).  The estimator's
+            // per-level matrices almost always land here.
+            for i in 0..m {
+                let a_row = &self.data[i * depth..(i + 1) * depth];
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (k, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    axpy8(a, &other.data[k * n..(k + 1) * n], out_row);
+                }
+            }
+            return;
+        }
+        let mut pack = [0.0f32; KC * NC];
+        for kb in (0..depth).step_by(KC) {
+            let kc = KC.min(depth - kb);
+            for nb in (0..n).step_by(NC) {
+                let nc = NC.min(n - nb);
+                // Pack other[kb..kb+kc, nb..nb+nc] row-major into `pack`.
+                for kk in 0..kc {
+                    let src = &other.data[(kb + kk) * n + nb..(kb + kk) * n + nb + nc];
+                    pack[kk * nc..kk * nc + nc].copy_from_slice(src);
+                }
+                for i in 0..m {
+                    let a_row = &self.data[i * depth + kb..i * depth + kb + kc];
+                    let out_row = &mut out.data[i * n + nb..i * n + nb + nc];
+                    for (kk, &a) in a_row.iter().enumerate() {
+                        // One-hot feature vectors make zero coefficients
+                        // common; skipping them skips whole axpy rows.
+                        if a == 0.0 {
+                            continue;
+                        }
+                        axpy8(a, &pack[kk * nc..kk * nc + nc], out_row);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reference textbook matmul (unblocked).  Kept as the oracle the
+    /// property tests compare the blocked kernel against; not used on the
+    /// hot path.
+    pub fn matmul_naive(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
         let mut out = Matrix::zeros(self.rows, other.cols);
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let row_out = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                let row_b = &other.data[k * other.cols..(k + 1) * other.cols];
-                for (o, b) in row_out.iter_mut().zip(row_b.iter()) {
-                    *o += a * b;
+                for j in 0..other.cols {
+                    out.data[i * other.cols + j] += a * other.data[k * other.cols + j];
                 }
             }
         }
+        out
+    }
+
+    /// `self * otherᵀ` without materializing the transpose: rows of `self`
+    /// dot rows of `other`.  Backward uses this for `dA = dC · Bᵀ`.
+    ///
+    /// # Panics
+    /// Panics unless `self` is `m x k` and `other` is `n x k`.
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt dimension mismatch: {}x{} * ({}x{})ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(out.rows, self.rows, "matmul_nt output row mismatch");
+        assert_eq!(out.cols, other.rows, "matmul_nt output col mismatch");
+        let depth = self.cols;
+        for i in 0..self.rows {
+            let a_row = &self.data[i * depth..(i + 1) * depth];
+            let out_row = &mut out.data[i * other.rows..(i + 1) * other.rows];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                *o = dot8(a_row, &other.data[j * depth..(j + 1) * depth]);
+            }
+        }
+    }
+
+    /// Allocating wrapper over [`Matrix::matmul_nt_into`].
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        self.matmul_nt_into(other, &mut out);
+        out
+    }
+
+    /// `selfᵀ * other` without materializing the transpose, via axpy over
+    /// rows of both operands.  Backward uses this for `dB = Aᵀ · dC`.
+    ///
+    /// # Panics
+    /// Panics unless `self` is `m x k` and `other` is `m x n`.
+    pub fn matmul_tn_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn dimension mismatch: ({}x{})ᵀ * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(out.rows, self.cols, "matmul_tn output row mismatch");
+        assert_eq!(out.cols, other.cols, "matmul_tn output col mismatch");
+        out.fill_zero();
+        let (k_out, n) = (self.cols, other.cols);
+        for r in 0..self.rows {
+            let o_row = &other.data[r * n..(r + 1) * n];
+            let a_row = &self.data[r * k_out..(r + 1) * k_out];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                axpy8(a, o_row, &mut out.data[i * n..(i + 1) * n]);
+            }
+        }
+    }
+
+    /// Allocating wrapper over [`Matrix::matmul_tn_into`].
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        self.matmul_tn_into(other, &mut out);
         out
     }
 
@@ -265,9 +470,111 @@ impl Matrix {
         }
     }
 
+    /// In-place element-wise product.
+    pub fn hadamard_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a *= b;
+        }
+    }
+
+    /// Apply a scalar function element-wise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in self.data.iter_mut() {
+            *x = f(*x);
+        }
+    }
+
+    /// Multiply all elements by a scalar in place.
+    pub fn scale_inplace(&mut self, s: f32) {
+        self.map_inplace(|x| x * s);
+    }
+
+    /// Add a column-vector bias to every column, in place.
+    ///
+    /// # Panics
+    /// Panics if `bias` is not a `rows x 1` column vector.
+    pub fn add_bias_assign(&mut self, bias: &Matrix) {
+        assert_eq!(bias.cols, 1, "bias must be a column vector");
+        assert_eq!(bias.rows, self.rows, "bias rows must match matrix rows");
+        for r in 0..self.rows {
+            let b = bias.data[r];
+            for v in &mut self.data[r * self.cols..(r + 1) * self.cols] {
+                *v += b;
+            }
+        }
+    }
+
+    /// Write `self + other` into `out` (all three must agree in shape).
+    pub fn add_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.zip_into(other, out, |a, b| a + b);
+    }
+
+    /// Write the element-wise product into `out`.
+    pub fn hadamard_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.zip_into(other, out, |a, b| a * b);
+    }
+
+    /// Write the element-wise minimum into `out`.
+    pub fn emin_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.zip_into(other, out, |a, b| a.min(b));
+    }
+
+    /// Write the element-wise maximum into `out`.
+    pub fn emax_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.zip_into(other, out, |a, b| a.max(b));
+    }
+
+    /// Write `f` applied element-wise into `out` (same shape as `self`).
+    pub fn map_into(&self, f: impl Fn(f32) -> f32, out: &mut Matrix) {
+        assert_eq!(self.rows, out.rows, "map_into: row mismatch");
+        assert_eq!(self.cols, out.cols, "map_into: col mismatch");
+        for (o, &x) in out.data.iter_mut().zip(self.data.iter()) {
+            *o = f(x);
+        }
+    }
+
     /// Set all elements to zero.
     pub fn fill_zero(&mut self) {
         self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Consume the matrix, returning its backing buffer (for buffer pools).
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Rebuild a matrix from a pooled buffer, reusing its capacity, without
+    /// zero-filling: element values are **unspecified** (stale pool
+    /// contents).  Only for callers that overwrite every element before
+    /// reading — the tape's op kernels do.
+    pub fn from_pooled_uninit(rows: usize, cols: usize, mut buffer: Vec<f32>) -> Self {
+        let n = rows * cols;
+        if buffer.len() > n {
+            buffer.truncate(n);
+        } else {
+            buffer.resize(n, 0.0);
+        }
+        Matrix { rows, cols, data: buffer }
+    }
+
+    /// Clone `src` into a pooled buffer, reusing its capacity (no zero-fill
+    /// pass — the copy overwrites everything).
+    pub fn from_pooled_copy(src: &Matrix, mut buffer: Vec<f32>) -> Self {
+        buffer.clear();
+        buffer.extend_from_slice(&src.data);
+        Matrix { rows: src.rows, cols: src.cols, data: buffer }
+    }
+
+    fn zip_into(&self, other: &Matrix, out: &mut Matrix, f: impl Fn(f32, f32) -> f32) {
+        assert_eq!(self.rows, other.rows, "element-wise op: row mismatch");
+        assert_eq!(self.cols, other.cols, "element-wise op: col mismatch");
+        assert_eq!(self.rows, out.rows, "element-wise op: output row mismatch");
+        assert_eq!(self.cols, out.cols, "element-wise op: output col mismatch");
+        for ((o, &a), &b) in out.data.iter_mut().zip(self.data.iter()).zip(other.data.iter()) {
+            *o = f(a, b);
+        }
     }
 
     fn zip(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
@@ -367,6 +674,116 @@ mod tests {
         a.fill_zero();
         assert_eq!(a, Matrix::column(&[0.0, 0.0]));
     }
+
+    /// Deterministic pseudo-random matrix for kernel cross-checks.
+    fn lcg_matrix(rows: usize, cols: usize, mut seed: u32) -> Matrix {
+        let data = (0..rows * cols)
+            .map(|_| {
+                seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+                (seed >> 8) as f32 / (1u32 << 24) as f32 * 2.0 - 1.0
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    /// Per-element tolerance scaled by the magnitude flowing into the sum.
+    fn assert_close(a: &Matrix, b: &Matrix, scale: f32) {
+        assert_eq!(a.rows(), b.rows());
+        assert_eq!(a.cols(), b.cols());
+        for (x, y) in a.data().iter().zip(b.data().iter()) {
+            assert!((x - y).abs() <= 1e-4 * (1.0 + scale), "{x} vs {y} (scale {scale})");
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_crosses_tile_boundaries() {
+        // Shapes straddling the KC/NC = 64 tile edges exercise the packed
+        // multi-tile path the small property shapes never reach.
+        for (m, k, n) in [(1, 1, 1), (3, 64, 64), (7, 65, 129), (130, 70, 100), (5, 200, 33)] {
+            let a = lcg_matrix(m, k, (m * 31 + k) as u32);
+            let b = lcg_matrix(k, n, (k * 17 + n) as u32);
+            assert_close(&a.matmul(&b), &a.matmul_naive(&b), k as f32);
+        }
+    }
+
+    #[test]
+    fn transposed_kernels_match_explicit_transpose() {
+        for (m, k, n) in [(3, 5, 4), (17, 66, 40), (64, 64, 64), (2, 130, 9)] {
+            let a = lcg_matrix(m, k, 11);
+            let b = lcg_matrix(n, k, 22);
+            // A * Bᵀ
+            assert_close(&a.matmul_nt(&b), &a.matmul_naive(&b.transpose()), k as f32);
+            // Aᵀ * C
+            let c = lcg_matrix(m, n, 33);
+            assert_close(&a.matmul_tn(&c), &a.transpose().matmul_naive(&c), m as f32);
+        }
+    }
+
+    #[test]
+    fn matmul_into_overwrites_stale_buffer() {
+        let a = lcg_matrix(4, 6, 1);
+        let b = lcg_matrix(6, 5, 2);
+        let mut out = Matrix::full(4, 5, 123.0);
+        a.matmul_into(&b, &mut out);
+        assert_close(&out, &a.matmul_naive(&b), 6.0);
+    }
+
+    #[test]
+    fn inplace_variants_match_allocating_ops() {
+        let a = lcg_matrix(5, 7, 3);
+        let b = lcg_matrix(5, 7, 4);
+
+        let mut h = a.clone();
+        h.hadamard_assign(&b);
+        assert_eq!(h, a.hadamard(&b));
+
+        let mut s = a.clone();
+        s.scale_inplace(2.5);
+        assert_eq!(s, a.scale(2.5));
+
+        let mut m = a.clone();
+        m.map_inplace(|x| x.max(0.0));
+        assert_eq!(m, a.map(|x| x.max(0.0)));
+
+        let bias = Matrix::column(&[1.0, -2.0, 0.5, 3.0, -1.0]);
+        let mut ab = a.clone();
+        ab.add_bias_assign(&bias);
+        assert_eq!(ab, a.add_bias(&bias));
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ops() {
+        let a = lcg_matrix(6, 4, 9);
+        let b = lcg_matrix(6, 4, 10);
+        let mut out = Matrix::full(6, 4, 9.9);
+        a.add_into(&b, &mut out);
+        assert_eq!(out, a.add(&b));
+        a.hadamard_into(&b, &mut out);
+        assert_eq!(out, a.hadamard(&b));
+        a.emin_into(&b, &mut out);
+        assert_eq!(out, a.emin(&b));
+        a.emax_into(&b, &mut out);
+        assert_eq!(out, a.emax(&b));
+        a.map_into(|x| x * x, &mut out);
+        assert_eq!(out, a.map(|x| x * x));
+    }
+
+    #[test]
+    fn buffer_recycling_roundtrip() {
+        // from_pooled_uninit reuses the recycled allocation and never
+        // exposes lengths beyond rows*cols; contents are unspecified by
+        // contract (beyond zero-filled growth past the old length).
+        let buf = lcg_matrix(8, 8, 5).into_vec();
+        let capacity = buf.capacity();
+        let recycled = Matrix::from_pooled_uninit(4, 6, buf);
+        assert_eq!((recycled.rows(), recycled.cols(), recycled.len()), (4, 6, 24));
+        assert_eq!(recycled.into_vec().capacity(), capacity, "allocation was not reused");
+        let grown = Matrix::from_pooled_uninit(4, 4, vec![1.0; 2]);
+        assert_eq!(grown.len(), 16);
+
+        let copied = Matrix::from_pooled_copy(&Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]), Vec::new());
+        assert_eq!(copied, Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+    }
 }
 
 #[cfg(test)]
@@ -375,8 +792,7 @@ mod prop_tests {
     use proptest::prelude::*;
 
     fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-        proptest::collection::vec(-10.0f32..10.0, rows * cols)
-            .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+        proptest::collection::vec(-10.0f32..10.0, rows * cols).prop_map(move |v| Matrix::from_vec(rows, cols, v))
     }
 
     proptest! {
@@ -402,6 +818,55 @@ mod prop_tests {
                 prop_assert!(m.data()[i] >= a.data()[i]);
                 prop_assert!(m.data()[i] >= b.data()[i]);
             }
+        }
+
+        #[test]
+        fn blocked_matmul_matches_naive_random_shapes(
+            m in 1usize..24, k in 1usize..24, n in 1usize..24,
+            a_data in proptest::collection::vec(-1.0f32..1.0, 576),
+            b_data in proptest::collection::vec(-1.0f32..1.0, 576),
+        ) {
+            let a = Matrix::from_vec(m, k, a_data[..m * k].to_vec());
+            let b = Matrix::from_vec(k, n, b_data[..k * n].to_vec());
+            let blocked = a.matmul(&b);
+            let naive = a.matmul_naive(&b);
+            for (x, y) in blocked.data().iter().zip(naive.data().iter()) {
+                prop_assert!((x - y).abs() < 1e-4, "blocked {x} vs naive {y}");
+            }
+        }
+
+        #[test]
+        fn transposed_kernels_match_naive_random_shapes(
+            m in 1usize..20, k in 1usize..20, n in 1usize..20,
+            a_data in proptest::collection::vec(-1.0f32..1.0, 400),
+            b_data in proptest::collection::vec(-1.0f32..1.0, 400),
+        ) {
+            let a = Matrix::from_vec(m, k, a_data[..m * k].to_vec());
+            let bt = Matrix::from_vec(n, k, b_data[..n * k].to_vec());
+            let nt = a.matmul_nt(&bt);
+            let reference = a.matmul_naive(&bt.transpose());
+            for (x, y) in nt.data().iter().zip(reference.data().iter()) {
+                prop_assert!((x - y).abs() < 1e-4, "matmul_nt {x} vs naive {y}");
+            }
+            let c = Matrix::from_vec(m, n, b_data[..m * n].to_vec());
+            let tn = a.matmul_tn(&c);
+            let reference = a.transpose().matmul_naive(&c);
+            for (x, y) in tn.data().iter().zip(reference.data().iter()) {
+                prop_assert!((x - y).abs() < 1e-4, "matmul_tn {x} vs naive {y}");
+            }
+        }
+
+        #[test]
+        fn matmul_into_agrees_with_matmul(
+            m in 1usize..16, k in 1usize..16, n in 1usize..16,
+            a_data in proptest::collection::vec(-1.0f32..1.0, 256),
+            b_data in proptest::collection::vec(-1.0f32..1.0, 256),
+        ) {
+            let a = Matrix::from_vec(m, k, a_data[..m * k].to_vec());
+            let b = Matrix::from_vec(k, n, b_data[..k * n].to_vec());
+            let mut out = Matrix::full(m, n, f32::NAN);
+            a.matmul_into(&b, &mut out);
+            prop_assert_eq!(out, a.matmul(&b));
         }
     }
 }

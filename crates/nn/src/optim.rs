@@ -74,12 +74,8 @@ impl Optimizer for Adam {
             let m = p.m.data_mut();
             let v = p.v.data_mut();
             let grad = p.grad.data();
-            for ((val, (mi, vi)), &g) in p
-                .value
-                .data_mut()
-                .iter_mut()
-                .zip(m.iter_mut().zip(v.iter_mut()))
-                .zip(grad.iter())
+            for ((val, (mi, vi)), &g) in
+                p.value.data_mut().iter_mut().zip(m.iter_mut().zip(v.iter_mut())).zip(grad.iter())
             {
                 *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
                 *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;

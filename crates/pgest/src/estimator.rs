@@ -48,12 +48,7 @@ impl TraditionalEstimator {
 
     /// Number of distinct values of a column (1 when unknown).
     fn ndv(&self, table: &str, column: &str) -> f64 {
-        self.stats
-            .get(table)
-            .and_then(|t| t.get(column))
-            .map(|c| c.n_distinct() as f64)
-            .unwrap_or(1.0)
-            .max(1.0)
+        self.stats.get(table).and_then(|t| t.get(column)).map(|c| c.n_distinct() as f64).unwrap_or(1.0).max(1.0)
     }
 
     /// Number of rows of a base table.
@@ -161,10 +156,10 @@ mod tests {
         // the marginals and underestimates the conjunction.
         let db = db();
         let est = TraditionalEstimator::analyze(&db);
-        let pred = Predicate::atom("movie_companies", "note", CompareOp::Like, Operand::Str("%(co-production)%".into()))
-            .and(Predicate::atom("movie_companies", "company_type_id", CompareOp::Eq, Operand::Num(1.0)));
-        let mut plan =
-            PlanNode::leaf(PhysicalOp::SeqScan { table: "movie_companies".into(), predicate: Some(pred) });
+        let pred =
+            Predicate::atom("movie_companies", "note", CompareOp::Like, Operand::Str("%(co-production)%".into()))
+                .and(Predicate::atom("movie_companies", "company_type_id", CompareOp::Eq, Operand::Num(1.0)));
+        let mut plan = PlanNode::leaf(PhysicalOp::SeqScan { table: "movie_companies".into(), predicate: Some(pred) });
         let (card, _) = est.estimate_plan(&mut plan);
         let mut real_plan = plan.clone();
         let res = execute_plan(&db, &mut real_plan, &CostModel::default());

@@ -117,11 +117,8 @@ impl StringStats {
         let n_distinct = counts.len();
         let mut sorted: Vec<(&str, usize)> = counts.into_iter().collect();
         sorted.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
-        let mcv = sorted
-            .into_iter()
-            .take(NUM_MCV)
-            .map(|(s, c)| (s.to_string(), c as f64 / n_rows.max(1) as f64))
-            .collect();
+        let mcv =
+            sorted.into_iter().take(NUM_MCV).map(|(s, c)| (s.to_string(), c as f64 / n_rows.max(1) as f64)).collect();
         StringStats { mcv, n_rows, n_distinct }
     }
 
@@ -151,12 +148,7 @@ impl StringStats {
         if self.n_rows == 0 {
             return 0.0;
         }
-        let mcv_match: f64 = self
-            .mcv
-            .iter()
-            .filter(|(v, _)| query::like_match(v, pattern))
-            .map(|(_, f)| f)
-            .sum();
+        let mcv_match: f64 = self.mcv.iter().filter(|(v, _)| query::like_match(v, pattern)).map(|(_, f)| f).sum();
         let mcv_mass: f64 = self.mcv.iter().map(|(_, f)| f).sum();
         let fixed_len = pattern.chars().filter(|&c| c != '%' && c != '_').count();
         // The independence-style default guess PostgreSQL uses: each fixed
@@ -208,7 +200,7 @@ mod tests {
 
     #[test]
     fn numeric_eq_selectivity_uses_distinct_count() {
-        let values: Vec<i64> = (0..100).flat_map(|v| std::iter::repeat(v).take(10)).collect();
+        let values: Vec<i64> = (0..100).flat_map(|v| std::iter::repeat_n(v, 10)).collect();
         let s = NumericStats::build(&values);
         assert!((s.selectivity_eq(50.0) - 0.01).abs() < 1e-9);
         assert_eq!(s.selectivity_eq(-5.0), 0.0);

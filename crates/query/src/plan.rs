@@ -70,10 +70,7 @@ impl PhysicalOp {
 
     /// True for join operators.
     pub fn is_join(&self) -> bool {
-        matches!(
-            self,
-            PhysicalOp::HashJoin { .. } | PhysicalOp::MergeJoin { .. } | PhysicalOp::NestedLoopJoin { .. }
-        )
+        matches!(self, PhysicalOp::HashJoin { .. } | PhysicalOp::MergeJoin { .. } | PhysicalOp::NestedLoopJoin { .. })
     }
 
     /// The filter predicate attached to this node, if any.

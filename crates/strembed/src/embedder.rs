@@ -82,8 +82,7 @@ pub fn build_string_encoder(
         StringEncoding::Hash => Arc::new(HashBitmapEncoder::new(config.dim.max(32))),
         StringEncoding::EmbedNoRule | StringEncoding::EmbedRule => {
             let samples = sample_string_values(db, config.max_rows_per_table);
-            let queries: Vec<String> =
-                workload_strings.iter().map(|s| literal(s)).filter(|s| !s.is_empty()).collect();
+            let queries: Vec<String> = workload_strings.iter().map(|s| literal(s)).filter(|s| !s.is_empty()).collect();
 
             // The dictionary: either rule-extracted substrings (plus the raw
             // query strings) or whole column values only.
@@ -107,16 +106,14 @@ pub fn build_string_encoder(
                             }
                         }
                     }
-                    let dataset_values: Vec<String> =
-                        samples.iter().flat_map(|(_, _, v)| v.iter().cloned()).collect();
+                    let dataset_values: Vec<String> = samples.iter().flat_map(|(_, _, v)| v.iter().cloned()).collect();
                     let selected = select_rules(&candidates, &dataset_values, &queries, config.dictionary_bound);
                     let mut dict = selected.dictionary;
                     dict.extend(queries.iter().cloned());
                     dict
                 }
                 _ => {
-                    let mut dict: BTreeSet<String> =
-                        samples.iter().flat_map(|(_, _, v)| v.iter().cloned()).collect();
+                    let mut dict: BTreeSet<String> = samples.iter().flat_map(|(_, _, v)| v.iter().cloned()).collect();
                     dict.extend(queries.iter().cloned());
                     dict
                 }

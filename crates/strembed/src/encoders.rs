@@ -169,7 +169,7 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.len(), 64);
         assert!(a.iter().all(|&x| x == 0.0 || x == 1.0));
-        assert!(a.iter().any(|&x| x == 1.0));
+        assert!(a.contains(&1.0));
     }
 
     #[test]

@@ -263,11 +263,8 @@ mod tests {
     #[test]
     fn prefix_rule_extracts_din() {
         // "Dinos in Kas" → "Din" with ⟨Prefix, PC Pl, 3⟩
-        let rule = Rule {
-            func: StringFunc::Prefix,
-            pattern: Pattern(vec![PatToken::Capital, PatToken::Lower]),
-            len: 3,
-        };
+        let rule =
+            Rule { func: StringFunc::Prefix, pattern: Pattern(vec![PatToken::Capital, PatToken::Lower]), len: 3 };
         assert_eq!(rule.extract("Dinos in Kas"), Some("Din".to_string()));
         assert_eq!(rule.extract("Schla in Tra"), Some("Sch".to_string()));
         // Region shorter than len: no extraction.
@@ -288,8 +285,7 @@ mod tests {
 
     #[test]
     fn exact_token_rule_only_matches_that_token() {
-        let rule =
-            Rule { func: StringFunc::Prefix, pattern: Pattern(vec![PatToken::Token("Din".into())]), len: 3 };
+        let rule = Rule { func: StringFunc::Prefix, pattern: Pattern(vec![PatToken::Token("Din".into())]), len: 3 };
         assert_eq!(rule.extract("Dinos in Kas"), Some("Din".to_string()));
         assert_eq!(rule.extract("Schla"), None);
     }
@@ -303,9 +299,7 @@ mod tests {
             assert_eq!(r.extract("Dinos in Kas"), Some("Din".to_string()), "rule {r} failed");
         }
         // At least one candidate generalizes (contains a class token).
-        assert!(cands
-            .iter()
-            .any(|r| r.pattern.0.iter().any(|t| !matches!(t, PatToken::Token(_)))));
+        assert!(cands.iter().any(|r| r.pattern.0.iter().any(|t| !matches!(t, PatToken::Token(_)))));
     }
 
     #[test]

@@ -55,11 +55,10 @@ impl SkipGramModel {
         let dim = config.dim;
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
         let mut input: Vec<Vec<f32>> =
-            (0..v).map(|_| (0..dim).map(|_| rng.gen_range(-0.5..0.5) / dim as f32).collect()).collect();
+            (0..v).map(|_| (0..dim).map(|_| rng.gen_range(-0.5f32..0.5) / dim as f32).collect()).collect();
         let mut output: Vec<Vec<f32>> = (0..v).map(|_| vec![0.0; dim]).collect();
 
-        let id_sentences: Vec<Vec<usize>> =
-            sentences.iter().map(|s| s.iter().map(|t| vocab[t]).collect()).collect();
+        let id_sentences: Vec<Vec<usize>> = sentences.iter().map(|s| s.iter().map(|t| vocab[t]).collect()).collect();
 
         let sigmoid = |x: f32| 1.0 / (1.0 + (-x).exp());
         for _ in 0..config.epochs {
@@ -76,8 +75,7 @@ impl SkipGramModel {
                         }
                         let mut grad_center = vec![0.0f32; dim];
                         for (tgt, label) in targets {
-                            let dot: f32 =
-                                input[center].iter().zip(output[tgt].iter()).map(|(a, b)| a * b).sum();
+                            let dot: f32 = input[center].iter().zip(output[tgt].iter()).map(|(a, b)| a * b).sum();
                             let err = sigmoid(dot) - label;
                             for d in 0..dim {
                                 grad_center[d] += err * output[tgt][d];
@@ -162,10 +160,7 @@ mod tests {
         );
         let within = model.similarity("alpha", "beta").expect("known");
         let across = model.similarity("alpha", "delta").expect("known");
-        assert!(
-            within > across,
-            "co-occurring pair not more similar: within={within:.3} across={across:.3}"
-        );
+        assert!(within > across, "co-occurring pair not more similar: within={within:.3} across={across:.3}");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! annotated physical plan — the `<plan, real cost, real cardinality>`
 //! training triple.
 
-use engine::{execute_plan, plan_query, CostModel, PlannerConfig};
+use engine::{plan_query, CostModel, PlannerConfig};
 use imdb::{Database, Value};
 use query::{Aggregate, CompareOp, JoinPredicate, LogicalQuery, Operand, PlanNode, Predicate, Projection};
 use rand::seq::SliceRandom;
@@ -148,7 +148,8 @@ impl<'a> QueryGenerator<'a> {
             NUMERIC_PREDICATE_COLUMNS.iter().filter(|(t, _)| tables.iter().any(|x| x == t)).collect();
         let (table, column) = **candidates.choose(&mut self.rng)?;
         let value = self.sample_value(table, column)?.as_int()? as f64;
-        let op = *[CompareOp::Gt, CompareOp::Lt, CompareOp::Eq, CompareOp::Ne].choose(&mut self.rng).expect("non-empty");
+        let op =
+            *[CompareOp::Gt, CompareOp::Lt, CompareOp::Eq, CompareOp::Ne].choose(&mut self.rng).expect("non-empty");
         Some(Predicate::atom(table, column, op, Operand::Num(value)))
     }
 
@@ -272,18 +273,14 @@ impl<'a> QueryGenerator<'a> {
 }
 
 /// Plan and execute a batch of logical queries in parallel, producing
-/// annotated training samples.
+/// annotated training samples: planning fans out per query, then the whole
+/// plan batch goes through [`engine::execute_plans`].
 pub fn execute_workload(db: &Database, queries: Vec<LogicalQuery>) -> Vec<QuerySample> {
     let planner_cfg = PlannerConfig::default();
     let cost_model = CostModel::default();
-    queries
-        .into_par_iter()
-        .map(|q| {
-            let mut plan = plan_query(db, &q, &planner_cfg);
-            execute_plan(db, &mut plan, &cost_model);
-            QuerySample { query: q, plan }
-        })
-        .collect()
+    let mut plans: Vec<PlanNode> = queries.par_iter().map(|q| plan_query(db, q, &planner_cfg)).collect();
+    engine::execute_plans(db, &mut plans, &cost_model);
+    queries.into_iter().zip(plans).map(|(query, plan)| QuerySample { query, plan }).collect()
 }
 
 /// Generate and execute a workload in one call.
@@ -345,7 +342,9 @@ mod tests {
         let mut generator = QueryGenerator::new(&db, cfg);
         let queries = generator.generate_queries();
         let has_string = queries.iter().any(|q| {
-            q.filters.values().any(|p| p.atoms().iter().any(|a| matches!(a.operand, Operand::Str(_) | Operand::StrList(_))))
+            q.filters
+                .values()
+                .any(|p| p.atoms().iter().any(|a| matches!(a.operand, Operand::Str(_) | Operand::StrList(_))))
         });
         assert!(has_string, "no string predicates generated");
     }
@@ -375,7 +374,12 @@ mod tests {
     #[test]
     fn workload_strings_extracts_operands() {
         let db = db();
-        let cfg = WorkloadConfig { num_queries: 40, use_string_predicates: true, max_predicates_per_table: 3, ..Default::default() };
+        let cfg = WorkloadConfig {
+            num_queries: 40,
+            use_string_predicates: true,
+            max_predicates_per_table: 3,
+            ..Default::default()
+        };
         let samples = generate_workload(&db, cfg);
         let strings = workload_strings(&samples);
         assert!(!strings.is_empty());

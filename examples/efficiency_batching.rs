@@ -9,7 +9,11 @@ use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
-    let db = Arc::new(generate_imdb(GeneratorConfig { n_titles: 2_000, sample_size: 128, seed: 42 }));
+    // Modest database scale: the generator's zipf skew concentrates fact
+    // rows on a few hot movies, and at larger scales the Scale workload's
+    // 4-way star joins can blow up ground-truth execution (see ROADMAP
+    // "Open items" on the zipf approximation).
+    let db = Arc::new(generate_imdb(GeneratorConfig { n_titles: 600, sample_size: 128, seed: 42 }));
     let suite = WorkloadSuite::build(
         &db,
         WorkloadKind::Scale,
@@ -54,6 +58,9 @@ fn main() {
     println!("one-by-one inference : {:>9.3} ms/query", one_by_one.as_secs_f64() * 1e3 / n as f64);
     println!("level-batched        : {:>9.3} ms/query", batch_time.as_secs_f64() * 1e3 / n as f64);
     println!("memory-pool 1st pass : {:>9.3} ms/query", first_pass.as_secs_f64() * 1e3 / n as f64);
-    println!("memory-pool repeat   : {:>9.3} ms/query (hits {hits}, misses {misses})", cached_pass.as_secs_f64() * 1e3 / n as f64);
+    println!(
+        "memory-pool repeat   : {:>9.3} ms/query (hits {hits}, misses {misses})",
+        cached_pass.as_secs_f64() * 1e3 / n as f64
+    );
     println!("batched results for first 3 plans: {:?}", &batched[..n.min(3)]);
 }

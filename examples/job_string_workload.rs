@@ -52,11 +52,8 @@ fn main() {
         );
         let plans: Vec<PlanNode> = suite.train.iter().map(|s| s.plan.clone()).collect();
         estimator.fit(&plans);
-        let errors: Vec<f64> = suite
-            .test
-            .iter()
-            .map(|s| q_error(estimator.estimate(&s.plan).1, s.true_cardinality().max(1.0)))
-            .collect();
+        let errors: Vec<f64> =
+            suite.test.iter().map(|s| q_error(estimator.estimate(&s.plan).1, s.true_cardinality().max(1.0))).collect();
         table.add_errors(label, &errors);
     }
     table.print();

@@ -42,8 +42,7 @@ fn main() {
     );
     let mut mscn = MscnTrainer::new(mscn_model, &train_sets);
     mscn.train(&train_sets);
-    let mscn_errors: Vec<f64> =
-        test_sets.iter().map(|s| q_error(mscn.estimate(s), s.true_cardinality)).collect();
+    let mscn_errors: Vec<f64> = test_sets.iter().map(|s| q_error(mscn.estimate(s), s.true_cardinality)).collect();
     table.add_errors("MSCNCard", &mscn_errors);
 
     // Tree models (NN and LSTM representation cells).
@@ -57,11 +56,8 @@ fn main() {
         );
         let plans: Vec<PlanNode> = suite.train.iter().map(|s| s.plan.clone()).collect();
         estimator.fit(&plans);
-        let errors: Vec<f64> = suite
-            .test
-            .iter()
-            .map(|s| q_error(estimator.estimate(&s.plan).1, s.true_cardinality().max(1.0)))
-            .collect();
+        let errors: Vec<f64> =
+            suite.test.iter().map(|s| q_error(estimator.estimate(&s.plan).1, s.true_cardinality().max(1.0))).collect();
         table.add_errors(label, &errors);
     }
 

@@ -13,24 +13,17 @@ fn main() {
     println!("database: {} tables, title has {} rows", db.schema().tables.len(), db.table_rows("title"));
 
     // 2. Training workload: queries from the join graph, executed for ground truth.
-    let train = generate_workload(
-        &db,
-        WorkloadConfig { num_queries: 150, max_joins: 3, seed: 11, ..Default::default() },
-    );
-    let test = generate_workload(
-        &db,
-        WorkloadConfig { num_queries: 20, max_joins: 3, seed: 999, ..Default::default() },
-    );
+    let train =
+        generate_workload(&db, WorkloadConfig { num_queries: 150, max_joins: 3, seed: 11, ..Default::default() });
+    let test =
+        generate_workload(&db, WorkloadConfig { num_queries: 20, max_joins: 3, seed: 999, ..Default::default() });
     println!("generated {} training and {} test queries", train.len(), test.len());
 
     // 3. Learned estimator: hash-bitmap string encoding, tree-LSTM cell, multitask.
     let enc = EncodingConfig::from_database(&db, 16, 128);
     let extractor = FeatureExtractor::new(db.clone(), enc, Arc::new(HashBitmapEncoder::new(16)));
-    let mut estimator = CostEstimator::new(
-        extractor,
-        ModelConfig::default(),
-        TrainConfig { epochs: 5, ..Default::default() },
-    );
+    let mut estimator =
+        CostEstimator::new(extractor, ModelConfig::default(), TrainConfig { epochs: 5, ..Default::default() });
     let plans: Vec<PlanNode> = train.iter().map(|s| s.plan.clone()).collect();
     let stats = estimator.fit(&plans);
     println!(

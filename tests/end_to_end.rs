@@ -12,10 +12,8 @@ fn small_db() -> Arc<Database> {
 #[test]
 fn full_pipeline_trains_and_estimates() {
     let db = small_db();
-    let samples = generate_workload(
-        &db,
-        WorkloadConfig { num_queries: 60, max_joins: 2, seed: 5, ..Default::default() },
-    );
+    let samples =
+        generate_workload(&db, WorkloadConfig { num_queries: 60, max_joins: 2, seed: 5, ..Default::default() });
     assert_eq!(samples.len(), 60);
 
     let enc = EncodingConfig::from_database(&db, 8, 64);
@@ -41,14 +39,10 @@ fn learned_estimator_beats_traditional_on_training_distribution() {
     // learned model's mean cardinality q-error on queries drawn from the same
     // distribution is smaller than the traditional estimator's.
     let db = small_db();
-    let train = generate_workload(
-        &db,
-        WorkloadConfig { num_queries: 120, max_joins: 2, seed: 5, ..Default::default() },
-    );
-    let test = generate_workload(
-        &db,
-        WorkloadConfig { num_queries: 30, max_joins: 2, seed: 777, ..Default::default() },
-    );
+    let train =
+        generate_workload(&db, WorkloadConfig { num_queries: 120, max_joins: 2, seed: 5, ..Default::default() });
+    let test =
+        generate_workload(&db, WorkloadConfig { num_queries: 30, max_joins: 2, seed: 777, ..Default::default() });
 
     let enc = EncodingConfig::from_database(&db, 8, 64);
     let extractor = FeatureExtractor::new(db.clone(), enc, Arc::new(HashBitmapEncoder::new(8)));
@@ -84,10 +78,8 @@ fn learned_estimator_beats_traditional_on_training_distribution() {
 #[test]
 fn traditional_estimator_annotations_and_executor_agree_on_structure() {
     let db = small_db();
-    let samples = generate_workload(
-        &db,
-        WorkloadConfig { num_queries: 15, max_joins: 3, seed: 9, ..Default::default() },
-    );
+    let samples =
+        generate_workload(&db, WorkloadConfig { num_queries: 15, max_joins: 3, seed: 9, ..Default::default() });
     let traditional = TraditionalEstimator::analyze(&db);
     for s in &samples {
         let mut plan = s.plan.clone();
@@ -142,10 +134,8 @@ fn string_embedding_pipeline_integrates_with_the_estimator() {
 #[test]
 fn batched_and_single_estimation_agree_across_the_public_api() {
     let db = small_db();
-    let train = generate_workload(
-        &db,
-        WorkloadConfig { num_queries: 40, max_joins: 2, seed: 31, ..Default::default() },
-    );
+    let train =
+        generate_workload(&db, WorkloadConfig { num_queries: 40, max_joins: 2, seed: 31, ..Default::default() });
     let enc = EncodingConfig::from_database(&db, 8, 64);
     let extractor = FeatureExtractor::new(db.clone(), enc, Arc::new(HashBitmapEncoder::new(8)));
     let mut estimator = CostEstimator::new(

@@ -1,0 +1,438 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API the workspace's property tests
+//! use: the `proptest!` macro, `prop_assert*`, numeric range strategies,
+//! simple regex string strategies (`"[a-z]{1,8}"`-style character classes),
+//! `collection::{vec, btree_set}`, `sample::select` and `Strategy::prop_map`.
+//!
+//! Unlike the real proptest there is no shrinking: a failing case panics
+//! with the case number and the seeded RNG makes the failure reproducible
+//! (set `PROPTEST_CASES` to change the per-test case count, default 128).
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use rand::Rng;
+
+    /// RNG driving test-case generation.
+    pub type TestRng = rand_chacha::ChaCha8Rng;
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f32, f64);
+
+    /// One `<charset>{min,max}` piece of a simple regex pattern.
+    struct Piece {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Parse the regex subset `[class]{m,n}`, `.{m,n}`, literals.  Character
+    /// classes support `a-z` ranges; a trailing `-` is a literal.
+    fn parse_pattern(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let set: Vec<char> = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unterminated character class in {pattern:?}"));
+                    let inner = &chars[i + 1..close];
+                    i = close + 1;
+                    let mut set = Vec::new();
+                    let mut j = 0;
+                    while j < inner.len() {
+                        if j + 2 < inner.len() && inner[j + 1] == '-' {
+                            for c in inner[j]..=inner[j + 2] {
+                                set.push(c);
+                            }
+                            j += 3;
+                        } else {
+                            set.push(inner[j]);
+                            j += 1;
+                        }
+                    }
+                    set
+                }
+                '.' => {
+                    i += 1;
+                    (' '..='~').collect()
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            // Optional {n} / {m,n} repetition suffix.
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unterminated repetition in {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse().unwrap_or_else(|_| panic!("bad repetition {body:?}")),
+                        hi.parse().unwrap_or_else(|_| panic!("bad repetition {body:?}")),
+                    ),
+                    None => {
+                        let n = body.parse().unwrap_or_else(|_| panic!("bad repetition {body:?}"));
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            pieces.push(Piece { chars: set, min, max });
+        }
+        pieces
+    }
+
+    /// `&str` patterns are string strategies (regex subset).
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for piece in parse_pattern(self) {
+                let n = rng.gen_range(piece.min..=piece.max);
+                for _ in 0..n {
+                    let k = rng.gen_range(0..piece.chars.len());
+                    out.push(piece.chars[k]);
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies: `vec` and `btree_set`.
+
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Size bounds for generated collections.
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.min..=self.size.max);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`; duplicates are retried a bounded
+    /// number of times, so the set can come out smaller than `size.min` only
+    /// when the element domain is nearly exhausted.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = rng.gen_range(self.size.min..=self.size.max);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0;
+            while out.len() < target && attempts < target * 20 + 20 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies over explicit value lists.
+
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Uniformly select one of `items` per generated case.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select requires a non-empty list");
+        Select { items }
+    }
+
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let k = rng.gen_range(0..self.items.len());
+            self.items[k].clone()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The per-test case loop behind the `proptest!` macro.
+
+    use super::strategy::TestRng;
+    use rand::SeedableRng;
+
+    /// Number of cases per property (override with `PROPTEST_CASES`).
+    pub fn case_count() -> usize {
+        std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(128)
+    }
+
+    /// Deterministic per-test seed derived from the test name (FNV-1a).
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    /// Run `f` for `case_count()` seeded cases, panicking on the first `Err`.
+    pub fn run(name: &str, mut f: impl FnMut(&mut TestRng) -> Result<(), String>) {
+        let mut rng = TestRng::seed_from_u64(seed_for(name));
+        let cases = case_count();
+        for case in 0..cases {
+            if let Err(msg) = f(&mut rng) {
+                panic!("property {name} failed at case {case}/{cases}: {msg}");
+            }
+        }
+    }
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }` runs
+/// [`test_runner::case_count`] seeded random cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, rng);)*
+                    let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    outcome
+                });
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a `proptest!` body (fails the case, not the
+/// whole process, so the runner can report the case number).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} == {} ({l:?} vs {r:?})",
+                stringify!($left),
+                stringify!($right)
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        if l == r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} != {} (both {l:?})",
+                stringify!($left),
+                stringify!($right)
+            ));
+        }
+    }};
+}
+
+pub mod prelude {
+    //! The proptest prelude: everything the test modules import.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespaced access used as `prop::sample::select(...)`.
+    pub mod prop {
+        pub use crate::{collection, sample};
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 0usize..10, y in -1.0f64..1.0) {
+            prop_assert!(x < 10);
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn string_pattern_shape(s in "[a-z]{2,5}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 5, "bad length {}", s.len());
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn vec_sizes(v in prop::collection::vec(0u8..10, 3..7)) {
+            prop_assert!(v.len() >= 3 && v.len() < 7);
+        }
+
+        #[test]
+        fn select_picks_member(x in prop::sample::select(vec![1, 5, 9])) {
+            prop_assert!([1, 5, 9].contains(&x));
+        }
+
+        #[test]
+        fn prop_map_applies(n in (0usize..5).prop_map(|x| x * 2)) {
+            prop_assert!(n % 2 == 0 && n < 10);
+        }
+    }
+
+    #[test]
+    fn btree_set_respects_target() {
+        use crate::strategy::{Strategy, TestRng};
+        use rand::SeedableRng;
+        let mut rng = TestRng::seed_from_u64(1);
+        let s = prop::collection::btree_set("[a-z]{1,8}", 1..20);
+        for _ in 0..50 {
+            let set = s.generate(&mut rng);
+            assert!(!set.is_empty() && set.len() < 20);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_reports_case() {
+        proptest! {
+            fn always_fails(x in 0usize..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

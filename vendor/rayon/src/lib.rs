@@ -1,0 +1,203 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the data-parallel subset this workspace uses —
+//! `into_par_iter().map(f).collect()`, `par_iter()`, `par_chunks(n)` and
+//! `join` — with real parallelism over `std::thread::scope` worker threads
+//! pulling work items from a shared queue.  Results are returned in input
+//! order.  Unlike rayon there is no work-stealing pool reuse; threads are
+//! spawned per call, which is fine for the coarse-grained plan-group and
+//! query-execution parallelism in this repo.
+
+use std::sync::Mutex;
+
+/// Number of worker threads for a workload of `n` items.
+fn worker_count(n: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    hw.min(n).max(1)
+}
+
+/// Parallel ordered map: apply `f` to every item, preserving input order.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let workers = worker_count(n);
+    if workers == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // LIFO queue of (original index, item); each worker pops until empty.
+    let queue: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let next = queue.lock().expect("queue lock").pop();
+                match next {
+                    Some((idx, item)) => {
+                        let out = f(item);
+                        done.lock().expect("result lock").push((idx, out));
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    let mut pairs = done.into_inner().expect("result lock");
+    pairs.sort_unstable_by_key(|(idx, _)| *idx);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let mut rb = None;
+    let ra = std::thread::scope(|scope| {
+        let handle = scope.spawn(b);
+        let ra = a();
+        rb = Some(handle.join().expect("join closure panicked"));
+        ra
+    });
+    (ra, rb.expect("join result"))
+}
+
+/// An owned sequence ready for a parallel map.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A parallel map pipeline awaiting `collect()`.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Attach the per-item function.
+    pub fn map<R, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap { items: self.items, f }
+    }
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Execute the map in parallel and collect results in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(T) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        parallel_map(self.items, self.f).into_iter().collect()
+    }
+}
+
+pub mod prelude {
+    //! The rayon prelude: traits putting `par_*` methods on collections.
+
+    pub use super::join;
+    use super::ParIter;
+
+    /// `into_par_iter()` on owned collections.
+    pub trait IntoParallelIterator {
+        type Item: Send;
+        fn into_par_iter(self) -> ParIter<Self::Item>;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self }
+        }
+    }
+
+    /// `par_iter()` / `par_chunks()` on slices.
+    pub trait ParallelSlice<T: Sync> {
+        /// Parallel iterator over references.
+        fn par_iter(&self) -> ParIter<&T>;
+        /// Parallel iterator over contiguous chunks of at most `size` items.
+        fn par_chunks(&self, size: usize) -> ParIter<&[T]>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> ParIter<&T> {
+            ParIter { items: self.iter().collect() }
+        }
+
+        fn par_chunks(&self, size: usize) -> ParIter<&[T]> {
+            assert!(size > 0, "chunk size must be non-zero");
+            ParIter { items: self.chunks(size).collect() }
+        }
+    }
+
+    /// Parallel iteration over mutable references.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Parallel iterator over `&mut` elements (map/collect preserves
+        /// input order, like `par_iter`).
+        fn par_iter_mut(&mut self) -> ParIter<&mut T>;
+
+        /// Apply `f` to every element in place, in parallel.
+        fn par_apply<F: Fn(&mut T) + Sync>(&mut self, f: F) {
+            let _: Vec<()> = self.par_iter_mut().map(&f).collect();
+        }
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+            ParIter { items: self.iter_mut().collect() }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_covers_everything() {
+        let v: Vec<usize> = (0..103).collect();
+        let sums: Vec<usize> = v.par_chunks(10).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums.len(), 11);
+        assert_eq!(sums.iter().sum::<usize>(), (0..103).sum());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn par_apply_mutates_in_place() {
+        let mut v: Vec<usize> = (0..100).collect();
+        v.par_apply(|x| *x += 1);
+        assert_eq!(v, (1..101).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<usize> = Vec::new();
+        let out: Vec<usize> = empty.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        let one: Vec<usize> = vec![7];
+        let out: Vec<usize> = one.into_par_iter().map(|x| x * 3).collect();
+        assert_eq!(out, vec![21]);
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize` / `Deserialize` derives so the
+//! `#[derive(Serialize, Deserialize)]` annotations across the workspace
+//! compile without network access.  The marker traits below exist so code
+//! may also write `T: Serialize` bounds; no actual (de)serialization is
+//! provided — replace these vendor crates with the real serde when a
+//! registry is reachable.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the stub).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the stub).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the real serde
+//! derive (and its syn/quote dependency tree) is unavailable.  Nothing in
+//! this workspace serializes data yet — the `#[derive(Serialize,
+//! Deserialize)]` annotations only declare intent — so the derives expand to
+//! nothing.  Swapping in the real serde later requires no source changes:
+//! delete the `vendor/serde*` crates and point the manifests at crates.io.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
