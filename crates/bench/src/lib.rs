@@ -6,6 +6,9 @@
 //! controlled by the `E2E_SCALE` (database size multiplier), `E2E_QUERIES`
 //! (training queries) and `E2E_EPOCHS` environment variables so the same
 //! harness can run as a quick smoke test or a longer, closer-to-paper run.
+//! Ground-truth labeling uses the counting executor (no join-tuple
+//! materialization), so the default `E2E_SCALE=1` is safe even for the
+//! skewed 4-way star joins of the JOB-style workloads.
 
 use engine::CostModel;
 use estimator_core::{CostEstimator, ModelConfig, PredicateModelKind, RepresentationCellKind, TaskMode, TrainConfig};

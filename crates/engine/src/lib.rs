@@ -11,7 +11,11 @@
 //!   estimator baseline's cost function.
 //! * [`executor`] — executes a physical plan against the in-memory database,
 //!   annotating every node with its true output cardinality and true
-//!   (cumulative) cost.
+//!   (cumulative) cost.  The default [`executor::ExecMode::Count`] path
+//!   propagates per-key match counts through the join tree without ever
+//!   materializing intermediate tuples, so ground truth stays cheap even for
+//!   skewed star joins; [`executor::ExecMode::Materialize`] is the
+//!   tuple-materializing oracle it is tested against.
 //! * [`planner`] — a heuristic cost-based planner that turns a logical query
 //!   into a physical plan (scan choice, greedy join ordering, join operator
 //!   selection), playing the role of the PostgreSQL optimizer that produced
@@ -22,5 +26,5 @@ pub mod executor;
 pub mod planner;
 
 pub use cost::CostModel;
-pub use executor::{execute_plan, execute_plans, ExecutionResult};
+pub use executor::{execute_plan, execute_plan_mode, execute_plans, execute_plans_mode, ExecMode, ExecutionResult};
 pub use planner::{plan_query, PlannerConfig};

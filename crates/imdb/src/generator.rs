@@ -50,17 +50,73 @@ impl GeneratorConfig {
     }
 }
 
-/// Zipf-like draw over `0..n`: rank r with probability proportional to
-/// `1 / (r + 1)^s`.
-fn zipf(rng: &mut impl Rng, n: usize, s: f64) -> usize {
-    debug_assert!(n > 0);
-    // Inverse-CDF by rejection-free approximation: draw u, map through the
-    // truncated harmonic distribution using a power transform.  Accurate
-    // enough for generating skew; exactness is not required.
-    let u: f64 = rng.gen_range(0.0f64..1.0);
-    let x = (1.0 - u).powf(1.0 / (1.0 - s.min(0.99)));
-    let idx = ((1.0 / x) - 1.0).round() as usize;
-    idx.min(n - 1)
+/// Exact zipf sampler over ranks `0..n`: rank `r` is drawn with probability
+/// `(r + 1)^-s / H_{n,s}` where `H_{n,s}` is the generalized harmonic number
+/// (the truncated-zeta normalizer).
+///
+/// Sampling is inverse-CDF over the precomputed cumulative weights (binary
+/// search, `O(log n)` per draw after an `O(n)` build), so the distribution is
+/// exact — unlike the power-transform approximation this replaces, which
+/// piled ~11% of the mass on rank 0 regardless of `n` (a true zipf(0.7)
+/// over 2000 ranks puts ~3% there).
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// `cdf[r]` = P(rank <= r); `cdf[n - 1]` is exactly 1.
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Precompute the cumulative distribution for `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf over an empty domain");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for r in 0..n {
+            acc += ((r + 1) as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let norm = acc;
+        for c in &mut cdf {
+            *c /= norm;
+        }
+        // Guard against rounding drift: the final bucket must absorb u -> 1.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Exact probability of rank `r`.
+    pub fn pmf(&self, r: usize) -> f64 {
+        if r == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[r] - self.cdf[r - 1]
+        }
+    }
+
+    /// Exact cumulative probability P(rank <= r).
+    pub fn cdf(&self, r: usize) -> f64 {
+        self.cdf[r]
+    }
+
+    /// Draw one rank in `0..n` (consumes exactly one uniform variate).
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen_range(0.0f64..1.0);
+        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+    }
+}
+
+/// One-off zipf draw over `0..n`: rank r with probability proportional to
+/// `1 / (r + 1)^s`.  Hot loops should build a [`ZipfSampler`] once instead.
+pub fn zipf(rng: &mut impl Rng, n: usize, s: f64) -> usize {
+    ZipfSampler::new(n, s).sample(rng)
 }
 
 const ADJECTIVES: &[&str] = &[
@@ -184,6 +240,7 @@ pub fn generate_imdb(config: GeneratorConfig) -> Database {
     );
 
     let n_companies = (config.n_titles / 20).clamp(50, 4000);
+    let country_dist = ZipfSampler::new(COUNTRIES.len(), 0.8);
     let company_name = Table::new(
         schema.table("company_name").expect("schema").clone(),
         vec![
@@ -197,9 +254,7 @@ pub fn generate_imdb(config: GeneratorConfig) -> Database {
                     })
                     .collect(),
             ),
-            Column::Str(
-                (0..n_companies).map(|_| COUNTRIES[zipf(&mut rng, COUNTRIES.len(), 0.8)].to_string()).collect(),
-            ),
+            Column::Str((0..n_companies).map(|_| COUNTRIES[country_dist.sample(&mut rng)].to_string()).collect()),
         ],
     );
 
@@ -211,13 +266,14 @@ pub fn generate_imdb(config: GeneratorConfig) -> Database {
     let mut t_year = Vec::with_capacity(n_titles);
     let mut t_season = Vec::with_capacity(n_titles);
     let mut t_episode = Vec::with_capacity(n_titles);
+    let kind_dist = ZipfSampler::new(7, 1.1);
     for i in 0..n_titles {
         t_ids.push(i as i64 + 1);
         let adj = ADJECTIVES[rng.gen_range(0..ADJECTIVES.len())];
         let noun = NOUNS[rng.gen_range(0..NOUNS.len())];
         t_titles.push(format!("{adj} {noun} {}", i % 997));
         // kind 1 = movie (common), 7 = tv episode (rare-ish), skewed.
-        let kind = 1 + zipf(&mut rng, 7, 1.1) as i64;
+        let kind = 1 + kind_dist.sample(&mut rng) as i64;
         t_kind.push(kind);
         // Years skewed toward recent decades; older for low ids (correlation
         // with id that the "top 250 rank" generation below exploits).
@@ -252,11 +308,15 @@ pub fn generate_imdb(config: GeneratorConfig) -> Database {
     let mut mc_company = Vec::with_capacity(n_mc);
     let mut mc_type = Vec::with_capacity(n_mc);
     let mut mc_note = Vec::with_capacity(n_mc);
+    let mc_movie_dist = ZipfSampler::new(n_titles, 0.7);
+    let mc_company_dist = ZipfSampler::new(n_companies, 0.9);
+    let mc_type_dist = ZipfSampler::new(4, 0.9);
+    let mc_country_dist = ZipfSampler::new(5, 0.8);
     for i in 0..n_mc {
         mc_id.push(i as i64 + 1);
-        let movie = zipf(&mut rng, n_titles, 0.7);
+        let movie = mc_movie_dist.sample(&mut rng);
         mc_movie.push(movie as i64 + 1);
-        mc_company.push(zipf(&mut rng, n_companies, 0.9) as i64 + 1);
+        mc_company.push(mc_company_dist.sample(&mut rng) as i64 + 1);
         let year = t_year[movie];
         // Company type correlates with year: older movies are mostly
         // production companies, newer ones have more distributors.
@@ -269,7 +329,7 @@ pub fn generate_imdb(config: GeneratorConfig) -> Database {
         } else if rng.gen_bool(0.45) {
             2
         } else {
-            1 + zipf(&mut rng, 4, 0.9) as i64
+            1 + mc_type_dist.sample(&mut rng) as i64
         };
         mc_type.push(ct);
         // Note patterns correlated with both company type and year.
@@ -287,7 +347,7 @@ pub fn generate_imdb(config: GeneratorConfig) -> Database {
                 format!("(in association with {})", COMPANY_WORDS[rng.gen_range(0..COMPANY_WORDS.len())])
             }
         } else {
-            let country = ["USA", "UK", "France", "Japan", "worldwide"][zipf(&mut rng, 5, 0.8)];
+            let country = ["USA", "UK", "France", "Japan", "worldwide"][mc_country_dist.sample(&mut rng)];
             let medium = if rng.gen_bool(0.5) { "TV" } else { "theatrical" };
             format!("({year}) ({country}) ({medium})")
         };
@@ -310,9 +370,12 @@ pub fn generate_imdb(config: GeneratorConfig) -> Database {
     let mut mii_movie = Vec::with_capacity(n_mii);
     let mut mii_type = Vec::with_capacity(n_mii);
     let mut mii_info = Vec::with_capacity(n_mii);
+    let mii_movie_dist = ZipfSampler::new(n_titles, 0.6);
+    let mii_type_dist = ZipfSampler::new(INFO_TYPES.len() - 3, 0.8);
+    let votes_dist = ZipfSampler::new(200_000, 0.9);
     for i in 0..n_mii {
         mii_id.push(i as i64 + 1);
-        let movie = zipf(&mut rng, n_titles, 0.6);
+        let movie = mii_movie_dist.sample(&mut rng);
         mii_movie.push(movie as i64 + 1);
         let year = t_year[movie];
         // "top 250 rank" rows (info_type 1) concentrate on old movies.
@@ -321,14 +384,14 @@ pub fn generate_imdb(config: GeneratorConfig) -> Database {
         } else if rng.gen_bool(0.02) {
             2
         } else {
-            3 + zipf(&mut rng, INFO_TYPES.len() - 3, 0.8) as i64
+            3 + mii_type_dist.sample(&mut rng) as i64
         };
         mii_type.push(ty);
         let info = match ty {
             1 => format!("top {} rank", 250 - (movie % 240)),
             2 => format!("bottom {} rank", 10 + (movie % 90)),
             3 => format!("{:.1}", 4.0 + (movie % 60) as f64 / 10.0),
-            4 => format!("{}", 100 + zipf(&mut rng, 200_000, 0.9)),
+            4 => format!("{}", 100 + votes_dist.sample(&mut rng)),
             _ => GENRES[movie % GENRES.len()].to_string(),
         };
         mii_info.push(info);
@@ -344,18 +407,24 @@ pub fn generate_imdb(config: GeneratorConfig) -> Database {
     let mut mi_movie = Vec::with_capacity(n_mi);
     let mut mi_type = Vec::with_capacity(n_mi);
     let mut mi_info = Vec::with_capacity(n_mi);
+    let mi_movie_dist = ZipfSampler::new(n_titles, 0.5);
+    let mi_type_dist = ZipfSampler::new(INFO_TYPES.len() - 5, 0.7);
+    let mi_country_dist = ZipfSampler::new(7, 0.8);
+    let mi_language_dist = ZipfSampler::new(6, 0.9);
     for i in 0..n_mi {
         mi_id.push(i as i64 + 1);
-        let movie = zipf(&mut rng, n_titles, 0.5);
+        let movie = mi_movie_dist.sample(&mut rng);
         mi_movie.push(movie as i64 + 1);
         let year = t_year[movie];
-        let ty = 5 + zipf(&mut rng, INFO_TYPES.len() - 5, 0.7) as i64;
+        let ty = 5 + mi_type_dist.sample(&mut rng) as i64;
         mi_type.push(ty);
         let info = match ty {
             5 => GENRES[(movie + i) % GENRES.len()].to_string(),
-            6 => ["USA", "UK", "France", "Germany", "Japan", "Italy", "India"][zipf(&mut rng, 7, 0.8)].to_string(),
+            6 => ["USA", "UK", "France", "Germany", "Japan", "Italy", "India"][mi_country_dist.sample(&mut rng)]
+                .to_string(),
             7 => format!("({}-{:02}-{:02})", year, 1 + (movie % 12), 1 + (i % 28)),
-            8 => ["English", "French", "German", "Japanese", "Italian", "Hindi"][zipf(&mut rng, 6, 0.9)].to_string(),
+            8 => ["English", "French", "German", "Japanese", "Italian", "Hindi"][mi_language_dist.sample(&mut rng)]
+                .to_string(),
             9 => format!("{} min", 60 + (movie % 120)),
             _ => format!("{} {}", ADJECTIVES[i % ADJECTIVES.len()], GENRES[movie % GENRES.len()]),
         };
@@ -371,12 +440,14 @@ pub fn generate_imdb(config: GeneratorConfig) -> Database {
     let mut mk_id = Vec::with_capacity(n_mk);
     let mut mk_movie = Vec::with_capacity(n_mk);
     let mut mk_keyword = Vec::with_capacity(n_mk);
+    let mk_movie_dist = ZipfSampler::new(n_titles, 0.7);
+    let mk_keyword_dist = ZipfSampler::new(n_keywords, 0.9);
     for i in 0..n_mk {
         mk_id.push(i as i64 + 1);
-        let movie = zipf(&mut rng, n_titles, 0.7);
+        let movie = mk_movie_dist.sample(&mut rng);
         mk_movie.push(movie as i64 + 1);
         // Keyword correlated with the movie id so keyword joins are skewed.
-        let kw = if rng.gen_bool(0.5) { movie % n_keywords } else { zipf(&mut rng, n_keywords, 0.9) };
+        let kw = if rng.gen_bool(0.5) { movie % n_keywords } else { mk_keyword_dist.sample(&mut rng) };
         mk_keyword.push(kw as i64 + 1);
     }
     let movie_keyword = Table::new(
@@ -392,12 +463,15 @@ pub fn generate_imdb(config: GeneratorConfig) -> Database {
     let mut ci_role = Vec::with_capacity(n_ci);
     let mut ci_note = Vec::with_capacity(n_ci);
     let n_people = (n_titles / 2).max(100);
+    let ci_movie_dist = ZipfSampler::new(n_titles, 0.6);
+    let ci_person_dist = ZipfSampler::new(n_people, 0.9);
+    let ci_role_dist = ZipfSampler::new(11, 1.0);
     for i in 0..n_ci {
         ci_id.push(i as i64 + 1);
-        let movie = zipf(&mut rng, n_titles, 0.6);
+        let movie = ci_movie_dist.sample(&mut rng);
         ci_movie.push(movie as i64 + 1);
-        ci_person.push(zipf(&mut rng, n_people, 0.9) as i64 + 1);
-        let role = 1 + zipf(&mut rng, 11, 1.0) as i64;
+        ci_person.push(ci_person_dist.sample(&mut rng) as i64 + 1);
+        let role = 1 + ci_role_dist.sample(&mut rng) as i64;
         ci_role.push(role);
         let note = if role >= 8 {
             CAST_NOTES[rng.gen_range(0..2usize)]
@@ -519,13 +593,60 @@ mod tests {
     #[test]
     fn zipf_is_skewed_and_bounded() {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let dist = ZipfSampler::new(100, 0.9);
         let mut counts = vec![0usize; 100];
         for _ in 0..10_000 {
-            let v = zipf(&mut rng, 100, 0.9);
+            let v = dist.sample(&mut rng);
             assert!(v < 100);
             counts[v] += 1;
         }
+        // Exact zipf(0.9) over 100 ranks: pmf(0) ~ 15.6%, pmf(50) ~ 0.45% —
+        // strongly skewed but, unlike the old approximation, not degenerate.
         assert!(counts[0] > counts[50].max(1) * 3, "zipf not skewed: {} vs {}", counts[0], counts[50]);
+        let mass0 = counts[0] as f64 / 10_000.0;
+        assert!(
+            mass0 < dist.pmf(0) * 1.5 && mass0 > dist.pmf(0) / 1.5,
+            "hottest-rank mass {mass0:.4} not within 1.5x of exact pmf {:.4}",
+            dist.pmf(0)
+        );
+        // One-off helper draws from the same distribution.
+        let v = zipf(&mut rng, 100, 0.9);
+        assert!(v < 100);
+    }
+
+    #[test]
+    fn zipf_hottest_key_mass_matches_analytic_truncated_zeta() {
+        // The regression this PR fixes: the old power-transform approximation
+        // put ~11% of the mass on rank 0 for zipf(0.7) over 2000 ranks, while
+        // the exact truncated-zeta PMF puts ~3% there.
+        let dist = ZipfSampler::new(2000, 0.7);
+        let h: f64 = (1..=2000).map(|r| (r as f64).powf(-0.7)).sum();
+        let analytic = 1.0 / h;
+        assert!(analytic > 0.02 && analytic < 0.045, "analytic hottest-key mass should be ~3%, got {analytic:.4}");
+        assert!((dist.pmf(0) - analytic).abs() < 1e-12);
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let draws = 100_000usize;
+        let hottest = (0..draws).filter(|_| dist.sample(&mut rng) == 0).count();
+        let mass = hottest as f64 / draws as f64;
+        assert!(
+            mass < analytic * 1.5 && mass > analytic / 1.5,
+            "sampled hottest-key mass {mass:.4} not within 1.5x of analytic {analytic:.4}"
+        );
+    }
+
+    #[test]
+    fn zipf_cdf_is_monotone_and_normalized() {
+        for &(n, s) in &[(1usize, 0.7f64), (2, 0.0), (50, 0.5), (2000, 1.2)] {
+            let dist = ZipfSampler::new(n, s);
+            assert_eq!(dist.n(), n);
+            let mut prev = 0.0;
+            for r in 0..n {
+                assert!(dist.pmf(r) > 0.0);
+                assert!(dist.cdf(r) >= prev);
+                prev = dist.cdf(r);
+            }
+            assert_eq!(dist.cdf(n - 1), 1.0);
+        }
     }
 
     #[test]
@@ -534,6 +655,73 @@ mod tests {
         for t in &db.schema().tables {
             let s = db.sample(&t.name).expect("sample exists");
             assert!(s.rows().len() <= 64);
+        }
+    }
+
+    #[test]
+    fn fact_table_fanout_is_not_degenerate() {
+        // With the corrected skew the hottest movie's fan-out in a fact table
+        // must track the zipf(0.7) PMF instead of swallowing ~11% of all rows.
+        let db = generate_imdb(GeneratorConfig::tiny());
+        let n_titles = db.table_rows("title");
+        let mc = db.table("movie_companies").expect("exists");
+        let mut counts = vec![0usize; n_titles];
+        for row in 0..mc.n_rows() {
+            counts[mc.int("movie_id", row).expect("int") as usize - 1] += 1;
+        }
+        let hottest = *counts.iter().max().expect("non-empty");
+        let mass = hottest as f64 / mc.n_rows() as f64;
+        let analytic = ZipfSampler::new(n_titles, 0.7).pmf(0);
+        assert!(
+            mass < analytic * 1.5,
+            "hottest movie holds {mass:.4} of movie_companies; exact zipf(0.7) puts only {analytic:.4}"
+        );
+        // Still skewed: the hottest movie's fan-out dwarfs the median movie's.
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        assert!(counts[0] >= counts[n_titles / 2].max(1) * 4, "fan-out skew lost: {counts:?}");
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    proptest! {
+        /// Chi-square goodness-of-fit of the sampler against the exact
+        /// truncated-zeta CDF: ranks are bucketed into ~8 equal-mass bins by
+        /// CDF midpoint, and the statistic over the sampled counts must stay
+        /// in the bulk of the chi^2 distribution (the sampler is an exact
+        /// inverse-CDF, so only sampling noise contributes).
+        #[test]
+        fn zipf_matches_exact_truncated_zeta_cdf(n in 10usize..400, s in 0.3f64..1.4, seed in 0u64..10_000) {
+            let dist = ZipfSampler::new(n, s);
+            let k = 8usize;
+            let draws = 5_000usize;
+            let mut bin_of = vec![0usize; n];
+            let mut expected = vec![0f64; k];
+            for (r, bin) in bin_of.iter_mut().enumerate() {
+                let midpoint = dist.cdf(r) - dist.pmf(r) / 2.0;
+                let b = ((midpoint * k as f64) as usize).min(k - 1);
+                *bin = b;
+                expected[b] += dist.pmf(r) * draws as f64;
+            }
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut observed = vec![0f64; k];
+            for _ in 0..draws {
+                observed[bin_of[dist.sample(&mut rng)]] += 1.0;
+            }
+            let chi2: f64 = expected
+                .iter()
+                .zip(&observed)
+                .filter(|(e, _)| **e > 0.0)
+                .map(|(e, o)| (o - e) * (o - e) / e)
+                .sum();
+            // At most k-1 = 7 degrees of freedom; chi^2_7 has mean 7 and the
+            // 99.99% quantile ~29.9.  40 leaves a wide margin over 128 cases.
+            prop_assert!(chi2 < 40.0, "chi-square {} rejects the exact-CDF fit (n={}, s={})", chi2, n, s);
         }
     }
 }

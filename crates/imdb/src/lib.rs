@@ -26,8 +26,9 @@ pub mod table;
 pub mod value;
 
 pub use database::Database;
-pub use generator::{generate_imdb, GeneratorConfig};
+pub use generator::{generate_imdb, GeneratorConfig, ZipfSampler};
+pub use index::HashIndex;
 pub use sample::TableSample;
 pub use schema::{ColumnDef, ColumnType, JoinEdge, Schema, TableDef};
 pub use table::{Column, Table};
-pub use value::Value;
+pub use value::{Value, ValueRef};

@@ -1,7 +1,7 @@
 //! In-memory columnar table storage.
 
 use crate::schema::{ColumnType, TableDef};
-use crate::value::Value;
+use crate::value::{Value, ValueRef};
 
 /// A single column of data, stored densely by type.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +37,14 @@ impl Column {
         match self {
             Column::Int(v) => Value::Int(v[row]),
             Column::Str(v) => Value::Str(v[row].clone()),
+        }
+    }
+
+    /// Borrowed value at a row (no `String` clone for string columns).
+    pub fn value_ref(&self, row: usize) -> ValueRef<'_> {
+        match self {
+            Column::Int(v) => ValueRef::Int(v[row]),
+            Column::Str(v) => ValueRef::Str(&v[row]),
         }
     }
 
@@ -138,6 +146,11 @@ impl Table {
     pub fn value(&self, column: &str, row: usize) -> Option<Value> {
         self.column_by_name(column).map(|c| c.value(row))
     }
+
+    /// Borrowed value of a named column at a row.
+    pub fn value_ref(&self, column: &str, row: usize) -> Option<ValueRef<'_>> {
+        self.column_by_name(column).map(|c| c.value_ref(row))
+    }
 }
 
 #[cfg(test)]
@@ -168,6 +181,9 @@ mod tests {
         assert_eq!(t.int("id", 2), Some(3));
         assert_eq!(t.str("kind", 0), Some("production companies"));
         assert_eq!(t.value("id", 1), Some(Value::Int(2)));
+        assert_eq!(t.value_ref("id", 1), Some(ValueRef::Int(2)));
+        assert_eq!(t.value_ref("kind", 1), Some(ValueRef::Str("distributors")));
+        assert_eq!(t.value_ref("missing", 1), None);
         assert_eq!(t.name(), "company_type");
     }
 

@@ -274,7 +274,9 @@ impl<'a> QueryGenerator<'a> {
 
 /// Plan and execute a batch of logical queries in parallel, producing
 /// annotated training samples: planning fans out per query, then the whole
-/// plan batch goes through [`engine::execute_plans`].
+/// plan batch goes through [`engine::execute_plans`] — the counting executor,
+/// so ground-truth labels never materialize join tuples and full-scale star
+/// joins stay cheap.
 pub fn execute_workload(db: &Database, queries: Vec<LogicalQuery>) -> Vec<QuerySample> {
     let planner_cfg = PlannerConfig::default();
     let cost_model = CostModel::default();
@@ -369,6 +371,42 @@ mod tests {
         let a: Vec<String> = QueryGenerator::new(&db, cfg).generate_queries().iter().map(|q| q.to_sql()).collect();
         let b: Vec<String> = QueryGenerator::new(&db, cfg).generate_queries().iter().map(|q| q.to_sql()).collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ground_truth_labels_match_the_materializing_oracle() {
+        // Workload labeling rides the counting executor; on generated
+        // JOB-style plans (joins + string predicates + index scans) every
+        // node's label must equal the tuple-materializing oracle's.
+        use engine::{execute_plan_mode, CostModel, ExecMode};
+        let db = db();
+        let cfg = WorkloadConfig {
+            num_queries: 25,
+            min_joins: 0,
+            max_joins: 4,
+            use_string_predicates: true,
+            max_predicates_per_table: 3,
+            seed: 123,
+            ..Default::default()
+        };
+        let samples = generate_workload(&db, cfg);
+        let model = CostModel::default();
+        for s in &samples {
+            let mut oracle = s.plan.clone();
+            oracle.visit_postorder_mut(&mut |n| n.annotations = Default::default());
+            execute_plan_mode(&db, &mut oracle, &model, ExecMode::Materialize);
+            let counted = s.plan.nodes_preorder();
+            let materialized = oracle.nodes_preorder();
+            assert_eq!(counted.len(), materialized.len());
+            for (c, m) in counted.iter().zip(materialized.iter()) {
+                assert_eq!(
+                    c.annotations.true_cardinality,
+                    m.annotations.true_cardinality,
+                    "counting label diverged from oracle on {}",
+                    s.query.to_sql()
+                );
+            }
+        }
     }
 
     #[test]

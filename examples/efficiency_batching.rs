@@ -9,11 +9,11 @@ use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
-    // Modest database scale: the generator's zipf skew concentrates fact
-    // rows on a few hot movies, and at larger scales the Scale workload's
-    // 4-way star joins can blow up ground-truth execution (see ROADMAP
-    // "Open items" on the zipf approximation).
-    let db = Arc::new(generate_imdb(GeneratorConfig { n_titles: 600, sample_size: 128, seed: 42 }));
+    // Full-size database: ground truth goes through the counting executor,
+    // which propagates per-key match counts instead of materializing join
+    // tuples, so the Scale workload's 4-way star joins are cheap to label
+    // even on the hottest movies.
+    let db = Arc::new(generate_imdb(GeneratorConfig { n_titles: 2_000, sample_size: 128, seed: 42 }));
     let suite = WorkloadSuite::build(
         &db,
         WorkloadKind::Scale,
