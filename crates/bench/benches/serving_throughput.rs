@@ -1,0 +1,227 @@
+//! Serving throughput under a DP plan enumerator — the workload the paper's
+//! estimator actually faces inside an optimizer, which Table 12 does not
+//! exercise: every query expands into many candidate join orders sharing
+//! almost all of their subtrees, templates recur across optimization rounds,
+//! and several estimator sessions run concurrently.
+//!
+//! Run with `cargo bench -p bench --bench serving_throughput`.  The harness
+//! measures, over an enumeration stream of `E2E_SERVING_ROUNDS` rounds ×
+//! `E2E_SERVING_QUERIES` queries × their candidate join orders:
+//!
+//! * **Memoization speedup** — the subtree-memoized serving path
+//!   (`ServingEstimator`, cold cache at stream start) vs. the
+//!   memoization-disabled level-batched path on the identical stream, single
+//!   thread; plus the subtree-cache hit rate (node-level: fraction of
+//!   submitted plan nodes served without a fresh embedding).
+//! * **Concurrent-session scaling** — 1/2/4/8 serving threads, each scoring
+//!   its own full copy of the stream (staggered query offsets, like
+//!   independent clients with recurring templates) against the shared
+//!   sharded cache; aggregate plans/s per thread count.  On a multi-core
+//!   host this compounds CPU scaling with cross-session cache sharing; on a
+//!   single core (the `cpus` field says which) it isolates the sharing
+//!   effect — aggregate throughput still rises because a subtree any
+//!   session embedded is served to every other session from the cache.
+//!
+//! Results go to `BENCH_serving.json` (into `E2E_BENCH_OUT` or the current
+//! directory).  With `E2E_CHECK` set, regression floors are asserted:
+//! memoization speedup ≥ 3x, node-level hit rate ≥ 0.85, and ≥ 1.5x
+//! aggregate throughput at 4 threads — the guards CI's smoke job runs.
+
+use bench::{time_reps, Pipeline};
+use estimator_core::{PredicateModelKind, RepresentationCellKind, TaskMode};
+use featurize::EncodedPlan;
+use std::fmt::Write as _;
+use workloads::{generate_enumeration_workload, EnumerationConfig, WorkloadKind};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let queries = env_usize("E2E_SERVING_QUERIES", 12);
+    let rounds = env_usize("E2E_SERVING_ROUNDS", 5);
+    let max_candidates = env_usize("E2E_SERVING_CANDIDATES", 120);
+    let reps = env_usize("E2E_BENCH_REPS", 3).max(1);
+    if std::env::var("E2E_EPOCHS").is_err() {
+        // Serving throughput does not depend on model quality; keep the
+        // training phase short unless the caller asks otherwise.
+        std::env::set_var("E2E_EPOCHS", "2");
+    }
+    let cpus = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+
+    let pipeline = Pipeline::new();
+    let suite = pipeline.suite(WorkloadKind::JobLight);
+    let (est, _) = pipeline.train_tree_model(
+        &suite,
+        RepresentationCellKind::Lstm,
+        PredicateModelKind::MinMaxPool,
+        TaskMode::Multitask,
+        None,
+        true,
+    );
+
+    // The enumeration stream: per query, all connected left-deep candidate
+    // join orders (capped), encoded once up front — serving scores encoded
+    // plans, exactly as the Table-12 harness does.
+    let workload = generate_enumeration_workload(
+        &pipeline.db,
+        EnumerationConfig {
+            num_queries: queries,
+            min_joins: 3,
+            max_joins: 4,
+            max_candidates_per_query: max_candidates,
+            seed: 31,
+        },
+    );
+    let encoded: Vec<Vec<EncodedPlan>> =
+        workload.iter().map(|s| s.candidates.iter().map(|c| est.encode(c)).collect()).collect();
+    let plans_per_round: usize = encoded.iter().map(|q| q.len()).sum();
+    let plans_per_session = plans_per_round * rounds;
+    let nodes_per_round: usize = workload.iter().map(|s| s.total_nodes()).sum();
+    let distinct_subtrees: usize = {
+        let mut seen = std::collections::HashSet::new();
+        for s in &workload {
+            for c in &s.candidates {
+                for n in c.nodes_preorder() {
+                    seen.insert(n.signature_hash());
+                }
+            }
+        }
+        seen.len()
+    };
+    println!(
+        "== serving throughput — DP enumeration ({} queries x {rounds} rounds, {plans_per_round} candidates/round, \
+         {nodes_per_round} nodes/round, {distinct_subtrees} distinct subtrees, {cpus} cpu(s)) ==",
+        workload.len()
+    );
+
+    // --- Memoization speedup, single thread, identical stream. ---
+    let serving = est.serving();
+    let run_stream_nonmemo = || {
+        for _ in 0..rounds {
+            for q in &encoded {
+                // Chunked exactly like the memoized path (sequential, one
+                // tape per group): `estimate_encoded_batch` on the whole
+                // candidate set would fan out over rayon on multicore
+                // hosts, and the speedup must isolate memoization, not
+                // compare against a parallel baseline.
+                for chunk in q.chunks(estimator_core::batch::GROUP_SIZE) {
+                    est.estimate_encoded_batch(chunk);
+                }
+            }
+        }
+    };
+    let run_stream_memo = |offset: usize| {
+        for _ in 0..rounds {
+            for i in 0..encoded.len() {
+                let q = &encoded[(i + offset) % encoded.len()];
+                let refs: Vec<&EncodedPlan> = q.iter().collect();
+                serving.estimate_encoded_batch(&refs);
+            }
+        }
+    };
+
+    let secs_nonmemo = time_reps(reps, || (), run_stream_nonmemo);
+    let secs_memo = time_reps(reps, || serving.cache().clear(), || run_stream_memo(0));
+    let node_hit_rate = serving.cache().node_hit_rate();
+    let (lookup_hits, lookup_misses) = serving.cache().stats();
+    let memo_speedup = secs_nonmemo / secs_memo;
+    println!(
+        "memoization: {:.1} plans/s -> {:.1} plans/s ({memo_speedup:.1}x), node hit rate {:.1}%, \
+         {} cached subtrees",
+        plans_per_session as f64 / secs_nonmemo,
+        plans_per_session as f64 / secs_memo,
+        node_hit_rate * 100.0,
+        serving.cache().len(),
+    );
+
+    // Memoized results must be exactly the memoization-free results.
+    {
+        serving.cache().clear();
+        let q = &encoded[0];
+        let refs: Vec<&EncodedPlan> = q.iter().collect();
+        assert_eq!(serving.estimate_encoded_batch(&refs), est.estimate_encoded_batch(q), "memoized estimates diverged");
+    }
+
+    // --- Concurrent sessions: 1/2/4/8 threads over the shared cache. ---
+    struct ThreadRow {
+        threads: usize,
+        aggregate_plans_per_sec: f64,
+        speedup_vs_1: f64,
+    }
+    let mut thread_rows: Vec<ThreadRow> = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let secs = time_reps(
+            reps,
+            || serving.cache().clear(),
+            || {
+                std::thread::scope(|scope| {
+                    for t in 0..threads {
+                        let offset = t * encoded.len() / threads;
+                        scope.spawn(move || run_stream_memo(offset));
+                    }
+                });
+            },
+        );
+        let aggregate = (threads * plans_per_session) as f64 / secs;
+        let speedup = thread_rows.first().map(|base| aggregate / base.aggregate_plans_per_sec).unwrap_or(1.0);
+        println!(
+            "{threads} session(s): {aggregate:>12.1} plans/s aggregate   ({speedup:.2}x vs 1 session, \
+             efficiency {:.2})",
+            speedup / threads as f64
+        );
+        thread_rows.push(ThreadRow { threads, aggregate_plans_per_sec: aggregate, speedup_vs_1: speedup });
+    }
+
+    // --- Machine-readable trajectory record. ---
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"serving_throughput\",");
+    let _ = writeln!(json, "  \"cpus\": {cpus},");
+    let _ = writeln!(json, "  \"queries\": {},", workload.len());
+    let _ = writeln!(json, "  \"rounds\": {rounds},");
+    let _ = writeln!(json, "  \"candidates_per_round\": {plans_per_round},");
+    let _ = writeln!(json, "  \"plans_per_session\": {plans_per_session},");
+    let _ = writeln!(json, "  \"nodes_per_round\": {nodes_per_round},");
+    let _ = writeln!(json, "  \"distinct_subtrees\": {distinct_subtrees},");
+    let _ = writeln!(json, "  \"memoization\": {{");
+    let _ = writeln!(json, "    \"ms_per_plan_nonmemo\": {:.6},", secs_nonmemo * 1e3 / plans_per_session as f64);
+    let _ = writeln!(json, "    \"ms_per_plan_memo\": {:.6},", secs_memo * 1e3 / plans_per_session as f64);
+    let _ = writeln!(json, "    \"speedup\": {memo_speedup:.3},");
+    let _ = writeln!(json, "    \"subtree_cache_hit_rate\": {node_hit_rate:.4},");
+    let _ = writeln!(json, "    \"lookup_hits\": {lookup_hits},");
+    let _ = writeln!(json, "    \"lookup_misses\": {lookup_misses}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"threads\": [");
+    for (i, r) in thread_rows.iter().enumerate() {
+        let comma = if i + 1 < thread_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"threads\": {}, \"aggregate_plans_per_sec\": {:.1}, \"speedup_vs_1\": {:.3}, \
+             \"scaling_efficiency\": {:.3} }}{comma}",
+            r.threads,
+            r.aggregate_plans_per_sec,
+            r.speedup_vs_1,
+            r.speedup_vs_1 / r.threads as f64
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+
+    let out_dir = std::env::var("E2E_BENCH_OUT").unwrap_or_else(|_| ".".to_string());
+    let path = format!("{out_dir}/BENCH_serving.json");
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("wrote {path}");
+
+    // Check mode (CI smoke): fail loudly when the serving floors regress.
+    if matches!(std::env::var("E2E_CHECK").as_deref(), Ok(v) if !v.is_empty() && v != "0") {
+        assert!(memo_speedup >= 3.0, "memoization speedup {memo_speedup:.2}x below the 3x regression floor");
+        assert!(node_hit_rate >= 0.85, "subtree-cache hit rate {node_hit_rate:.3} below the 0.85 floor");
+        let four = thread_rows.iter().find(|r| r.threads == 4).expect("4-thread row");
+        assert!(
+            four.speedup_vs_1 >= 1.5,
+            "4-session aggregate speedup {:.2}x below the 1.5x regression floor",
+            four.speedup_vs_1
+        );
+        println!("check mode: serving floors hold (memo >= 3x, hit rate >= 0.85, 4-session >= 1.5x)");
+    }
+}

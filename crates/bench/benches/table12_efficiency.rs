@@ -22,12 +22,11 @@
 //! and exits non-zero when they are violated — the mode CI's full-scale
 //! smoke job runs in.
 
-use bench::Pipeline;
+use bench::{time_reps, Pipeline};
 use estimator_core::{PredicateModelKind, RepresentationCellKind, TaskMode};
 use mscn::{MscnConfig, MscnFeaturizer, MscnModel, MscnTrainer};
 use pgest::TraditionalEstimator;
 use std::fmt::Write as _;
-use std::time::Instant;
 use strembed::StringEncoding;
 use workloads::WorkloadKind;
 
@@ -42,20 +41,6 @@ fn report(rows: &mut Vec<Row>, label: &str, total_secs: f64, queries: usize) {
     let plans_per_sec = queries as f64 / total_secs;
     println!("{label:<18} {ms_per_query:>10.3} ms/query {plans_per_sec:>12.1} plans/s   ({queries} queries)");
     rows.push(Row { label: label.to_string(), ms_per_query, plans_per_sec });
-}
-
-/// Time `f` over `reps` repetitions after one untimed warmup (page-cache,
-/// buffer pools), returning seconds for the **fastest** repetition — the
-/// standard anti-noise estimator on a shared machine.
-fn time_reps(reps: usize, mut f: impl FnMut()) -> f64 {
-    f();
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let start = Instant::now();
-        f();
-        best = best.min(start.elapsed().as_secs_f64());
-    }
-    best
 }
 
 fn main() {
@@ -74,16 +59,21 @@ fn main() {
 
     // PostgreSQL-style estimator.
     let pg = TraditionalEstimator::analyze(&pipeline.db);
-    let secs = time_reps(reps, || {
-        for s in &suite.test {
-            let mut plan = s.plan.clone();
-            pg.estimate_plan(&mut plan);
-        }
-    });
+    let secs = time_reps(
+        reps,
+        || (),
+        || {
+            for s in &suite.test {
+                let mut plan = s.plan.clone();
+                pg.estimate_plan(&mut plan);
+            }
+        },
+    );
     report(&mut rows, "PostgreSQL", secs, n);
 
-    // MSCN (one by one vs whole-set timing; MSCN has no tree to batch, so the
-    // "batch" variant just amortizes featurization).
+    // MSCN: per-query estimation (including featurization, as an optimizer
+    // would pay it) vs. packed batch inference — every set element of every
+    // query goes through one blocked matmul per layer (`estimate_batch`).
     let fx = MscnFeaturizer::new(pipeline.db.clone(), pipeline.enc_config.clone());
     let train: Vec<_> = suite.train.iter().map(|s| fx.featurize(&s.plan)).collect();
     let test: Vec<_> = suite.test.iter().map(|s| fx.featurize(&s.plan)).collect();
@@ -95,18 +85,24 @@ fn main() {
     );
     let mut mscn = MscnTrainer::new(model, &train);
     mscn.train(&train);
-    let secs = time_reps(reps, || {
-        for s in &suite.test {
-            let sets = fx.featurize(&s.plan);
-            mscn.estimate(&sets);
-        }
-    });
+    let secs = time_reps(
+        reps,
+        || (),
+        || {
+            for s in &suite.test {
+                let sets = fx.featurize(&s.plan);
+                mscn.estimate(&sets);
+            }
+        },
+    );
     report(&mut rows, "MSCN", secs, n);
-    let secs = time_reps(reps, || {
-        for s in &test {
-            mscn.estimate(s);
-        }
-    });
+    let secs = time_reps(
+        reps,
+        || (),
+        || {
+            mscn.estimate_batch(&test);
+        },
+    );
     report(&mut rows, "MSCNBatch", secs, n);
 
     // Tree models: TLSTM and TPool — four paths each.  The `*Ref` rows
@@ -128,25 +124,41 @@ fn main() {
             Some(StringEncoding::EmbedRule),
             true,
         );
-        let per_node_ref = time_reps(reps, || {
-            for plan in &test_encoded {
-                est.estimate_encoded_reference(plan);
-            }
-        });
+        let per_node_ref = time_reps(
+            reps,
+            || (),
+            || {
+                for plan in &test_encoded {
+                    est.estimate_encoded_reference(plan);
+                }
+            },
+        );
         report(&mut rows, &format!("{label}Ref"), per_node_ref, n);
-        let per_node = time_reps(reps, || {
-            for plan in &test_encoded {
-                est.estimate_encoded(plan);
-            }
-        });
+        let per_node = time_reps(
+            reps,
+            || (),
+            || {
+                for plan in &test_encoded {
+                    est.estimate_encoded(plan);
+                }
+            },
+        );
         report(&mut rows, label, per_node, n);
-        let reference = time_reps(reps, || {
-            est.estimate_encoded_batch_reference(&test_encoded);
-        });
+        let reference = time_reps(
+            reps,
+            || (),
+            || {
+                est.estimate_encoded_batch_reference(&test_encoded);
+            },
+        );
         report(&mut rows, &format!("{label}BatchRef"), reference, n);
-        let batched = time_reps(reps, || {
-            est.estimate_encoded_batch(&test_encoded);
-        });
+        let batched = time_reps(
+            reps,
+            || (),
+            || {
+                est.estimate_encoded_batch(&test_encoded);
+            },
+        );
         report(&mut rows, &format!("{label}Batch"), batched, n);
 
         let vs_per_node = per_node_ref / batched;

@@ -21,6 +21,24 @@ use std::sync::Arc;
 use strembed::{build_string_encoder, EmbedderConfig, HashBitmapEncoder, StringEncoding};
 use workloads::{workload_strings, QuerySample, SuiteConfig, WorkloadKind, WorkloadSuite};
 
+/// Best-of-`reps` wall time of `f`: one untimed warmup call first (page
+/// cache, tape buffer pools), then the fastest of `reps` timed repetitions —
+/// the standard anti-noise estimator on a shared machine.  `before` runs
+/// ahead of every call, outside the timed region, to reset shared state
+/// (pass `|| ()` when there is none).
+pub fn time_reps(reps: usize, mut before: impl FnMut(), mut f: impl FnMut()) -> f64 {
+    before();
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        before();
+        let start = std::time::Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
 /// Experiment scale knobs (read from the environment with small defaults).
 #[derive(Debug, Clone, Copy)]
 pub struct BenchScale {

@@ -6,10 +6,10 @@
 //! hand it annotated training plans once, then ask it for `(cost,
 //! cardinality)` of new physical plans.
 
-use crate::batch::estimate_batch;
-use crate::memory::RepresentationMemoryPool;
+use crate::batch::{estimate_batch, estimate_batch_memo};
+use crate::memory::{RepresentationMemoryPool, SubtreeStateCache};
 use crate::model::{ModelConfig, TreeModel};
-use crate::trainer::{EpochStats, TrainConfig, Trainer};
+use crate::trainer::{EpochStats, TargetNormalization, TrainConfig, Trainer};
 use featurize::{EncodedPlan, FeatureExtractor};
 use query::PlanNode;
 
@@ -20,12 +20,20 @@ pub struct CostEstimator {
     model_config: ModelConfig,
     train_config: TrainConfig,
     pool: RepresentationMemoryPool,
+    subtree_cache: SubtreeStateCache,
 }
 
 impl CostEstimator {
     /// Create an estimator with the given feature extractor and configuration.
     pub fn new(extractor: FeatureExtractor, model_config: ModelConfig, train_config: TrainConfig) -> Self {
-        CostEstimator { extractor, trainer: None, model_config, train_config, pool: RepresentationMemoryPool::new() }
+        CostEstimator {
+            extractor,
+            trainer: None,
+            model_config,
+            train_config,
+            pool: RepresentationMemoryPool::new(),
+            subtree_cache: SubtreeStateCache::new(),
+        }
     }
 
     /// The feature extractor (exposed for encoding plans externally).
@@ -44,7 +52,9 @@ impl CostEstimator {
         let mut trainer = Trainer::new(model, samples, self.train_config);
         let stats = trainer.train(samples);
         self.trainer = Some(trainer);
+        // Cached estimates and subtree states belong to the previous model.
         self.pool.clear();
+        self.subtree_cache.clear();
         stats
     }
 
@@ -68,13 +78,13 @@ impl CostEstimator {
     /// Panics if the estimator has not been fitted.
     pub fn estimate(&self, plan: &PlanNode) -> (f64, f64) {
         let trainer = self.trainer.as_ref().expect("CostEstimator::estimate called before fit");
-        let signature = plan.signature();
-        if let Some(hit) = self.pool.get(&signature) {
+        let signature = plan.signature_hash();
+        if let Some(hit) = self.pool.get(signature) {
             return hit;
         }
         let encoded = self.encode(plan);
         let result = trainer.estimate(&encoded);
-        self.pool.insert(&signature, result.0, result.1);
+        self.pool.insert(signature, result.0, result.1);
         result
     }
 
@@ -87,6 +97,36 @@ impl CostEstimator {
     pub fn estimate_encoded_batch(&self, plans: &[EncodedPlan]) -> Vec<(f64, f64)> {
         let trainer = self.trainer.as_ref().expect("CostEstimator::estimate_encoded_batch called before fit");
         estimate_batch(&trainer.model, &trainer.model.params, &trainer.normalization, plans)
+    }
+
+    /// Memoized batched estimation against this estimator's subtree-state
+    /// cache: candidate plans sharing sub-plans (a DP enumeration) embed
+    /// each distinct subtree once.  Results are bit-identical to
+    /// [`CostEstimator::estimate_encoded_batch`].
+    ///
+    /// # Panics
+    /// Panics if the estimator has not been fitted.
+    pub fn estimate_encoded_batch_memo(&self, plans: &[EncodedPlan]) -> Vec<(f64, f64)> {
+        let refs: Vec<&EncodedPlan> = plans.iter().collect();
+        self.serving().estimate_encoded_batch(&refs)
+    }
+
+    /// A shareable serving handle over the fitted model and the subtree
+    /// cache.  The handle is `Copy + Send + Sync`, so concurrent serving
+    /// threads each take one and score candidate batches in parallel —
+    /// tapes are per-thread and the cache is sharded, so nothing serializes
+    /// on a global lock.
+    ///
+    /// # Panics
+    /// Panics if the estimator has not been fitted.
+    pub fn serving(&self) -> ServingEstimator<'_> {
+        let trainer = self.trainer.as_ref().expect("CostEstimator::serving called before fit");
+        ServingEstimator { model: &trainer.model, normalization: &trainer.normalization, cache: &self.subtree_cache }
+    }
+
+    /// The subtree-state cache backing the memoized serving path.
+    pub fn subtree_cache(&self) -> &SubtreeStateCache {
+        &self.subtree_cache
     }
 
     /// Pre-optimization one-by-one estimation (per-node forward on a
@@ -117,6 +157,33 @@ impl CostEstimator {
     /// Cache statistics of the representation memory pool `(hits, misses)`.
     pub fn cache_stats(&self) -> (u64, u64) {
         self.pool.stats()
+    }
+}
+
+/// A borrowed, thread-shareable view of a fitted estimator for
+/// optimizer-in-the-loop serving: the tree model, the target normalization
+/// and the shared subtree-state cache, with nothing else attached (in
+/// particular no feature extractor, whose string encoder need not be
+/// thread-safe).  Obtain one per worker thread via [`CostEstimator::serving`]
+/// — the handle is `Copy`, and all its referents are immutable or sharded.
+#[derive(Clone, Copy)]
+pub struct ServingEstimator<'a> {
+    model: &'a TreeModel,
+    normalization: &'a TargetNormalization,
+    cache: &'a SubtreeStateCache,
+}
+
+impl<'a> ServingEstimator<'a> {
+    /// Score a batch of candidate plans with subtree memoization
+    /// ([`crate::batch::estimate_batch_memo`]); `(cost, cardinality)` per
+    /// plan, in input order.
+    pub fn estimate_encoded_batch(&self, plans: &[&EncodedPlan]) -> Vec<(f64, f64)> {
+        estimate_batch_memo(self.model, &self.model.params, self.normalization, plans, self.cache)
+    }
+
+    /// The shared subtree-state cache (for hit-rate reporting).
+    pub fn cache(&self) -> &'a SubtreeStateCache {
+        self.cache
     }
 }
 
@@ -199,6 +266,32 @@ mod tests {
         let (hits, misses) = est.cache_stats();
         assert_eq!(hits, 1);
         assert!(misses >= 1);
+    }
+
+    #[test]
+    fn serving_handle_is_shareable_and_memoized_matches_batched() {
+        let (mut est, db) = make_estimator();
+        let plans = executed_plans(&db, 12);
+        est.fit(&plans);
+        let encoded: Vec<EncodedPlan> = plans.iter().map(|p| est.encode(p)).collect();
+        let batched = est.estimate_encoded_batch(&encoded);
+        let memo = est.estimate_encoded_batch_memo(&encoded);
+        assert_eq!(batched, memo, "memoized serving must be bit-identical to the batched path");
+
+        // Four serving threads share one Copy handle and the sharded cache.
+        let serving = est.serving();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let refs: Vec<&EncodedPlan> = encoded.iter().collect();
+                    assert_eq!(serving.estimate_encoded_batch(&refs), batched);
+                });
+            }
+        });
+        assert!(est.subtree_cache().node_hit_rate() > 0.5, "warm serving passes must hit the subtree cache");
+        // Re-fitting invalidates the cached states.
+        est.fit(&plans);
+        assert!(est.subtree_cache().is_empty());
     }
 
     #[test]

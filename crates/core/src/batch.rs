@@ -19,12 +19,23 @@
 //!   inputs ([`TreeModel::embed_nodes_batch`]) instead of once per node;
 //! * inference runs on an inference-mode tape ([`Graph::inference`]): no
 //!   gradient slots, no op metadata;
+//! * tapes are **per-thread** (with a parking pool handing warm tapes from
+//!   finished threads to new ones), so concurrent estimators never
+//!   serialize on a shared tape lock;
 //! * independent groups of plans are estimated in parallel with rayon.
+//!
+//! On top of the level batching, [`estimate_batch_memo`] adds **subtree
+//! memoization** for optimizer-in-the-loop serving: per-node `(G, R)` cell
+//! states are cached in a sharded [`SubtreeStateCache`] keyed by the 64-bit
+//! sub-plan signature, so a DP enumeration embeds each distinct subtree once
+//! and re-scores candidate plans by combining cached states at the fringe —
+//! with bit-identical results to the memoization-free path.
 //!
 //! [`reference::estimate_batch_reference`] preserves the original
 //! implementation as a correctness oracle and as the "pre-optimization
 //! batched path" baseline of the Table-12 efficiency bench.
 
+use crate::memory::{SubtreeState, SubtreeStateCache};
 use crate::model::TreeModel;
 use crate::trainer::TargetNormalization;
 use featurize::EncodedPlan;
@@ -34,14 +45,24 @@ use rayon::prelude::*;
 
 /// Plans per parallel group.  Large enough that the per-level matrices fill
 /// the blocked-matmul tiles and the per-level tape overhead amortizes,
-/// small enough that large batches still split across cores.
-const GROUP_SIZE: usize = 64;
+/// small enough that large batches still split across cores.  Public so
+/// harnesses comparing against the batched path can chunk identically.
+pub const GROUP_SIZE: usize = 64;
 
 /// Flattened view of one node of one plan in the batch.
 struct FlatNode<'a> {
     height: usize,
     children: Vec<usize>,
     encoded: &'a EncodedPlan,
+}
+
+/// Dense per-node cell state: a (level-output node, column) pair per channel
+/// — columns are gathered lazily with one `gather_cols` tape node per
+/// channel per level instead of one `column_at` node per plan node.
+#[derive(Clone, Copy)]
+struct StateRef {
+    g: (NodeId, usize),
+    r: (NodeId, usize),
 }
 
 /// Flatten `plan` into `out`, returning `(flat index of the root, height)`.
@@ -96,38 +117,81 @@ pub fn estimate_batch_refs(
     groups.concat()
 }
 
-/// Warm inference tapes, one popped per group estimate and returned
-/// afterwards: their buffer pools persist across calls, so steady-state
-/// batched inference stops allocating entirely.  A process-wide mutex pool
-/// (not a thread-local) so tapes survive the short-lived worker threads the
-/// parallel path runs groups on; it is touched twice per *group*, so the
-/// lock is nowhere near the hot loop.
-static INFERENCE_TAPES: std::sync::Mutex<Vec<Graph>> = std::sync::Mutex::new(Vec::new());
+/// Overflow pool that keeps warm tapes alive across *threads*: a worker
+/// thread's tape is parked here when the thread exits (see [`TapeSlot`]) and
+/// adopted by the next thread whose thread-local slot is still empty.  Only
+/// touched on a thread's first and last use — never per estimate.
+static PARKED_TAPES: std::sync::Mutex<Vec<Graph>> = std::sync::Mutex::new(Vec::new());
 
-/// Estimate one group of plans on one (recycled) inference-mode tape.
-fn estimate_group(
-    model: &TreeModel,
-    store: &ParamStore,
+/// Thread-local tape holder whose `Drop` parks the tape in [`PARKED_TAPES`],
+/// so short-lived worker threads (the vendored rayon spawns fresh scoped
+/// threads per call) hand their warm buffer pools to their successors.
+struct TapeSlot(Option<Graph>);
+
+impl Drop for TapeSlot {
+    fn drop(&mut self) {
+        if let Some(g) = self.0.take() {
+            if let Ok(mut pool) = PARKED_TAPES.lock() {
+                pool.push(g);
+            }
+        }
+    }
+}
+
+thread_local! {
+    static INFERENCE_TAPE: std::cell::RefCell<TapeSlot> = const { std::cell::RefCell::new(TapeSlot(None)) };
+}
+
+/// Run `f` on this thread's warm inference tape (reset first).
+///
+/// Steady-state serving threads touch no lock at all here: the tape lives in
+/// a thread-local slot, unlike the old process-wide `Mutex<Vec<Graph>>` pool
+/// every concurrent estimator serialized on.  A thread's first call adopts a
+/// parked tape from a finished thread (one mutex touch), and its last act is
+/// parking the tape back (one more), so the warm buffer pools still survive
+/// short-lived worker threads.
+pub(crate) fn with_inference_tape<R>(f: impl FnOnce(&mut Graph) -> R) -> R {
+    INFERENCE_TAPE.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let g = slot
+            .0
+            .get_or_insert_with(|| PARKED_TAPES.lock().ok().and_then(|mut p| p.pop()).unwrap_or_else(Graph::inference));
+        g.reset();
+        f(g)
+    })
+}
+
+/// Read the batched head outputs off a tape and denormalize them per plan.
+fn denormalize_outputs(
+    g: &Graph,
     normalization: &TargetNormalization,
-    plans: &[&EncodedPlan],
+    cost_out: NodeId,
+    card_out: NodeId,
+    n: usize,
 ) -> Vec<(f64, f64)> {
-    let mut g = INFERENCE_TAPES.lock().ok().and_then(|mut tapes| tapes.pop()).unwrap_or_else(Graph::inference);
-    g.reset();
-    let (cost_out, card_out) = forward_batch(model, store, &mut g, plans);
     let cost_vals = g.value(cost_out);
     let card_vals = g.value(card_out);
-    let out = (0..plans.len())
+    (0..n)
         .map(|i| {
             (
                 normalization.cost.denormalize(cost_vals.get(0, i)),
                 normalization.cardinality.denormalize(card_vals.get(0, i)),
             )
         })
-        .collect();
-    if let Ok(mut tapes) = INFERENCE_TAPES.lock() {
-        tapes.push(g);
-    }
-    out
+        .collect()
+}
+
+/// Estimate one group of plans on this thread's (recycled) inference tape.
+fn estimate_group(
+    model: &TreeModel,
+    store: &ParamStore,
+    normalization: &TargetNormalization,
+    plans: &[&EncodedPlan],
+) -> Vec<(f64, f64)> {
+    with_inference_tape(|g| {
+        let (cost_out, card_out) = forward_batch(model, store, g, plans);
+        denormalize_outputs(g, normalization, cost_out, card_out, plans.len())
+    })
 }
 
 /// Level-batched forward pass over `plans` on an existing tape, returning the
@@ -158,15 +222,6 @@ pub fn forward_batch(model: &TreeModel, store: &ParamStore, g: &mut Graph, plans
         levels[n.height - 1].push(i);
     }
 
-    // Dense per-node cell state, indexed by flat-node id.  A state is a
-    // (level-output node, column) pair per channel — columns are gathered
-    // lazily with one `gather_cols` tape node per channel per level instead
-    // of one `column_at` node per plan node.
-    #[derive(Clone, Copy)]
-    struct StateRef {
-        g: (NodeId, usize),
-        r: (NodeId, usize),
-    }
     let mut states: Vec<Option<StateRef>> = vec![None; flat.len()];
     let zero = model.zero_state_batch(g, 1);
     let zero_ref = StateRef { g: (zero.g, 0), r: (zero.r, 0) };
@@ -208,6 +263,195 @@ pub fn forward_batch(model: &TreeModel, store: &ParamStore, g: &mut Graph, plans
     let root_rs: Vec<(NodeId, usize)> = roots.iter().map(|&r| states[r].expect("root state computed").r).collect();
     let r_batch = g.gather_cols(&root_rs);
     model.estimate_from_representation(g, store, r_batch)
+}
+
+/// Flattened view of one node in a memoized batch: either a fresh node to
+/// embed (like [`FlatNode`]) or the root of a memoized subtree whose cached
+/// `(G, R)` state is injected instead of recursing into its children.
+struct MemoFlatNode<'a> {
+    height: usize,
+    children: Vec<usize>,
+    encoded: &'a EncodedPlan,
+    cached: Option<std::sync::Arc<SubtreeState>>,
+    signature: u64,
+}
+
+/// Flatten `plan` into `out`, pruning at memoized subtrees and deduplicating
+/// by signature within the batch (`seen`): a DP enumeration's candidates
+/// share almost all of their subtrees, and each distinct subtree must enter
+/// the level-batched forward exactly once.  Returns `(flat index, height)`
+/// and counts, for the cache's node-level serving stats, how many plan nodes
+/// were submitted (`seen_nodes`) vs. will actually be embedded (`computed`).
+fn flatten_memo<'a>(
+    plan: &'a EncodedPlan,
+    cache: &SubtreeStateCache,
+    dedup: &mut std::collections::HashMap<u64, usize>,
+    out: &mut Vec<MemoFlatNode<'a>>,
+    seen_nodes: &mut u64,
+    computed: &mut u64,
+) -> (usize, usize) {
+    let signature = plan.signature;
+    if let Some(&idx) = dedup.get(&signature) {
+        // Already flattened for another candidate in this batch: the whole
+        // subtree is served by the shared flat node.
+        *seen_nodes += plan.size() as u64;
+        return (idx, out[idx].height);
+    }
+    if let Some(state) = cache.get(signature) {
+        let idx = out.len();
+        out.push(MemoFlatNode { height: 1, children: Vec::new(), encoded: plan, cached: Some(state), signature });
+        dedup.insert(signature, idx);
+        *seen_nodes += plan.size() as u64;
+        return (idx, 1);
+    }
+    *seen_nodes += 1;
+    *computed += 1;
+    let my_idx = out.len();
+    out.push(MemoFlatNode { height: 1, children: Vec::new(), encoded: plan, cached: None, signature });
+    dedup.insert(signature, my_idx);
+    let mut child_ids = Vec::new();
+    let mut max_child_height = 0;
+    for c in &plan.children {
+        let (cid, ch) = flatten_memo(c, cache, dedup, out, seen_nodes, computed);
+        child_ids.push(cid);
+        max_child_height = max_child_height.max(ch);
+    }
+    let height = 1 + max_child_height;
+    out[my_idx].children = child_ids;
+    out[my_idx].height = height;
+    (my_idx, height)
+}
+
+/// [`forward_batch`] with subtree memoization — the serving-layer forward of
+/// the optimizer loop.
+///
+/// Before embedding anything, every sub-plan is looked up in `cache` by its
+/// 64-bit signature (and deduplicated against the rest of the batch): hits
+/// re-enter the tape as injected `(G, R)` input columns
+/// ([`Graph::input_columns`]), and only the fringe above them is embedded.
+/// After each level's cell runs, the new sub-plans' state columns are lifted
+/// off the tape ([`Graph::extract_column`]) and memoized, so a DP
+/// enumeration embeds each distinct subtree once no matter how many
+/// candidate plans contain it.
+///
+/// Estimates are **bit-identical** to the memoization-free [`forward_batch`]:
+/// injected states are verbatim copies of previously computed columns, and
+/// every kernel's per-column result is independent of which other columns
+/// share its batch (`memoized_inference_is_bit_identical_*` pins this).
+///
+/// # Panics
+/// Panics if `plans` is empty.
+pub fn forward_batch_memo(
+    model: &TreeModel,
+    store: &ParamStore,
+    g: &mut Graph,
+    plans: &[&EncodedPlan],
+    cache: &SubtreeStateCache,
+) -> (NodeId, NodeId) {
+    assert!(!plans.is_empty(), "forward_batch_memo needs at least one plan");
+    let hidden = model.config.hidden_dim;
+    let mut flat: Vec<MemoFlatNode> = Vec::new();
+    let mut dedup = std::collections::HashMap::new();
+    let mut roots = Vec::with_capacity(plans.len());
+    let mut max_height = 1;
+    let (mut seen_nodes, mut computed) = (0u64, 0u64);
+    for p in plans {
+        let (root_idx, h) = flatten_memo(p, cache, &mut dedup, &mut flat, &mut seen_nodes, &mut computed);
+        roots.push(root_idx);
+        max_height = max_height.max(h);
+    }
+    cache.record_nodes(seen_nodes, computed);
+
+    // Cache-hit states re-enter the tape as two batched input columns.
+    let mut states: Vec<Option<StateRef>> = vec![None; flat.len()];
+    let cached_nodes: Vec<usize> =
+        flat.iter().enumerate().filter(|(_, n)| n.cached.is_some()).map(|(i, _)| i).collect();
+    if !cached_nodes.is_empty() {
+        let g_cols: Vec<&[f32]> =
+            cached_nodes.iter().map(|&i| flat[i].cached.as_ref().expect("cached").g.as_slice()).collect();
+        let r_cols: Vec<&[f32]> =
+            cached_nodes.iter().map(|&i| flat[i].cached.as_ref().expect("cached").r.as_slice()).collect();
+        let inj_g = g.input_columns(hidden, &g_cols);
+        let inj_r = g.input_columns(hidden, &r_cols);
+        for (col, &i) in cached_nodes.iter().enumerate() {
+            states[i] = Some(StateRef { g: (inj_g, col), r: (inj_r, col) });
+        }
+    }
+
+    // Level-batched forward over the fresh fringe, exactly as in
+    // `forward_batch`, with one extra step per level: extract the new state
+    // columns off the tape and memoize them.
+    let mut levels: Vec<Vec<usize>> = vec![Vec::new(); max_height];
+    for (i, n) in flat.iter().enumerate() {
+        if n.cached.is_none() {
+            levels[n.height - 1].push(i);
+        }
+    }
+    let zero = model.zero_state_batch(g, 1);
+    let zero_ref = StateRef { g: (zero.g, 0), r: (zero.r, 0) };
+
+    for level_nodes in &levels {
+        if level_nodes.is_empty() {
+            continue;
+        }
+        let feats: Vec<&featurize::NodeFeatures> = level_nodes.iter().map(|&i| &flat[i].encoded.features).collect();
+        let x_batch = model.embed_nodes_batch(g, store, &feats);
+
+        let mut left_g = Vec::with_capacity(level_nodes.len());
+        let mut left_r = Vec::with_capacity(level_nodes.len());
+        let mut right_g = Vec::with_capacity(level_nodes.len());
+        let mut right_r = Vec::with_capacity(level_nodes.len());
+        for &i in level_nodes {
+            let children = &flat[i].children;
+            let left = children.first().and_then(|&c| states[c]).unwrap_or(zero_ref);
+            let right = children.get(1).and_then(|&c| states[c]).unwrap_or(zero_ref);
+            left_g.push(left.g);
+            left_r.push(left.r);
+            right_g.push(right.g);
+            right_r.push(right.r);
+        }
+        let left = CellOutput { g: g.gather_cols(&left_g), r: g.gather_cols(&left_r) };
+        let right = CellOutput { g: g.gather_cols(&right_g), r: g.gather_cols(&right_r) };
+
+        let out = model.apply_cell(g, store, x_batch, left, right);
+        for (col, &i) in level_nodes.iter().enumerate() {
+            states[i] = Some(StateRef { g: (out.g, col), r: (out.r, col) });
+            let mut sg = Vec::with_capacity(hidden);
+            let mut sr = Vec::with_capacity(hidden);
+            g.extract_column(out.g, col, &mut sg);
+            g.extract_column(out.r, col, &mut sr);
+            cache.insert(flat[i].signature, std::sync::Arc::new(SubtreeState { g: sg, r: sr }));
+        }
+    }
+
+    let root_rs: Vec<(NodeId, usize)> = roots.iter().map(|&r| states[r].expect("root state computed").r).collect();
+    let r_batch = g.gather_cols(&root_rs);
+    model.estimate_from_representation(g, store, r_batch)
+}
+
+/// Memoized batched estimation: [`estimate_batch`] through
+/// [`forward_batch_memo`], sharing `cache` across calls (and across
+/// threads — the cache is sharded and the tape is thread-local, so
+/// concurrent serving threads never serialize on a global lock).
+///
+/// Runs chunks of [`GROUP_SIZE`] plans sequentially on the calling thread:
+/// in the serving layer, concurrency comes from the caller's worker threads,
+/// and an internal fan-out per request would only fight them for cores.
+pub fn estimate_batch_memo(
+    model: &TreeModel,
+    store: &ParamStore,
+    normalization: &TargetNormalization,
+    plans: &[&EncodedPlan],
+    cache: &SubtreeStateCache,
+) -> Vec<(f64, f64)> {
+    let mut out = Vec::with_capacity(plans.len());
+    for chunk in plans.chunks(GROUP_SIZE) {
+        out.extend(with_inference_tape(|g| {
+            let (cost_out, card_out) = forward_batch_memo(model, store, g, chunk, cache);
+            denormalize_outputs(g, normalization, cost_out, card_out, chunk.len())
+        }));
+    }
+    out
 }
 
 pub mod reference {
@@ -436,11 +680,144 @@ mod tests {
     }
 
     #[test]
+    fn memoized_batch_is_bit_identical_to_fresh_and_warm() {
+        let (plans, cfg) = samples(14);
+        let model = TreeModel::new(
+            &cfg,
+            ModelConfig { feature_embed_dim: 8, hidden_dim: 12, estimation_hidden_dim: 8, ..Default::default() },
+        );
+        let trainer = Trainer::new(model, &plans, TrainConfig::default());
+        let refs: Vec<&EncodedPlan> = plans.iter().collect();
+        let fresh = estimate_batch(&trainer.model, &trainer.model.params, &trainer.normalization, &plans);
+
+        let cache = crate::memory::SubtreeStateCache::new();
+        let cold = estimate_batch_memo(&trainer.model, &trainer.model.params, &trainer.normalization, &refs, &cache);
+        assert_eq!(fresh, cold, "cold memoized estimates must be bit-identical to the fresh path");
+        assert!(!cache.is_empty(), "forward pass must populate the subtree cache");
+
+        let warm = estimate_batch_memo(&trainer.model, &trainer.model.params, &trainer.normalization, &refs, &cache);
+        assert_eq!(fresh, warm, "warm memoized estimates must be bit-identical to the fresh path");
+
+        // The test plans share their join/scan structure heavily (only the
+        // scan predicate constant varies), so the warm pass must serve the
+        // bulk of the nodes from cache.
+        let (seen, computed) = cache.node_stats();
+        assert!(seen > computed, "no node was ever served from cache ({seen} seen, {computed} computed)");
+        assert!(cache.node_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn memoized_batch_combines_cached_subtrees_at_the_fringe() {
+        // Score the two scan sub-plans first, then the joins over them: the
+        // second call must only embed the join fringe, re-using both scans.
+        let (plans, cfg) = samples(4);
+        let model = TreeModel::new(
+            &cfg,
+            ModelConfig { feature_embed_dim: 8, hidden_dim: 12, estimation_hidden_dim: 8, ..Default::default() },
+        );
+        let trainer = Trainer::new(model, &plans, TrainConfig::default());
+        let cache = crate::memory::SubtreeStateCache::new();
+
+        let leaves: Vec<&EncodedPlan> = plans.iter().flat_map(|p| p.children.iter()).collect();
+        estimate_batch_memo(&trainer.model, &trainer.model.params, &trainer.normalization, &leaves, &cache);
+        let (_, computed_leaves) = cache.node_stats();
+
+        let refs: Vec<&EncodedPlan> = plans.iter().collect();
+        let fresh = estimate_batch(&trainer.model, &trainer.model.params, &trainer.normalization, &plans);
+        let memo = estimate_batch_memo(&trainer.model, &trainer.model.params, &trainer.normalization, &refs, &cache);
+        assert_eq!(fresh, memo);
+        let (_, computed_total) = cache.node_stats();
+        // The second pass embeds exactly one new node per distinct plan (the
+        // join root); every scan state is injected from the cache.
+        assert_eq!(computed_total - computed_leaves, plans.len() as u64);
+    }
+
+    #[test]
     fn empty_batch_returns_empty() {
         let (plans, cfg) = samples(2);
         let model = TreeModel::new(&cfg, ModelConfig::default());
         let trainer = Trainer::new(model, &plans, TrainConfig::default());
         assert!(estimate_batch(&trainer.model, &trainer.model.params, &trainer.normalization, &[]).is_empty());
+    }
+
+    mod memo_property {
+        //! Satellite guard: on randomized planner output (generated queries
+        //! expanded into candidate join orders), memoized subtree inference
+        //! must be **bit-identical** to fresh inference — cold cache, warm
+        //! cache, and across batch compositions.
+
+        use super::*;
+        use crate::memory::SubtreeStateCache;
+        use proptest::prelude::*;
+        use std::sync::OnceLock;
+        use workloads::{generate_enumeration_workload, EnumerationConfig};
+
+        struct Fixture {
+            db: Arc<imdb::Database>,
+            fx: FeatureExtractor,
+            trainer: Trainer,
+        }
+
+        fn fixture() -> &'static Fixture {
+            static FIX: OnceLock<Fixture> = OnceLock::new();
+            FIX.get_or_init(|| {
+                let db = Arc::new(generate_imdb(GeneratorConfig::tiny()));
+                let cfg = EncodingConfig::from_database(&db, 8, 32);
+                let fx = FeatureExtractor::new(db.clone(), cfg.clone(), Arc::new(HashBitmapEncoder::new(8)));
+                let model = TreeModel::new(
+                    &cfg,
+                    ModelConfig {
+                        feature_embed_dim: 8,
+                        hidden_dim: 12,
+                        estimation_hidden_dim: 8,
+                        ..Default::default()
+                    },
+                );
+                let samples = workloads::generate_workload(
+                    &db,
+                    workloads::WorkloadConfig { num_queries: 12, ..Default::default() },
+                );
+                let encoded: Vec<EncodedPlan> = samples.iter().map(|s| fx.encode_plan(&s.plan)).collect();
+                let trainer = Trainer::new(model, &encoded, TrainConfig::default());
+                Fixture { db, fx, trainer }
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn memoized_inference_is_bit_identical_on_randomized_planner_output(seed in 0u64..1_000_000) {
+                let fixture = fixture();
+                let workload = generate_enumeration_workload(
+                    &fixture.db,
+                    EnumerationConfig {
+                        num_queries: 1,
+                        min_joins: 1,
+                        max_joins: 3,
+                        max_candidates_per_query: 12,
+                        seed,
+                    },
+                );
+                prop_assert!(!workload.is_empty(), "no enumerable query for seed {seed}");
+                let encoded: Vec<EncodedPlan> =
+                    workload[0].candidates.iter().map(|c| fixture.fx.encode_plan(c)).collect();
+                let refs: Vec<&EncodedPlan> = encoded.iter().collect();
+                let t = &fixture.trainer;
+
+                let fresh = estimate_batch(&t.model, &t.model.params, &t.normalization, &encoded);
+                let cache = SubtreeStateCache::new();
+                let cold = estimate_batch_memo(&t.model, &t.model.params, &t.normalization, &refs, &cache);
+                prop_assert_eq!(&fresh, &cold);
+                let warm = estimate_batch_memo(&t.model, &t.model.params, &t.normalization, &refs, &cache);
+                prop_assert_eq!(&fresh, &warm);
+                // One-at-a-time scoring against the warm cache must also be
+                // bit-identical: batch composition cannot leak into columns.
+                for (plan, expected) in refs.iter().zip(fresh.iter()) {
+                    let single =
+                        estimate_batch_memo(&t.model, &t.model.params, &t.normalization, &[plan], &cache);
+                    prop_assert_eq!(&single[0], expected);
+                }
+            }
+        }
     }
 
     #[test]

@@ -7,10 +7,13 @@
 //! * [`trainer`] — q-error loss on normalized log targets, Adam,
 //!   mini-batches, per-epoch validation statistics (Section 4.3).
 //! * [`batch`] — level-wise batched inference (the batching technique of
-//!   Section 4.3, measured in Table 12).
-//! * [`memory`] — the representation memory pool of the online workflow
-//!   (Section 3).
-//! * [`api`] — the [`CostEstimator`] façade downstream users interact with.
+//!   Section 4.3, measured in Table 12) and the subtree-memoized serving
+//!   forward of the optimizer loop.
+//! * [`memory`] — the sharded, 64-bit-signature-keyed serving caches of the
+//!   online workflow (Section 3): the representation memory pool and the
+//!   subtree-state cache.
+//! * [`api`] — the [`CostEstimator`] façade downstream users interact with,
+//!   plus the thread-shareable [`ServingEstimator`] handle.
 
 pub mod api;
 pub mod batch;
@@ -18,8 +21,11 @@ pub mod memory;
 pub mod model;
 pub mod trainer;
 
-pub use api::CostEstimator;
-pub use batch::{estimate_batch, estimate_batch_refs, forward_batch, reference::estimate_batch_reference};
-pub use memory::RepresentationMemoryPool;
+pub use api::{CostEstimator, ServingEstimator};
+pub use batch::{
+    estimate_batch, estimate_batch_memo, estimate_batch_refs, forward_batch, forward_batch_memo,
+    reference::estimate_batch_reference,
+};
+pub use memory::{RepresentationMemoryPool, ShardedCache, SubtreeState, SubtreeStateCache};
 pub use model::{ModelConfig, PredicateModelKind, RepresentationCellKind, TaskMode, TreeModel};
 pub use trainer::{EpochStats, TargetNormalization, TrainConfig, Trainer};

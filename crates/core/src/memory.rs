@@ -1,19 +1,177 @@
-//! Representation memory pool (Section 3, online workflow).
+//! Serving-side caches (Section 3, online workflow).
 //!
-//! When the optimizer repeatedly asks for the cost of plans sharing
-//! sub-plans, the estimator caches the estimates of already-seen sub-plans
-//! keyed by their structural signature and serves repeats without another
-//! forward pass.
+//! When the optimizer's plan enumerator repeatedly asks for the cost of
+//! candidate plans sharing sub-plans, the estimator memoizes two things,
+//! both keyed by the allocation-free 64-bit structural signature of the
+//! sub-plan ([`query::PlanNode::signature_hash`]):
+//!
+//! * [`RepresentationMemoryPool`] — final `(cost, cardinality)` estimates of
+//!   whole plans already seen (the paper's memory pool);
+//! * [`SubtreeStateCache`] — the representation cell's `(G, R)` state
+//!   vectors of every embedded sub-plan, so a new candidate that shares a
+//!   subtree re-enters the forward pass at the fringe instead of re-running
+//!   the cell over the whole subtree (`batch::estimate_batch_memo`).
+//!
+//! Both sit on [`ShardedCache`]: middle bits of the key pick one of
+//! [`NUM_SHARDS`] independently-locked shards, so concurrent estimator
+//! threads don't serialize on one lock, and hit/miss counters are per-shard
+//! relaxed atomics — statistics never take a lock on the hot path (the old
+//! implementation kept them in two separate `RwLock<u64>`s, two extra lock
+//! round-trips per lookup).  Keys are pre-mixed by the signature hasher's
+//! splitmix64 finalizer, so the shard maps use an identity hasher instead of
+//! re-hashing every `u64` through SipHash.
 
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// A concurrent cache from plan signatures to `(cost, cardinality)` estimates.
+/// Number of shards (power of two; selected by middle bits of the key).
+pub const NUM_SHARDS: usize = 16;
+
+/// Default per-shard entry cap (~256k entries across all shards).
+const DEFAULT_MAX_PER_SHARD: usize = 16 * 1024;
+
+/// Pass-through hasher for keys that are already well-mixed 64-bit hashes.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct IdentityHasher(u64);
+
+impl Hasher for IdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("IdentityHasher is only for u64 keys");
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+type SigMap<V> = HashMap<u64, V, BuildHasherDefault<IdentityHasher>>;
+
+#[derive(Debug)]
+struct Shard<V> {
+    map: RwLock<SigMap<V>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<V> Default for Shard<V> {
+    fn default() -> Self {
+        Shard { map: RwLock::new(SigMap::default()), hits: AtomicU64::new(0), misses: AtomicU64::new(0) }
+    }
+}
+
+/// A concurrent map from 64-bit sub-plan signatures to cached values,
+/// sharded by middle bits of the key, with per-shard atomic hit/miss
+/// counters.
+///
+/// Bounded: when an insert would push a shard past its per-shard cap the
+/// shard is dropped wholesale (the caches are advisory — evicting costs a
+/// re-computation, never correctness), which bounds memory without any
+/// per-entry LRU bookkeeping on the hot path.
+#[derive(Debug)]
+pub struct ShardedCache<V> {
+    shards: Box<[Shard<V>; NUM_SHARDS]>,
+    max_per_shard: usize,
+}
+
+impl<V: Clone> ShardedCache<V> {
+    /// An empty cache with the default capacity bound.
+    pub fn new() -> Self {
+        Self::with_shard_capacity(DEFAULT_MAX_PER_SHARD)
+    }
+
+    /// An empty cache bounded to `max_per_shard` entries per shard.
+    pub fn with_shard_capacity(max_per_shard: usize) -> Self {
+        ShardedCache {
+            shards: Box::new(std::array::from_fn(|_| Shard::default())),
+            max_per_shard: max_per_shard.max(1),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, key: u64) -> &Shard<V> {
+        // Middle bits: the identity-hashed hashbrown map derives its bucket
+        // index from the low bits and its 7-bit SIMD probe tag from the top
+        // bits; shard selection must avoid both ranges, or every key in a
+        // shard would share part of its tag/bucket entropy.
+        &self.shards[((key >> 32) as usize) & (NUM_SHARDS - 1)]
+    }
+
+    /// Look up a signature, counting a hit or a miss in the shard's atomics.
+    pub fn get(&self, key: u64) -> Option<V> {
+        let shard = self.shard(key);
+        let found = shard.map.read().get(&key).cloned();
+        // Relaxed atomics: statistics never acquire a lock of their own
+        // (and need none — approximate global ordering is fine for stats).
+        if found.is_some() {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            shard.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Store a value under a signature (last writer wins on a race; both
+    /// writers computed the value from the same sub-plan, so the values are
+    /// interchangeable).
+    pub fn insert(&self, key: u64, value: V) {
+        let shard = self.shard(key);
+        let mut map = shard.map.write();
+        if map.len() >= self.max_per_shard && !map.contains_key(&key) {
+            map.clear();
+        }
+        map.insert(key, value);
+    }
+
+    /// Number of cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.map.read().len()).sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.map.read().is_empty())
+    }
+
+    /// `(hits, misses)` lookup counters summed over all shards.
+    pub fn stats(&self) -> (u64, u64) {
+        let mut hits = 0;
+        let mut misses = 0;
+        for s in self.shards.iter() {
+            hits += s.hits.load(Ordering::Relaxed);
+            misses += s.misses.load(Ordering::Relaxed);
+        }
+        (hits, misses)
+    }
+
+    /// Drop all cached entries and reset the counters.
+    pub fn clear(&self) {
+        for s in self.shards.iter() {
+            s.map.write().clear();
+            s.hits.store(0, Ordering::Relaxed);
+            s.misses.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl<V: Clone> Default for ShardedCache<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A concurrent cache from plan signatures to `(cost, cardinality)`
+/// estimates — the paper's representation memory pool, now keyed by 64-bit
+/// hashed signatures instead of owned `String`s.
 #[derive(Debug, Default)]
 pub struct RepresentationMemoryPool {
-    entries: RwLock<HashMap<String, (f64, f64)>>,
-    hits: RwLock<u64>,
-    misses: RwLock<u64>,
+    cache: ShardedCache<(f64, f64)>,
 }
 
 impl RepresentationMemoryPool {
@@ -23,41 +181,123 @@ impl RepresentationMemoryPool {
     }
 
     /// Look up a signature, counting a hit or a miss.
-    pub fn get(&self, signature: &str) -> Option<(f64, f64)> {
-        let found = self.entries.read().get(signature).copied();
-        if found.is_some() {
-            *self.hits.write() += 1;
-        } else {
-            *self.misses.write() += 1;
-        }
-        found
+    pub fn get(&self, signature: u64) -> Option<(f64, f64)> {
+        self.cache.get(signature)
     }
 
     /// Store an estimate for a signature.
-    pub fn insert(&self, signature: &str, cost: f64, cardinality: f64) {
-        self.entries.write().insert(signature.to_string(), (cost, cardinality));
+    pub fn insert(&self, signature: u64, cost: f64, cardinality: f64) {
+        self.cache.insert(signature, (cost, cardinality));
     }
 
     /// Number of cached sub-plans.
     pub fn len(&self) -> usize {
-        self.entries.read().len()
+        self.cache.len()
     }
 
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.cache.is_empty()
     }
 
     /// `(hits, misses)` counters.
     pub fn stats(&self) -> (u64, u64) {
-        (*self.hits.read(), *self.misses.read())
+        self.cache.stats()
     }
 
     /// Drop all cached entries and counters.
     pub fn clear(&self) {
-        self.entries.write().clear();
-        *self.hits.write() = 0;
-        *self.misses.write() = 0;
+        self.cache.clear()
+    }
+}
+
+/// The memoized representation state of one embedded sub-plan: the `G` and
+/// `R` channel vectors of the representation cell at the subtree root.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubtreeState {
+    pub g: Vec<f32>,
+    pub r: Vec<f32>,
+}
+
+/// Cache of subtree representation states for optimizer-in-the-loop serving.
+///
+/// Shared by all estimator threads; a hit lets `forward_batch_memo` inject
+/// the stored `(G, R)` columns as tape inputs instead of re-embedding the
+/// subtree.  States are only meaningful for the model/extractor pair that
+/// produced them — the cache is owned by one `CostEstimator` and cleared on
+/// re-fit, never shared across models.
+///
+/// Besides the lookup counters of the underlying [`ShardedCache`], the cache
+/// tracks *node-level* serving counters: of all plan nodes submitted for
+/// scoring, how many were served from a memoized subtree (or deduplicated
+/// within the batch) versus embedded fresh.  That is the "subtree-cache hit
+/// rate" the serving bench reports — lookups stop at the subtree fringe, so
+/// lookup counts alone understate how much work memoization saves.
+#[derive(Debug, Default)]
+pub struct SubtreeStateCache {
+    cache: ShardedCache<Arc<SubtreeState>>,
+    nodes_seen: AtomicU64,
+    nodes_computed: AtomicU64,
+}
+
+impl SubtreeStateCache {
+    /// An empty cache with the default capacity bound.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up a subtree state.
+    pub fn get(&self, signature: u64) -> Option<Arc<SubtreeState>> {
+        self.cache.get(signature)
+    }
+
+    /// Store a subtree state.
+    pub fn insert(&self, signature: u64, state: Arc<SubtreeState>) {
+        self.cache.insert(signature, state);
+    }
+
+    /// Number of memoized subtrees.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// True when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    /// `(hits, misses)` lookup counters.
+    pub fn stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+
+    /// Record one memoized forward pass's node accounting: `seen` plan nodes
+    /// submitted, of which `computed` were embedded fresh.
+    pub fn record_nodes(&self, seen: u64, computed: u64) {
+        self.nodes_seen.fetch_add(seen, Ordering::Relaxed);
+        self.nodes_computed.fetch_add(computed, Ordering::Relaxed);
+    }
+
+    /// `(nodes_seen, nodes_computed)` across all memoized forward passes.
+    pub fn node_stats(&self) -> (u64, u64) {
+        (self.nodes_seen.load(Ordering::Relaxed), self.nodes_computed.load(Ordering::Relaxed))
+    }
+
+    /// Fraction of submitted plan nodes served without a fresh embedding
+    /// (`1 - computed/seen`); 0.0 before any memoized pass ran.
+    pub fn node_hit_rate(&self) -> f64 {
+        let (seen, computed) = self.node_stats();
+        if seen == 0 {
+            return 0.0;
+        }
+        1.0 - computed as f64 / seen as f64
+    }
+
+    /// Drop all memoized states and reset every counter.
+    pub fn clear(&self) {
+        self.cache.clear();
+        self.nodes_seen.store(0, Ordering::Relaxed);
+        self.nodes_computed.store(0, Ordering::Relaxed);
     }
 }
 
@@ -68,9 +308,9 @@ mod tests {
     #[test]
     fn insert_get_roundtrip() {
         let pool = RepresentationMemoryPool::new();
-        assert!(pool.get("sig-a").is_none());
-        pool.insert("sig-a", 10.0, 5.0);
-        assert_eq!(pool.get("sig-a"), Some((10.0, 5.0)));
+        assert!(pool.get(0xa).is_none());
+        pool.insert(0xa, 10.0, 5.0);
+        assert_eq!(pool.get(0xa), Some((10.0, 5.0)));
         assert_eq!(pool.len(), 1);
         assert!(!pool.is_empty());
     }
@@ -78,10 +318,10 @@ mod tests {
     #[test]
     fn hit_miss_counters() {
         let pool = RepresentationMemoryPool::new();
-        pool.insert("x", 1.0, 1.0);
-        pool.get("x");
-        pool.get("y");
-        pool.get("x");
+        pool.insert(1, 1.0, 1.0);
+        pool.get(1);
+        pool.get(2);
+        pool.get(1);
         assert_eq!(pool.stats(), (2, 1));
         pool.clear();
         assert_eq!(pool.stats(), (0, 0));
@@ -89,23 +329,91 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_access_is_safe() {
-        use std::sync::Arc;
-        let pool = Arc::new(RepresentationMemoryPool::new());
-        let handles: Vec<_> = (0..8)
+    fn keys_spread_over_shards() {
+        let cache: ShardedCache<u32> = ShardedCache::new();
+        let mut used = std::collections::HashSet::new();
+        for i in 0..256u64 {
+            // Simulate signature keys: well-mixed via the same finalizer.
+            let mut h = query::SigHasher::new();
+            h.write_u64(i);
+            let key = h.finish();
+            cache.insert(key, i as u32);
+            used.insert((key >> 32) & (NUM_SHARDS as u64 - 1));
+        }
+        assert_eq!(cache.len(), 256);
+        assert!(used.len() >= NUM_SHARDS / 2, "keys collapsed onto {} shards", used.len());
+    }
+
+    #[test]
+    fn capacity_bound_evicts_instead_of_growing() {
+        let cache: ShardedCache<u64> = ShardedCache::with_shard_capacity(8);
+        for i in 0..10_000u64 {
+            let mut h = query::SigHasher::new();
+            h.write_u64(i);
+            cache.insert(h.finish(), i);
+        }
+        assert!(cache.len() <= 8 * NUM_SHARDS, "cache grew past its bound: {}", cache.len());
+        assert!(!cache.is_empty());
+    }
+
+    /// Satellite guard: N threads hammer one pool with interleaved inserts
+    /// and lookups; afterwards no update may be lost (every inserted key
+    /// present) and the stats must balance exactly (hits + misses == total
+    /// lookups), which the old two-`RwLock<u64>` counters guaranteed only by
+    /// luck of lock interleaving and atomics must preserve under real
+    /// contention.
+    #[test]
+    fn sharded_pool_multithread_stress_no_lost_updates() {
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 500;
+        let pool = std::sync::Arc::new(RepresentationMemoryPool::new());
+        let handles: Vec<_> = (0..THREADS)
             .map(|t| {
-                let pool = Arc::clone(&pool);
+                let pool = std::sync::Arc::clone(&pool);
                 std::thread::spawn(move || {
-                    for i in 0..100 {
-                        pool.insert(&format!("sig-{t}-{i}"), i as f64, t as f64);
-                        pool.get(&format!("sig-{t}-{i}"));
+                    for i in 0..PER_THREAD {
+                        let own = (t << 32) | i;
+                        pool.insert(own, i as f64, t as f64);
+                        // One guaranteed hit (own key, just inserted)...
+                        assert_eq!(pool.get(own), Some((i as f64, t as f64)), "lost update on {own:#x}");
+                        // ...and one lookup of a key no thread ever inserts.
+                        assert!(pool.get(u64::MAX - own).is_none());
                     }
                 })
             })
             .collect();
         for h in handles {
-            h.join().expect("thread");
+            h.join().expect("stress thread");
         }
-        assert_eq!(pool.len(), 800);
+        assert_eq!(pool.len() as u64, THREADS * PER_THREAD);
+        let (hits, misses) = pool.stats();
+        assert_eq!(hits, THREADS * PER_THREAD, "stable hit count");
+        assert_eq!(misses, THREADS * PER_THREAD, "stable miss count");
+        // Every key is still present with the value its writer stored.
+        for t in 0..THREADS {
+            for i in (0..PER_THREAD).step_by(97) {
+                assert_eq!(pool.get((t << 32) | i), Some((i as f64, t as f64)));
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_cache_state_roundtrip_and_node_stats() {
+        let cache = SubtreeStateCache::new();
+        let state = Arc::new(SubtreeState { g: vec![1.0, 2.0], r: vec![3.0, 4.0] });
+        assert!(cache.get(7).is_none());
+        cache.insert(7, Arc::clone(&state));
+        assert_eq!(cache.get(7).as_deref(), Some(&*state));
+        assert_eq!(cache.len(), 1);
+
+        assert_eq!(cache.node_hit_rate(), 0.0);
+        cache.record_nodes(10, 4);
+        cache.record_nodes(10, 1);
+        assert_eq!(cache.node_stats(), (20, 5));
+        assert!((cache.node_hit_rate() - 0.75).abs() < 1e-12);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.node_stats(), (0, 0));
+        assert_eq!(cache.stats(), (0, 0));
     }
 }

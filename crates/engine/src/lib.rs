@@ -27,4 +27,4 @@ pub mod planner;
 
 pub use cost::CostModel;
 pub use executor::{execute_plan, execute_plan_mode, execute_plans, execute_plans_mode, ExecMode, ExecutionResult};
-pub use planner::{plan_query, PlannerConfig};
+pub use planner::{enumerate_join_orders, plan_query, PlannerConfig};

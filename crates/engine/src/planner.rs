@@ -69,6 +69,137 @@ fn build_scan(db: &Database, table: &str, filter: Option<&Predicate>) -> PlanNod
     }
 }
 
+/// Pick the join operator for joining an outer plan of `outer_rows` with a
+/// scan of `inner_table` (`inner_rows`): index nested loop for a tiny outer
+/// over an indexed inner key, merge join when both inputs are large and
+/// similar, hash join otherwise.  Shared by the greedy planner and the
+/// candidate enumerator so a given (prefix, table) pair always gets the
+/// same operator.
+fn choose_join_op(
+    db: &Database,
+    inner_table: &str,
+    join_pred: JoinPredicate,
+    outer_rows: f64,
+    inner_rows: f64,
+    cfg: &PlannerConfig,
+) -> PhysicalOp {
+    let inner_indexed = db
+        .schema()
+        .table(inner_table)
+        .and_then(|d| join_pred.column_for(inner_table).and_then(|c| d.column(c)))
+        .map(|c| c.indexed)
+        .unwrap_or(false);
+    if outer_rows <= cfg.nested_loop_threshold && inner_indexed {
+        PhysicalOp::NestedLoopJoin { condition: join_pred }
+    } else if outer_rows > 1000.0 && inner_rows > 1000.0 && (outer_rows / inner_rows).max(inner_rows / outer_rows) < 2.0
+    {
+        PhysicalOp::MergeJoin { condition: join_pred }
+    } else {
+        PhysicalOp::HashJoin { condition: join_pred }
+    }
+}
+
+/// Enumerate candidate left-deep join orders for a query, as a DP plan
+/// enumerator would: every permutation of the joined tables whose prefixes
+/// stay connected in the join graph yields one candidate
+/// `((t1 ⋈ t2) ⋈ t3) ⋈ …` tree, capped at `max_candidates` (DFS order, so
+/// the kept candidates share long prefixes).  Scan choice and join-operator
+/// selection are deterministic per prefix (the greedy planner's rules), so
+/// two candidates extending the same table sequence share that entire
+/// subtree — the heavy subtree overlap the estimator's serving-layer
+/// memoization amortizes.  No final aggregate is attached: candidates are
+/// join orders, not complete query plans.
+///
+/// Single-table queries yield their one scan.  Returns at least one
+/// candidate for every connected query.
+///
+/// # Panics
+/// Panics if the query references no tables or `max_candidates` is zero.
+pub fn enumerate_join_orders(
+    db: &Database,
+    query: &LogicalQuery,
+    cfg: &PlannerConfig,
+    max_candidates: usize,
+) -> Vec<PlanNode> {
+    assert!(!query.tables.is_empty(), "query must reference at least one table");
+    assert!(max_candidates > 0, "max_candidates must be positive");
+    let scans: Vec<(String, PlanNode, f64)> = query
+        .tables
+        .iter()
+        .map(|t| {
+            let filter = query.filter(t);
+            (t.clone(), build_scan(db, t, filter), guess_scan_rows(db, t, filter, cfg))
+        })
+        .collect();
+    if scans.len() == 1 {
+        return vec![scans.into_iter().next().expect("one scan").1];
+    }
+
+    struct Dfs<'a> {
+        db: &'a Database,
+        query: &'a LogicalQuery,
+        cfg: &'a PlannerConfig,
+        scans: &'a [(String, PlanNode, f64)],
+        max_candidates: usize,
+        out: Vec<PlanNode>,
+    }
+
+    impl Dfs<'_> {
+        fn extend(&mut self, used: &mut Vec<bool>, joined: &mut Vec<String>, current: PlanNode, current_rows: f64) {
+            if self.out.len() >= self.max_candidates {
+                return;
+            }
+            if joined.len() == self.scans.len() {
+                self.out.push(current);
+                return;
+            }
+            for i in 0..self.scans.len() {
+                if used[i] {
+                    continue;
+                }
+                let (table, scan, scan_rows) = &self.scans[i];
+                // The next table must connect to the joined prefix; for a
+                // connected query some unused table always does.
+                let Some(join_pred) = self
+                    .query
+                    .joins
+                    .iter()
+                    .find(|j| j.involves(table) && joined.iter().any(|jt| j.involves(jt)))
+                    .cloned()
+                else {
+                    continue;
+                };
+                let op = choose_join_op(self.db, table, join_pred, current_rows, *scan_rows, self.cfg);
+                // Children stay in enumeration order (prefix first): two
+                // candidates sharing a table prefix share the whole subtree.
+                let next = PlanNode::inner(op, vec![current.clone(), scan.clone()]);
+                let next_rows = (current_rows.max(*scan_rows) * 1.2).max(1.0);
+                used[i] = true;
+                joined.push(table.clone());
+                self.extend(used, joined, next, next_rows);
+                joined.pop();
+                used[i] = false;
+                if self.out.len() >= self.max_candidates {
+                    return;
+                }
+            }
+        }
+    }
+
+    let mut dfs = Dfs { db, query, cfg, scans: &scans, max_candidates, out: Vec::new() };
+    for i in 0..scans.len() {
+        let (table, scan, rows) = &scans[i];
+        let mut used = vec![false; scans.len()];
+        used[i] = true;
+        let mut joined = vec![table.clone()];
+        dfs.extend(&mut used, &mut joined, scan.clone(), *rows);
+        if dfs.out.len() >= max_candidates {
+            break;
+        }
+    }
+    dfs.out
+}
+
 /// Plan a logical query into a physical plan tree.
 ///
 /// # Panics
@@ -127,25 +258,7 @@ pub fn plan_query(db: &Database, query: &LogicalQuery, cfg: &PlannerConfig) -> P
         // Estimate output as the larger input times a fixed fan-out guess.
         let out_rows = (current_rows.max(scan_rows) * 1.2).max(1.0);
 
-        // Pick the join operator: index nested loop for a tiny outer over an
-        // indexed inner key, merge join when both inputs are large and
-        // similar, hash join otherwise.
-        let inner_indexed = db
-            .schema()
-            .table(&table)
-            .and_then(|d| join_pred.column_for(&table).and_then(|c| d.column(c)))
-            .map(|c| c.indexed)
-            .unwrap_or(false);
-        let op = if current_rows <= cfg.nested_loop_threshold && inner_indexed {
-            PhysicalOp::NestedLoopJoin { condition: join_pred }
-        } else if current_rows > 1000.0
-            && scan_rows > 1000.0
-            && (current_rows / scan_rows).max(scan_rows / current_rows) < 2.0
-        {
-            PhysicalOp::MergeJoin { condition: join_pred }
-        } else {
-            PhysicalOp::HashJoin { condition: join_pred }
-        };
+        let op = choose_join_op(db, &table, join_pred, current_rows, scan_rows, cfg);
 
         // Build side (left child) is the smaller input.
         let children = if current_rows <= scan_rows { vec![current, scan] } else { vec![scan, current] };
@@ -240,6 +353,85 @@ mod tests {
         assert_eq!(res.cardinality, 1.0, "aggregate plan must return one row");
         // The join below the aggregate has a real cardinality.
         assert!(plan.children[0].annotations.true_cardinality.expect("annotated") >= 0.0);
+    }
+
+    #[test]
+    fn enumeration_covers_all_connected_orders() {
+        let db = db();
+        let q = job_light_style_query();
+        let candidates = enumerate_join_orders(&db, &q, &PlannerConfig::default(), 1000);
+        // Join graph: title—movie_companies—company_type.  Connected
+        // left-deep orders: (t,mc,ct), (mc,t,ct), (mc,ct,t), (ct,mc,t).
+        assert_eq!(candidates.len(), 4);
+        let mut signatures = std::collections::HashSet::new();
+        for c in &candidates {
+            assert_eq!(c.size(), 5, "3 scans + 2 joins, no aggregate");
+            assert_eq!(c.tables().len(), 3);
+            assert!(c.op.is_join());
+            assert!(signatures.insert(c.signature_hash()), "duplicate candidate emitted");
+        }
+    }
+
+    #[test]
+    fn enumeration_candidates_share_subtrees() {
+        let db = db();
+        let mut q = job_light_style_query();
+        // Widen to a 4-table chain: subtree overlap grows with table count.
+        q.tables.push("movie_info_idx".into());
+        q.joins.push(JoinPredicate::new("movie_info_idx", "movie_id", "title", "id"));
+        let candidates = enumerate_join_orders(&db, &q, &PlannerConfig::default(), 1000);
+        assert_eq!(candidates.len(), 8, "a 4-table chain has 2^3 connected left-deep orders");
+        // Count distinct sub-plan signatures across all candidate nodes: the
+        // whole point of the enumeration workload is that this is far below
+        // the total node count (shared scans and shared join prefixes).
+        let mut total = 0usize;
+        let mut distinct = std::collections::HashSet::new();
+        for c in &candidates {
+            for n in c.nodes_preorder() {
+                total += 1;
+                distinct.insert(n.signature_hash());
+            }
+        }
+        assert!(
+            distinct.len() * 2 < total + 1,
+            "expected heavy subtree overlap, got {} distinct of {total} nodes",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn enumeration_respects_cap_and_single_table() {
+        let db = db();
+        let q = job_light_style_query();
+        let capped = enumerate_join_orders(&db, &q, &PlannerConfig::default(), 2);
+        assert_eq!(capped.len(), 2);
+        let single = LogicalQuery::single_table("title", None);
+        let only = enumerate_join_orders(&db, &single, &PlannerConfig::default(), 10);
+        assert_eq!(only.len(), 1);
+        assert!(only[0].op.is_scan());
+    }
+
+    #[test]
+    fn enumerated_candidates_execute() {
+        // Every candidate must be a valid physical plan for the query.
+        let db = db();
+        let q = job_light_style_query();
+        for mut plan in enumerate_join_orders(&db, &q, &PlannerConfig::default(), 8) {
+            let res = crate::executor::execute_plan(&db, &mut plan, &crate::cost::CostModel::default());
+            assert!(res.cost > 0.0);
+        }
+    }
+
+    #[test]
+    fn greedy_plan_is_among_enumerated_shapes() {
+        // The greedy planner's join tree (modulo its build-side swapping and
+        // the aggregate) covers the same tables; sanity-check the enumerator
+        // agrees on table coverage.
+        let db = db();
+        let q = job_light_style_query();
+        let greedy = plan_query(&db, &q, &PlannerConfig { add_aggregate: false, ..Default::default() });
+        let candidates = enumerate_join_orders(&db, &q, &PlannerConfig::default(), 1000);
+        assert!(candidates.iter().all(|c| c.tables() == greedy.tables()));
     }
 
     #[test]

@@ -74,6 +74,10 @@ pub struct EncodedPlan {
     pub true_cardinality: f64,
     /// True cumulative cost of this sub-plan (training target).
     pub true_cost: f64,
+    /// 64-bit structural signature of the source sub-plan
+    /// ([`query::PlanNode::signature_hash`]) — the key under which the
+    /// serving layer memoizes this subtree's representation states.
+    pub signature: u64,
 }
 
 impl EncodedPlan {
@@ -259,11 +263,16 @@ impl FeatureExtractor {
     /// executed (or estimated) so that `true_cardinality`/`true_cost` are
     /// present; missing annotations become 0.
     pub fn encode_plan(&self, plan: &PlanNode) -> EncodedPlan {
+        let children: Vec<EncodedPlan> = plan.children.iter().map(|c| self.encode_plan(c)).collect();
+        // Compose the signature from the already-encoded children's hashes
+        // instead of re-walking each subtree once per ancestor.
+        let signature = plan.signature_hash_from_children(children.iter().map(|c| c.signature));
         EncodedPlan {
             features: self.encode_node(plan),
-            children: plan.children.iter().map(|c| self.encode_plan(c)).collect(),
+            children,
             true_cardinality: plan.annotations.true_cardinality.unwrap_or(0.0),
             true_cost: plan.annotations.true_cost.unwrap_or(0.0),
+            signature,
         }
     }
 }
@@ -396,6 +405,9 @@ mod tests {
         let encoded = fx.encode_plan(&join);
         assert_eq!(encoded.size(), 3);
         assert_eq!(encoded.height(), 2);
+        assert_eq!(encoded.signature, join.signature_hash());
+        assert_eq!(encoded.children[0].signature, join.children[0].signature_hash());
+        assert_ne!(encoded.signature, encoded.children[0].signature);
         assert!(encoded.true_cardinality > 0.0);
         assert!(encoded.true_cost > 0.0);
         assert_eq!(encoded.children.len(), 2);

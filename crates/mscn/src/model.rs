@@ -76,6 +76,67 @@ impl MscnModel {
         let concat = g.concat_rows(&[t, j, p]);
         self.out_mlp.forward_sigmoid(g, store, concat)
     }
+
+    /// One set kind across a whole batch of queries: every element of every
+    /// query's set is column-stacked into a single `dim x total` input so
+    /// the set MLP runs as **one** blocked matmul per layer (instead of one
+    /// tiny matmul per element per query), then the per-query averages fall
+    /// out of one matmul with a sparse pooling matrix whose column `q` holds
+    /// `1/|set_q|` on the rows of query `q`'s elements.
+    ///
+    /// The pooling matmul is dense (`hidden x total x queries` MACs, of
+    /// which only the block diagonal is non-zero), so it scales a factor of
+    /// `queries` worse than a segment-sum; at estimation batch sizes (tens
+    /// to hundreds of queries) it stays far below the set-MLP cost it
+    /// amortizes, but a many-thousand-query batch would want a dedicated
+    /// segment-mean kernel instead.
+    fn pool_sets_batch(&self, g: &mut Graph, store: &ParamStore, mlp: &Mlp2, sets: &[&[Vec<f32>]]) -> NodeId {
+        let dim = mlp.l1.in_dim();
+        let total: usize = sets.iter().map(|s| s.len()).sum();
+        let mut x = Matrix::zeros(dim, total);
+        let mut col = 0;
+        for set in sets {
+            for v in *set {
+                for (r, &val) in v.iter().enumerate() {
+                    x.set(r, col, val);
+                }
+                col += 1;
+            }
+        }
+        let x = g.input(x);
+        let h = mlp.forward(g, store, x);
+        let h = g.relu(h);
+        let mut pool = Matrix::zeros(total, sets.len());
+        let mut row = 0;
+        for (q, set) in sets.iter().enumerate() {
+            let w = 1.0 / set.len() as f32;
+            for _ in 0..set.len() {
+                pool.set(row, q, w);
+                row += 1;
+            }
+        }
+        let pool = g.input(pool);
+        g.matmul(h, pool)
+    }
+
+    /// Batched forward pass over many queries: the normalized predictions as
+    /// a `1 x queries.len()` node, in input order.  Matches
+    /// [`MscnModel::forward`] per query up to f32 summation order (the
+    /// per-query path pools with an add chain, this one with a dot product).
+    ///
+    /// # Panics
+    /// Panics if `queries` is empty.
+    pub fn forward_batch(&self, g: &mut Graph, store: &ParamStore, queries: &[&QuerySets]) -> NodeId {
+        assert!(!queries.is_empty(), "forward_batch needs at least one query");
+        let tables: Vec<&[Vec<f32>]> = queries.iter().map(|s| s.tables.as_slice()).collect();
+        let joins: Vec<&[Vec<f32>]> = queries.iter().map(|s| s.joins.as_slice()).collect();
+        let preds: Vec<&[Vec<f32>]> = queries.iter().map(|s| s.predicates.as_slice()).collect();
+        let t = self.pool_sets_batch(g, store, &self.table_mlp, &tables);
+        let j = self.pool_sets_batch(g, store, &self.join_mlp, &joins);
+        let p = self.pool_sets_batch(g, store, &self.pred_mlp, &preds);
+        let concat = g.concat_rows(&[t, j, p]);
+        self.out_mlp.forward_sigmoid(g, store, concat)
+    }
 }
 
 /// Trainer for MSCN (single-task, MSE-style loss on normalized log targets).
@@ -135,6 +196,21 @@ impl MscnTrainer {
         let mut g = Graph::new();
         let out = self.model.forward(&mut g, &self.model.params, sets);
         self.normalization.denormalize(g.value(out).data()[0])
+    }
+
+    /// Predict the denormalized target for a whole batch of queries at once
+    /// on an inference-mode tape, packing every set through one blocked
+    /// matmul per layer ([`MscnModel::forward_batch`]) — the MSCN analogue
+    /// of the tree models' level-batched inference.
+    pub fn estimate_batch(&self, samples: &[QuerySets]) -> Vec<f64> {
+        if samples.is_empty() {
+            return Vec::new();
+        }
+        let refs: Vec<&QuerySets> = samples.iter().collect();
+        let mut g = Graph::inference();
+        let out = self.model.forward_batch(&mut g, &self.model.params, &refs);
+        let vals = g.value(out);
+        (0..samples.len()).map(|i| self.normalization.denormalize(vals.get(0, i))).collect()
     }
 
     /// Mean q-error over a workload.
@@ -204,6 +280,58 @@ mod tests {
         let after = trainer.mean_qerror(&samples);
         assert_eq!(losses.len(), 15);
         assert!(after < before, "MSCN training did not improve q-error: {before:.2} -> {after:.2}");
+    }
+
+    #[test]
+    fn batched_estimates_match_per_query() {
+        let (samples, fx) = dataset(24);
+        let config = MscnConfig { epochs: 3, hidden_dim: 16, ..Default::default() };
+        let model = MscnModel::new(fx.table_dim(), fx.join_dim(), fx.predicate_dim(), config);
+        let mut trainer = MscnTrainer::new(model, &samples);
+        trainer.train(&samples);
+        let batched = trainer.estimate_batch(&samples);
+        assert_eq!(batched.len(), samples.len());
+        for (s, b) in samples.iter().zip(batched.iter()) {
+            let one = trainer.estimate(s);
+            assert!((one.ln() - b.ln()).abs() < 1e-3, "batched MSCN diverged: {one} vs {b}");
+        }
+        assert!(trainer.estimate_batch(&[]).is_empty());
+        // A single-query batch matches too (degenerate pooling matrix).
+        let single = trainer.estimate_batch(std::slice::from_ref(&samples[0]));
+        assert!((single[0].ln() - trainer.estimate(&samples[0]).ln()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn batched_estimates_handle_mixed_set_sizes() {
+        // Zero-join single-table plans pad their join set; mix them with
+        // joined plans so the pooling segments have different widths.
+        let db = Arc::new(generate_imdb(GeneratorConfig::tiny()));
+        let cfg = EncodingConfig::from_database(&db, 8, 32);
+        let fx = MscnFeaturizer::new(db.clone(), cfg);
+        let cost = CostModel::default();
+        let mut samples = Vec::new();
+        for i in 0..6 {
+            let mut scan = PlanNode::leaf(PhysicalOp::SeqScan {
+                table: "title".into(),
+                predicate: Some(Predicate::atom(
+                    "title",
+                    "production_year",
+                    CompareOp::Gt,
+                    Operand::Num((1950 + i * 5) as f64),
+                )),
+            });
+            execute_plan(&db, &mut scan, &cost);
+            samples.push(fx.featurize(&scan));
+        }
+        let (joined, _) = dataset(6);
+        samples.extend(joined);
+        let model = MscnModel::new(fx.table_dim(), fx.join_dim(), fx.predicate_dim(), MscnConfig::default());
+        let trainer = MscnTrainer::new(model, &samples);
+        let batched = trainer.estimate_batch(&samples);
+        for (s, b) in samples.iter().zip(batched.iter()) {
+            let one = trainer.estimate(s);
+            assert!((one.ln() - b.ln()).abs() < 1e-3, "mixed-size batch diverged: {one} vs {b}");
+        }
     }
 
     #[test]

@@ -384,6 +384,44 @@ impl Graph {
         self.push(out, op)
     }
 
+    /// Copy column `col` of a node's value into `out` (cleared first) — the
+    /// state-extraction half of subtree memoization: after a level's cell
+    /// runs, each new sub-plan's `G`/`R` column is lifted off the tape into
+    /// the cache without any tape node.
+    ///
+    /// # Panics
+    /// Panics if `col` is out of range.
+    pub fn extract_column(&self, id: NodeId, col: usize, out: &mut Vec<f32>) {
+        let v = &self.nodes[id.0].value;
+        assert!(col < v.cols(), "extract_column out of range");
+        let (rows, cols) = (v.rows(), v.cols());
+        out.clear();
+        out.reserve(rows);
+        for r in 0..rows {
+            out.push(v.data()[r * cols + col]);
+        }
+    }
+
+    /// Record an input assembled from column slices (all of length `rows`) —
+    /// the state-injection half of subtree memoization: cached `G`/`R`
+    /// vectors re-enter a fresh tape as one batched constant, drawn from the
+    /// buffer pool like every other node value.
+    ///
+    /// # Panics
+    /// Panics if `columns` is empty or a slice's length differs from `rows`.
+    pub fn input_columns(&mut self, rows: usize, columns: &[&[f32]]) -> NodeId {
+        assert!(!columns.is_empty(), "input_columns needs at least one column");
+        let n = columns.len();
+        let mut out = self.alloc(rows, n);
+        for (j, col) in columns.iter().enumerate() {
+            assert_eq!(col.len(), rows, "input_columns row-count mismatch");
+            for (r, &v) in col.iter().enumerate() {
+                out.data_mut()[r * n + j] = v;
+            }
+        }
+        self.push(out, Op::Input)
+    }
+
     /// Take a single column of a batched matrix.
     pub fn column_at(&mut self, x: NodeId, c: usize) -> NodeId {
         let (rows, cols) = (self.nodes[x.0].value.rows(), self.nodes[x.0].value.cols());
@@ -753,6 +791,23 @@ mod tests {
         assert_eq!(g.value(batch).cols(), 2);
         let col1 = g.column_at(batch, 1);
         assert_eq!(g.value(col1), &Matrix::column(&[3.0, 4.0]));
+    }
+
+    #[test]
+    fn extract_and_inject_round_trip() {
+        let mut g = Graph::inference();
+        let m = g.input(Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        let mut c0 = Vec::new();
+        let mut c2 = Vec::new();
+        g.extract_column(m, 0, &mut c0);
+        g.extract_column(m, 2, &mut c2);
+        assert_eq!(c0, vec![1.0, 4.0]);
+        assert_eq!(c2, vec![3.0, 6.0]);
+        let injected = g.input_columns(2, &[&c2, &c0]);
+        assert_eq!(g.value(injected), &Matrix::from_vec(2, 2, vec![3.0, 1.0, 6.0, 4.0]));
+        // extract_column clears the destination before refilling.
+        g.extract_column(injected, 0, &mut c0);
+        assert_eq!(c0, vec![3.0, 6.0]);
     }
 
     #[test]

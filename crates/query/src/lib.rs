@@ -16,8 +16,10 @@ pub mod like;
 pub mod logical;
 pub mod plan;
 pub mod predicate;
+pub mod sighash;
 
 pub use like::like_match;
 pub use logical::{Aggregate, JoinPredicate, LogicalQuery, Projection};
 pub use plan::{PhysicalOp, PlanNode, PlanNodeId};
 pub use predicate::{AtomPredicate, CompareOp, Operand, Predicate};
+pub use sighash::SigHasher;

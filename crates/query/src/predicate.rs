@@ -253,6 +253,46 @@ impl Predicate {
     pub fn conjunction(preds: impl IntoIterator<Item = Predicate>) -> Option<Predicate> {
         preds.into_iter().reduce(|a, b| a.and(b))
     }
+
+    /// Stream this predicate's structure into a signature hasher (see
+    /// [`crate::sighash`]); distinguishes AND from OR and every atom field.
+    pub fn hash_signature(&self, h: &mut crate::sighash::SigHasher) {
+        match self {
+            Predicate::Atom(a) => {
+                h.write_u8(0);
+                h.write_str(&a.table);
+                h.write_str(&a.column);
+                h.write_u8(a.op.index() as u8);
+                match &a.operand {
+                    Operand::Num(v) => {
+                        h.write_u8(0);
+                        h.write_f64(*v);
+                    }
+                    Operand::Str(s) => {
+                        h.write_u8(1);
+                        h.write_str(s);
+                    }
+                    Operand::StrList(items) => {
+                        h.write_u8(2);
+                        for s in items {
+                            h.write_str(s);
+                        }
+                        h.write_u8(items.len() as u8);
+                    }
+                }
+            }
+            Predicate::And(l, r) => {
+                h.write_u8(1);
+                l.hash_signature(h);
+                r.hash_signature(h);
+            }
+            Predicate::Or(l, r) => {
+                h.write_u8(2);
+                l.hash_signature(h);
+                r.hash_signature(h);
+            }
+        }
+    }
 }
 
 impl fmt::Display for Predicate {

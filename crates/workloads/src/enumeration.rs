@@ -1,0 +1,161 @@
+//! The DP-enumeration serving workload.
+//!
+//! The paper's estimator sits inside a DP plan enumerator: for each incoming
+//! query the optimizer scores *many* candidate join orders that share almost
+//! all of their subtrees.  This module generates that workload — logical
+//! queries drawn from the join graph, each expanded into its connected
+//! left-deep candidate orders via [`engine::enumerate_join_orders`] — for
+//! the `serving_throughput` bench and the memoization tests.  Candidates are
+//! *not* executed: serving only scores them, and ground truth for training
+//! comes from the ordinary workload generator.
+
+use crate::generator::{QueryGenerator, WorkloadConfig};
+use engine::PlannerConfig;
+use imdb::Database;
+use query::{LogicalQuery, PlanNode};
+
+/// Configuration of the enumeration workload.
+#[derive(Debug, Clone, Copy)]
+pub struct EnumerationConfig {
+    /// Number of distinct queries to enumerate candidates for.
+    pub num_queries: usize,
+    /// Minimum / maximum joins per query (tables = joins + 1).
+    pub min_joins: usize,
+    pub max_joins: usize,
+    /// Cap on candidate join orders emitted per query.
+    pub max_candidates_per_query: usize,
+    /// RNG seed for query generation.
+    pub seed: u64,
+}
+
+impl Default for EnumerationConfig {
+    fn default() -> Self {
+        EnumerationConfig { num_queries: 12, min_joins: 3, max_joins: 4, max_candidates_per_query: 120, seed: 31 }
+    }
+}
+
+/// One serving request: a query plus the candidate plans a DP enumerator
+/// would ask the estimator to score.
+#[derive(Debug, Clone)]
+pub struct EnumerationSample {
+    pub query: LogicalQuery,
+    pub candidates: Vec<PlanNode>,
+}
+
+impl EnumerationSample {
+    /// Total plan nodes over all candidates (the work a memoization-free
+    /// estimator embeds).
+    pub fn total_nodes(&self) -> usize {
+        self.candidates.iter().map(|c| c.size()).sum()
+    }
+
+    /// Number of distinct sub-plan signatures over all candidates (the work
+    /// a subtree-memoizing estimator embeds).
+    pub fn distinct_subtrees(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        for c in &self.candidates {
+            for n in c.nodes_preorder() {
+                seen.insert(n.signature_hash());
+            }
+        }
+        seen.len()
+    }
+}
+
+/// Generate the enumeration workload: `num_queries` connected multi-join
+/// queries, each with up to `max_candidates_per_query` candidate join
+/// orders.  Queries whose enumeration yields fewer than two candidates
+/// (nothing to share) are skipped and a replacement is drawn, so every
+/// sample exercises subtree overlap.
+///
+/// # Panics
+/// Panics if the generator cannot produce `num_queries` enumerable queries
+/// within a generous draw budget (only possible on a join graph where
+/// almost every walk yields a single-candidate query — a configuration
+/// error, not a condition to paper over with a silently short workload).
+pub fn generate_enumeration_workload(db: &Database, config: EnumerationConfig) -> Vec<EnumerationSample> {
+    let generator_cfg = WorkloadConfig {
+        num_queries: config.num_queries,
+        min_joins: config.min_joins.max(1),
+        max_joins: config.max_joins.max(config.min_joins.max(1)),
+        max_predicates_per_table: 2,
+        use_string_predicates: false,
+        or_probability: 0.2,
+        seed: config.seed,
+    };
+    let mut generator = QueryGenerator::new(db, generator_cfg);
+    let planner_cfg = PlannerConfig::default();
+    let mut out = Vec::with_capacity(config.num_queries);
+    let max_draws = config.num_queries * 20 + 100;
+    for draw in 0.. {
+        if out.len() >= config.num_queries {
+            break;
+        }
+        assert!(
+            draw < max_draws,
+            "only {} of {} queries were enumerable after {max_draws} draws",
+            out.len(),
+            config.num_queries
+        );
+        let query = generator.generate_query();
+        let candidates = engine::enumerate_join_orders(db, &query, &planner_cfg, config.max_candidates_per_query);
+        if candidates.len() < 2 {
+            continue;
+        }
+        out.push(EnumerationSample { query, candidates });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imdb::{generate_imdb, GeneratorConfig};
+
+    fn db() -> Database {
+        generate_imdb(GeneratorConfig::tiny())
+    }
+
+    #[test]
+    fn workload_has_requested_shape() {
+        let db = db();
+        let cfg = EnumerationConfig { num_queries: 6, max_candidates_per_query: 40, ..Default::default() };
+        let samples = generate_enumeration_workload(&db, cfg);
+        assert_eq!(samples.len(), 6);
+        for s in &samples {
+            assert!(s.candidates.len() >= 2);
+            assert!(s.candidates.len() <= 40);
+            assert!(s.query.num_joins() >= 3);
+            for c in &s.candidates {
+                assert_eq!(c.tables().len(), s.query.tables.len(), "candidate covers all tables");
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_overlap_heavily() {
+        let db = db();
+        let samples = generate_enumeration_workload(&db, EnumerationConfig::default());
+        let total: usize = samples.iter().map(|s| s.total_nodes()).sum();
+        let distinct: usize = samples.iter().map(|s| s.distinct_subtrees()).sum();
+        assert!(
+            (distinct as f64) < 0.6 * total as f64,
+            "DP-enumeration workload lost its subtree overlap: {distinct} distinct of {total} nodes"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let db = db();
+        let cfg = EnumerationConfig { num_queries: 4, ..Default::default() };
+        let a = generate_enumeration_workload(&db, cfg);
+        let b = generate_enumeration_workload(&db, cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.query.to_sql(), y.query.to_sql());
+            let xs: Vec<u64> = x.candidates.iter().map(|c| c.signature_hash()).collect();
+            let ys: Vec<u64> = y.candidates.iter().map(|c| c.signature_hash()).collect();
+            assert_eq!(xs, ys);
+        }
+    }
+}

@@ -3,9 +3,11 @@
 //! string-predicate JOB workload), rebuilt in shape over the synthetic IMDB
 //! database.
 
+pub mod enumeration;
 pub mod generator;
 pub mod suite;
 
+pub use enumeration::{generate_enumeration_workload, EnumerationConfig, EnumerationSample};
 pub use generator::{
     execute_workload, generate_workload, workload_strings, QueryGenerator, QuerySample, WorkloadConfig,
 };
