@@ -1,9 +1,9 @@
 //! Figure 10 — estimated vs real cost, bucketed by the quartile of the real
 //! cost, for PGCost, the no-rule embedding model and the rule+pooling model.
-use bench::Pipeline;
-use estimator_core::{PredicateModelKind, RepresentationCellKind, TaskMode};
-use pgest::TraditionalEstimator;
-use strembed::StringEncoding;
+//!
+//! The (real, estimated) pairs come straight from the registry loop's trait
+//! estimates aligned with the suite's ground truth.
+use bench::{run_backend, EstimatorRegistry, Pipeline};
 use workloads::WorkloadKind;
 
 fn print_scatter(label: &str, pairs: &[(f64, f64)]) {
@@ -22,33 +22,17 @@ fn print_scatter(label: &str, pairs: &[(f64, f64)]) {
 
 fn main() {
     let pipeline = Pipeline::new();
+    let registry = EstimatorRegistry::standard();
     let suite = pipeline.suite(WorkloadKind::JobStrings);
 
-    let pg = TraditionalEstimator::analyze(&pipeline.db);
-    let pg_pairs: Vec<(f64, f64)> = suite
-        .test
-        .iter()
-        .map(|s| {
-            let mut plan = s.plan.clone();
-            let (_, cost) = pg.estimate_plan(&mut plan);
-            (s.true_cost(), cost)
-        })
-        .collect();
-    print_scatter("PGCost", &pg_pairs);
-
-    for (label, encoding, predicate) in [
-        ("TLSTMEmbNRMCost", StringEncoding::EmbedNoRule, PredicateModelKind::TreeLstm),
-        ("TPoolEmbRMCost", StringEncoding::EmbedRule, PredicateModelKind::MinMaxPool),
-    ] {
-        let (est, test) = pipeline.train_tree_model(
-            &suite,
-            RepresentationCellKind::Lstm,
-            predicate,
-            TaskMode::Multitask,
-            Some(encoding),
-            true,
-        );
-        let pairs: Vec<(f64, f64)> = test.iter().map(|p| (p.true_cost, est.estimate_encoded(p).0)).collect();
+    for (label, backend) in [("PGCost", "PG"), ("TLSTMEmbNRMCost", "TLSTMEmbNRM"), ("TPoolEmbRMCost", "TPoolEmbRM")] {
+        let run = run_backend(&registry, backend, &pipeline, &suite);
+        let pairs: Vec<(f64, f64)> = suite
+            .test
+            .iter()
+            .zip(run.estimates.iter())
+            .map(|(s, e)| (s.true_cost(), e.cost.expect("cost-capable backend")))
+            .collect();
         print_scatter(label, &pairs);
     }
 }

@@ -1,65 +1,28 @@
 //! Figure 7 — validation error per training episode on the numeric workload:
 //! (a) cardinality, with and without the sample bitmap; (b) cost, single-task
 //! vs multitask.
-use bench::Pipeline;
-use estimator_core::{PredicateModelKind, RepresentationCellKind, TaskMode};
+//!
+//! The curves are the per-epoch statistics the registry loop returns from
+//! the shared `TrainableEstimator::fit_plans`.
+use bench::{run_backend, EstimatorRegistry, Pipeline};
 use workloads::WorkloadKind;
 
 fn main() {
     let pipeline = Pipeline::new();
+    let registry = EstimatorRegistry::standard();
     let suite = pipeline.suite(WorkloadKind::Synthetic);
 
     println!("== Figure 7(a) — cardinality validation error per episode ==");
-    for (label, use_samples) in [("TLSTMCard", true), ("TLSTMNSCard", false)] {
-        let fx = pipeline.extractor(None, &suite.train, use_samples);
-        let mut est = estimator_core::CostEstimator::new(
-            fx,
-            estimator_core::ModelConfig {
-                cell: RepresentationCellKind::Lstm,
-                predicate: PredicateModelKind::TreeLstm,
-                task: TaskMode::CardinalityOnly,
-                feature_embed_dim: 16,
-                hidden_dim: 32,
-                estimation_hidden_dim: 16,
-                ..Default::default()
-            },
-            estimator_core::TrainConfig {
-                epochs: pipeline.scale.epochs,
-                batch_size: 16,
-                learning_rate: 0.003,
-                ..Default::default()
-            },
-        );
-        let plans: Vec<_> = suite.train.iter().map(|s| s.plan.clone()).collect();
-        let stats = est.fit(&plans);
-        let series: Vec<String> = stats.iter().map(|s| format!("{:.2}", s.validation_card_qerror_mean)).collect();
+    for (label, backend) in [("TLSTMCard", "TLSTMCard"), ("TLSTMNSCard", "TLSTMNSCard")] {
+        let run = run_backend(&registry, backend, &pipeline, &suite);
+        let series: Vec<String> = run.epochs.iter().map(|s| format!("{:.2}", s.validation_card_qerror_mean)).collect();
         println!("{label:<14} episodes: [{}]", series.join(", "));
     }
 
     println!("\n== Figure 7(b) — cost validation error per episode ==");
-    for (label, task) in [("TLSTMCost", TaskMode::CostOnly), ("TLSTMMCost", TaskMode::Multitask)] {
-        let fx = pipeline.extractor(None, &suite.train, true);
-        let mut est = estimator_core::CostEstimator::new(
-            fx,
-            estimator_core::ModelConfig {
-                cell: RepresentationCellKind::Lstm,
-                predicate: PredicateModelKind::TreeLstm,
-                task,
-                feature_embed_dim: 16,
-                hidden_dim: 32,
-                estimation_hidden_dim: 16,
-                ..Default::default()
-            },
-            estimator_core::TrainConfig {
-                epochs: pipeline.scale.epochs,
-                batch_size: 16,
-                learning_rate: 0.003,
-                ..Default::default()
-            },
-        );
-        let plans: Vec<_> = suite.train.iter().map(|s| s.plan.clone()).collect();
-        let stats = est.fit(&plans);
-        let series: Vec<String> = stats.iter().map(|s| format!("{:.2}", s.validation_cost_qerror_mean)).collect();
+    for (label, backend) in [("TLSTMCost", "TLSTMCost"), ("TLSTMMCost", "TLSTMM")] {
+        let run = run_backend(&registry, backend, &pipeline, &suite);
+        let series: Vec<String> = run.epochs.iter().map(|s| format!("{:.2}", s.validation_cost_qerror_mean)).collect();
         println!("{label:<14} episodes: [{}]", series.join(", "));
     }
 }

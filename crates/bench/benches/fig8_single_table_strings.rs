@@ -1,44 +1,25 @@
 //! Figure 8 — cardinality validation error on the single-table string
 //! workload for the four string-encoding variants (hash bitmap, embedding
 //! without rules, embedding with rules, rules + min/max pooling predicates).
-use bench::Pipeline;
-use estimator_core::{PredicateModelKind, RepresentationCellKind, TaskMode};
-use strembed::StringEncoding;
+//!
+//! Each variant is a registry backend; the curves come from the shared
+//! per-epoch statistics.
+use bench::{run_backend, EstimatorRegistry, Pipeline};
 use workloads::WorkloadKind;
 
 fn main() {
     let pipeline = Pipeline::new();
+    let registry = EstimatorRegistry::standard();
     let suite = pipeline.suite(WorkloadKind::SingleTableStrings);
     println!("== Figure 8 — single-table cardinality validation error per episode ==");
-    let variants: [(&str, Option<StringEncoding>, PredicateModelKind); 4] = [
-        ("TLSTMHashCard", Some(StringEncoding::Hash), PredicateModelKind::TreeLstm),
-        ("TLSTMEmbNRCard", Some(StringEncoding::EmbedNoRule), PredicateModelKind::TreeLstm),
-        ("TLSTMEmbRCard", Some(StringEncoding::EmbedRule), PredicateModelKind::TreeLstm),
-        ("TPoolEmbRCard", Some(StringEncoding::EmbedRule), PredicateModelKind::MinMaxPool),
-    ];
-    for (label, encoding, predicate) in variants {
-        let fx = pipeline.extractor(encoding, &suite.train, true);
-        let mut est = estimator_core::CostEstimator::new(
-            fx,
-            estimator_core::ModelConfig {
-                cell: RepresentationCellKind::Lstm,
-                predicate,
-                task: TaskMode::Multitask,
-                feature_embed_dim: 16,
-                hidden_dim: 32,
-                estimation_hidden_dim: 16,
-                ..Default::default()
-            },
-            estimator_core::TrainConfig {
-                epochs: pipeline.scale.epochs,
-                batch_size: 16,
-                learning_rate: 0.003,
-                ..Default::default()
-            },
-        );
-        let plans: Vec<_> = suite.train.iter().map(|s| s.plan.clone()).collect();
-        let stats = est.fit(&plans);
-        let series: Vec<String> = stats.iter().map(|s| format!("{:.2}", s.validation_card_qerror_mean)).collect();
+    for (label, backend) in [
+        ("TLSTMHashCard", "TLSTMHashM"),
+        ("TLSTMEmbNRCard", "TLSTMEmbNRM"),
+        ("TLSTMEmbRCard", "TLSTMEmbRM"),
+        ("TPoolEmbRCard", "TPoolEmbRM"),
+    ] {
+        let run = run_backend(&registry, backend, &pipeline, &suite);
+        let series: Vec<String> = run.epochs.iter().map(|s| format!("{:.2}", s.validation_card_qerror_mean)).collect();
         println!("{label:<16} episodes: [{}]", series.join(", "));
     }
 }

@@ -1,10 +1,10 @@
 //! Figure 9 — distribution (25th/50th/75th percentile box plots) of the
 //! cardinality and cost errors on the JOB workload for PG, the hash-bitmap
 //! tree model and the rule-embedding + pooling tree model.
-use bench::Pipeline;
-use estimator_core::{PredicateModelKind, RepresentationCellKind, TaskMode};
+//!
+//! Every backend is a registry name; one loop produces both targets.
+use bench::{run_backend, BackendRun, EstimatorRegistry, Pipeline};
 use metrics::ErrorSummary;
-use strembed::StringEncoding;
 use workloads::WorkloadKind;
 
 fn print_box(label: &str, errors: &[f64]) {
@@ -16,35 +16,20 @@ fn print_box(label: &str, errors: &[f64]) {
 
 fn main() {
     let pipeline = Pipeline::new();
+    let registry = EstimatorRegistry::standard();
     let suite = pipeline.suite(WorkloadKind::JobStrings);
-    let (pg_card, pg_cost) = pipeline.pg_errors(&suite);
 
-    let (hash_est, hash_test) = pipeline.train_tree_model(
-        &suite,
-        RepresentationCellKind::Lstm,
-        PredicateModelKind::TreeLstm,
-        TaskMode::Multitask,
-        Some(StringEncoding::Hash),
-        true,
-    );
-    let (hash_card, hash_cost) = pipeline.tree_errors(&hash_est, &hash_test);
-
-    let (pool_est, pool_test) = pipeline.train_tree_model(
-        &suite,
-        RepresentationCellKind::Lstm,
-        PredicateModelKind::MinMaxPool,
-        TaskMode::Multitask,
-        Some(StringEncoding::EmbedRule),
-        true,
-    );
-    let (pool_card, pool_cost) = pipeline.tree_errors(&pool_est, &pool_test);
+    let runs: Vec<(&str, BackendRun)> = [("Pg", "PG"), ("TLSTMHashM", "TLSTMHashM"), ("TPoolEmbRM", "TPoolEmbRM")]
+        .into_iter()
+        .map(|(label, backend)| (label, run_backend(&registry, backend, &pipeline, &suite)))
+        .collect();
 
     println!("== Figure 9(a) — cardinality error distribution on JOB ==");
-    print_box("PgCard", &pg_card);
-    print_box("TLSTMHashMCard", &hash_card);
-    print_box("TPoolEmbRMCard", &pool_card);
+    for (label, run) in &runs {
+        print_box(&format!("{label}Card"), &run.card_qerrors);
+    }
     println!("\n== Figure 9(b) — cost error distribution on JOB ==");
-    print_box("PgCost", &pg_cost);
-    print_box("TLSTMHashMCost", &hash_cost);
-    print_box("TPoolEmbRMCost", &pool_cost);
+    for (label, run) in &runs {
+        print_box(&format!("{label}Cost"), &run.cost_qerrors);
+    }
 }

@@ -22,14 +22,21 @@
 //!   effect — aggregate throughput still rises because a subtree any
 //!   session embedded is served to every other session from the cache.
 //!
+//! * **Warm start** — time-to-first-estimate of a cold fit vs a
+//!   `load_checkpoint` of the same model (the startup path of a serving
+//!   process).  Set `E2E_SERVING_CHECKPOINT=<path>` to persist the trained
+//!   model there and, on later runs, skip training entirely by loading it.
+//!
 //! Results go to `BENCH_serving.json` (into `E2E_BENCH_OUT` or the current
 //! directory).  With `E2E_CHECK` set, regression floors are asserted:
-//! memoization speedup ≥ 3x, node-level hit rate ≥ 0.85, and ≥ 1.5x
-//! aggregate throughput at 4 threads — the guards CI's smoke job runs.
+//! memoization speedup ≥ 3x, node-level hit rate ≥ 0.85, ≥ 1.5x aggregate
+//! throughput at 4 threads, and checkpoint warm start ≥ 5x faster than a
+//! cold fit — the guards CI's smoke job runs.
 
 use bench::{time_reps, Pipeline};
 use estimator_core::{PredicateModelKind, RepresentationCellKind, TaskMode};
 use featurize::EncodedPlan;
+use query::PlanNode;
 use std::fmt::Write as _;
 use workloads::{generate_enumeration_workload, EnumerationConfig, WorkloadKind};
 
@@ -51,14 +58,40 @@ fn main() {
 
     let pipeline = Pipeline::new();
     let suite = pipeline.suite(WorkloadKind::JobLight);
-    let (est, _) = pipeline.train_tree_model(
-        &suite,
-        RepresentationCellKind::Lstm,
-        PredicateModelKind::MinMaxPool,
-        TaskMode::Multitask,
-        None,
-        true,
-    );
+    let mk_estimator = || {
+        pipeline.tree_estimator(
+            &suite.train,
+            RepresentationCellKind::Lstm,
+            PredicateModelKind::MinMaxPool,
+            TaskMode::Multitask,
+            None,
+            true,
+        )
+    };
+    let train_plans: Vec<PlanNode> = suite.train.iter().map(|s| s.plan.clone()).collect();
+
+    // Fit cold — or warm-start from a persisted checkpoint when
+    // E2E_SERVING_CHECKPOINT names an existing file.
+    let persist = std::env::var("E2E_SERVING_CHECKPOINT").ok();
+    let mut est = mk_estimator();
+    let mut cold_fit_secs = None;
+    match persist.as_deref().filter(|p| std::path::Path::new(p).exists()) {
+        Some(path) => {
+            let started = std::time::Instant::now();
+            est.load_checkpoint(path).unwrap_or_else(|e| panic!("cannot warm-start from {path}: {e}"));
+            println!("warm start: loaded {path} in {:.1} ms (no training)", started.elapsed().as_secs_f64() * 1e3);
+        }
+        None => {
+            let started = std::time::Instant::now();
+            est.fit(&train_plans);
+            cold_fit_secs = Some(started.elapsed().as_secs_f64());
+            if let Some(path) = &persist {
+                est.save_checkpoint(path).unwrap_or_else(|e| panic!("cannot persist checkpoint to {path}: {e}"));
+                println!("persisted checkpoint to {path}");
+            }
+        }
+    }
+    let est = est;
 
     // The enumeration stream: per query, all connected left-deep candidate
     // join orders (capped), encoded once up front — serving scores encoded
@@ -173,6 +206,41 @@ fn main() {
         thread_rows.push(ThreadRow { threads, aggregate_plans_per_sec: aggregate, speedup_vs_1: speedup });
     }
 
+    // --- Warm start: cold fit vs checkpoint load to first estimate. ---
+    // "Cold" is exactly the training wall time measured above (single
+    // measurement; its first estimate would add microseconds to seconds of
+    // fitting, so it is not re-run here); "warm" builds a fresh estimator,
+    // loads the checkpoint and serves the first estimate — the whole
+    // startup path of a fresh serving process (best of `reps`).  The warm
+    // side thus measures slightly MORE work per start, making the reported
+    // speedup conservative.
+    let ckpt = std::env::temp_dir().join(format!("e2e-serving-warmstart-{}.ckpt", std::process::id()));
+    est.save_checkpoint(&ckpt).expect("save warm-start checkpoint");
+    let first_plan = std::slice::from_ref(&encoded[0][0]);
+    let expected_first = est.estimate_encoded_batch(first_plan);
+    let warm_load_secs = time_reps(
+        reps,
+        || (),
+        || {
+            let mut warm = mk_estimator();
+            warm.load_checkpoint(&ckpt).expect("load warm-start checkpoint");
+            assert_eq!(warm.estimate_encoded_batch(first_plan), expected_first, "warm-start estimates diverged");
+        },
+    );
+    let _ = std::fs::remove_file(&ckpt);
+    let warm_speedup = cold_fit_secs.map(|cold| cold / warm_load_secs);
+    match (cold_fit_secs, warm_speedup) {
+        (Some(cold), Some(speedup)) => println!(
+            "warm start: cold fit {:.2} s -> checkpoint load {:.1} ms to first estimate ({speedup:.0}x)",
+            cold,
+            warm_load_secs * 1e3
+        ),
+        _ => println!(
+            "warm start: checkpoint load {:.1} ms to first estimate (cold fit skipped this run)",
+            warm_load_secs * 1e3
+        ),
+    }
+
     // --- Machine-readable trajectory record. ---
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"serving_throughput\",");
@@ -190,6 +258,17 @@ fn main() {
     let _ = writeln!(json, "    \"subtree_cache_hit_rate\": {node_hit_rate:.4},");
     let _ = writeln!(json, "    \"lookup_hits\": {lookup_hits},");
     let _ = writeln!(json, "    \"lookup_misses\": {lookup_misses}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"warm_start\": {{");
+    let _ = match cold_fit_secs {
+        Some(cold) => writeln!(json, "    \"cold_fit_secs\": {cold:.6},"),
+        None => writeln!(json, "    \"cold_fit_secs\": null,"),
+    };
+    let _ = writeln!(json, "    \"checkpoint_load_secs\": {warm_load_secs:.6},");
+    let _ = match warm_speedup {
+        Some(speedup) => writeln!(json, "    \"speedup\": {speedup:.1}"),
+        None => writeln!(json, "    \"speedup\": null"),
+    };
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"threads\": [");
     for (i, r) in thread_rows.iter().enumerate() {
@@ -222,6 +301,9 @@ fn main() {
             "4-session aggregate speedup {:.2}x below the 1.5x regression floor",
             four.speedup_vs_1
         );
-        println!("check mode: serving floors hold (memo >= 3x, hit rate >= 0.85, 4-session >= 1.5x)");
+        if let Some(speedup) = warm_speedup {
+            assert!(speedup >= 5.0, "checkpoint warm start only {speedup:.1}x faster than a cold fit (floor 5x)");
+        }
+        println!("check mode: serving floors hold (memo >= 3x, hit rate >= 0.85, 4-session >= 1.5x, warm start >= 5x)");
     }
 }

@@ -1,33 +1,26 @@
 //! Table 10 — cardinality q-errors on the JOB (string-predicate) workload:
 //! PGCard, TLSTMHashCard, TLSTMEmbNRCard, TLSTMEmbRCard, TPoolEmbRCard.
-use bench::Pipeline;
-use estimator_core::{PredicateModelKind, RepresentationCellKind, TaskMode};
+//!
+//! The learned rows are the multitask string-encoding backends of the
+//! registry, reported on the cardinality head.
+use bench::{run_backend, EstimatorRegistry, Pipeline};
 use metrics::ReportTable;
-use strembed::StringEncoding;
 use workloads::WorkloadKind;
 
 fn main() {
     let pipeline = Pipeline::new();
+    let registry = EstimatorRegistry::standard();
     let suite = pipeline.suite(WorkloadKind::JobStrings);
     let mut table = ReportTable::new("Table 10 — cardinality q-errors on the JOB (strings) workload");
-    let (pg_card, _) = pipeline.pg_errors(&suite);
-    table.add_errors("PGCard", &pg_card);
-    let variants: [(&str, StringEncoding, PredicateModelKind); 4] = [
-        ("TLSTMHashCard", StringEncoding::Hash, PredicateModelKind::TreeLstm),
-        ("TLSTMEmbNRCard", StringEncoding::EmbedNoRule, PredicateModelKind::TreeLstm),
-        ("TLSTMEmbRCard", StringEncoding::EmbedRule, PredicateModelKind::TreeLstm),
-        ("TPoolEmbRCard", StringEncoding::EmbedRule, PredicateModelKind::MinMaxPool),
-    ];
-    for (label, encoding, predicate) in variants {
-        let (est, test) = pipeline.train_tree_model(
-            &suite,
-            RepresentationCellKind::Lstm,
-            predicate,
-            TaskMode::Multitask,
-            Some(encoding),
-            true,
-        );
-        table.add_errors(label, &pipeline.tree_errors(&est, &test).0);
+    for (label, backend) in [
+        ("PGCard", "PG"),
+        ("TLSTMHashCard", "TLSTMHashM"),
+        ("TLSTMEmbNRCard", "TLSTMEmbNRM"),
+        ("TLSTMEmbRCard", "TLSTMEmbRM"),
+        ("TPoolEmbRCard", "TPoolEmbRM"),
+    ] {
+        let run = run_backend(&registry, backend, &pipeline, &suite);
+        table.add_errors(label, &run.card_qerrors);
     }
     table.print();
 }

@@ -1,33 +1,25 @@
 //! Table 11 — cost q-errors on the JOB (string-predicate) workload:
 //! PGCost, TLSTMHashMCost, TLSTMEmbNRMCost, TLSTMEmbRMCost, TPoolEmbRMCost.
-use bench::Pipeline;
-use estimator_core::{PredicateModelKind, RepresentationCellKind, TaskMode};
+//!
+//! Same registry backends as Table 10, reported on the cost head.
+use bench::{run_backend, EstimatorRegistry, Pipeline};
 use metrics::ReportTable;
-use strembed::StringEncoding;
 use workloads::WorkloadKind;
 
 fn main() {
     let pipeline = Pipeline::new();
+    let registry = EstimatorRegistry::standard();
     let suite = pipeline.suite(WorkloadKind::JobStrings);
     let mut table = ReportTable::new("Table 11 — cost q-errors on the JOB (strings) workload");
-    let (_, pg_cost) = pipeline.pg_errors(&suite);
-    table.add_errors("PGCost", &pg_cost);
-    let variants: [(&str, StringEncoding, PredicateModelKind); 4] = [
-        ("TLSTMHashMCost", StringEncoding::Hash, PredicateModelKind::TreeLstm),
-        ("TLSTMEmbNRMCost", StringEncoding::EmbedNoRule, PredicateModelKind::TreeLstm),
-        ("TLSTMEmbRMCost", StringEncoding::EmbedRule, PredicateModelKind::TreeLstm),
-        ("TPoolEmbRMCost", StringEncoding::EmbedRule, PredicateModelKind::MinMaxPool),
-    ];
-    for (label, encoding, predicate) in variants {
-        let (est, test) = pipeline.train_tree_model(
-            &suite,
-            RepresentationCellKind::Lstm,
-            predicate,
-            TaskMode::Multitask,
-            Some(encoding),
-            true,
-        );
-        table.add_errors(label, &pipeline.tree_errors(&est, &test).1);
+    for (label, backend) in [
+        ("PGCost", "PG"),
+        ("TLSTMHashMCost", "TLSTMHashM"),
+        ("TLSTMEmbNRMCost", "TLSTMEmbNRM"),
+        ("TLSTMEmbRMCost", "TLSTMEmbRM"),
+        ("TPoolEmbRMCost", "TPoolEmbRM"),
+    ] {
+        let run = run_backend(&registry, backend, &pipeline, &suite);
+        table.add_errors(label, &run.cost_qerrors);
     }
     table.print();
 }

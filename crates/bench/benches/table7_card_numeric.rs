@@ -1,38 +1,27 @@
 //! Table 7 — cardinality q-errors on the numeric workloads (JOB-light,
 //! Synthetic, Scale) for PGCard, MSCNCard, TNNCard and TLSTMCard.
-use bench::Pipeline;
-use estimator_core::{PredicateModelKind, RepresentationCellKind, TaskMode};
+//!
+//! All backends run through the registry's shared
+//! train-once/checkpoint/eval loop; each row label maps onto its canonical
+//! backend name.
+use bench::{run_backend, EstimatorRegistry, Pipeline};
 use metrics::ReportTable;
 use workloads::WorkloadKind;
 
 fn main() {
     let pipeline = Pipeline::new();
+    let registry = EstimatorRegistry::standard();
     for (name, kind) in
         [("JOB-light", WorkloadKind::JobLight), ("Synthetic", WorkloadKind::Synthetic), ("Scale", WorkloadKind::Scale)]
     {
         let suite = pipeline.suite(kind);
         let mut table = ReportTable::new(format!("Table 7 — cardinality q-errors, {name} workload"));
-        let (pg_card, _) = pipeline.pg_errors(&suite);
-        table.add_errors("PGCard", &pg_card);
-        table.add_errors("MSCNCard", &pipeline.mscn_errors(&suite, false, true));
-        let (tnn, tnn_test) = pipeline.train_tree_model(
-            &suite,
-            RepresentationCellKind::Nn,
-            PredicateModelKind::TreeLstm,
-            TaskMode::CardinalityOnly,
-            None,
-            true,
-        );
-        table.add_errors("TNNCard", &pipeline.tree_errors(&tnn, &tnn_test).0);
-        let (tlstm, tlstm_test) = pipeline.train_tree_model(
-            &suite,
-            RepresentationCellKind::Lstm,
-            PredicateModelKind::TreeLstm,
-            TaskMode::CardinalityOnly,
-            None,
-            true,
-        );
-        table.add_errors("TLSTMCard", &pipeline.tree_errors(&tlstm, &tlstm_test).0);
+        for (label, backend) in
+            [("PGCard", "PG"), ("MSCNCard", "MSCNCard"), ("TNNCard", "TNNCard"), ("TLSTMCard", "TLSTMCard")]
+        {
+            let run = run_backend(&registry, backend, &pipeline, &suite);
+            table.add_errors(label, &run.card_qerrors);
+        }
         table.print();
     }
 }

@@ -1,27 +1,29 @@
 //! Table 8 — cost q-errors on the numeric workloads for PGCost, MSCNCost,
 //! TLSTMCost (single task), TNNMCost and TLSTMMCost (multitask).
-use bench::Pipeline;
-use estimator_core::{PredicateModelKind, RepresentationCellKind, TaskMode};
+//!
+//! All backends run through the registry's shared
+//! train-once/checkpoint/eval loop.
+use bench::{run_backend, EstimatorRegistry, Pipeline};
 use metrics::ReportTable;
 use workloads::WorkloadKind;
 
 fn main() {
     let pipeline = Pipeline::new();
+    let registry = EstimatorRegistry::standard();
     for (name, kind) in
         [("JOB-light", WorkloadKind::JobLight), ("Synthetic", WorkloadKind::Synthetic), ("Scale", WorkloadKind::Scale)]
     {
         let suite = pipeline.suite(kind);
         let mut table = ReportTable::new(format!("Table 8 — cost q-errors, {name} workload"));
-        let (_, pg_cost) = pipeline.pg_errors(&suite);
-        table.add_errors("PGCost", &pg_cost);
-        table.add_errors("MSCNCost", &pipeline.mscn_errors(&suite, true, true));
-        for (label, cell, task) in [
-            ("TLSTMCost", RepresentationCellKind::Lstm, TaskMode::CostOnly),
-            ("TNNMCost", RepresentationCellKind::Nn, TaskMode::Multitask),
-            ("TLSTMMCost", RepresentationCellKind::Lstm, TaskMode::Multitask),
+        for (label, backend) in [
+            ("PGCost", "PG"),
+            ("MSCNCost", "MSCNCost"),
+            ("TLSTMCost", "TLSTMCost"),
+            ("TNNMCost", "TNNM"),
+            ("TLSTMMCost", "TLSTMM"),
         ] {
-            let (est, test) = pipeline.train_tree_model(&suite, cell, PredicateModelKind::TreeLstm, task, None, true);
-            table.add_errors(label, &pipeline.tree_errors(&est, &test).1);
+            let run = run_backend(&registry, backend, &pipeline, &suite);
+            table.add_errors(label, &run.cost_qerrors);
         }
         table.print();
     }

@@ -14,12 +14,13 @@ use engine::CostModel;
 use estimator_core::{CostEstimator, ModelConfig, PredicateModelKind, RepresentationCellKind, TaskMode, TrainConfig};
 use featurize::{EncodedPlan, EncodingConfig, FeatureExtractor};
 use imdb::{generate_imdb, Database, GeneratorConfig};
-use metrics::q_error;
-use mscn::{MscnConfig, MscnFeaturizer, MscnModel, MscnTrainer};
-use pgest::TraditionalEstimator;
 use std::sync::Arc;
 use strembed::{build_string_encoder, EmbedderConfig, HashBitmapEncoder, StringEncoding};
 use workloads::{workload_strings, QuerySample, SuiteConfig, WorkloadKind, WorkloadSuite};
+
+pub mod registry;
+
+pub use registry::{run_backend, BackendRun, EstimatorRegistry};
 
 /// Best-of-`reps` wall time of `f`: one untimed warmup call first (page
 /// cache, tape buffer pools), then the fastest of `reps` timed repetitions —
@@ -89,44 +90,6 @@ impl Pipeline {
         )
     }
 
-    /// PG baseline errors (cardinality, cost) on the test set of a suite.
-    pub fn pg_errors(&self, suite: &WorkloadSuite) -> (Vec<f64>, Vec<f64>) {
-        let est = TraditionalEstimator::analyze(&self.db);
-        let mut card = Vec::new();
-        let mut cost = Vec::new();
-        for s in &suite.test {
-            let mut plan = s.plan.clone();
-            let (ec, ecost) = est.estimate_plan(&mut plan);
-            card.push(q_error(ec, s.true_cardinality().max(1.0)));
-            cost.push(q_error(ecost, s.true_cost().max(1.0)));
-        }
-        (card, cost)
-    }
-
-    /// Train an MSCN model and return its test q-errors for the chosen target.
-    pub fn mscn_errors(&self, suite: &WorkloadSuite, predict_cost: bool, use_samples: bool) -> Vec<f64> {
-        let fx = {
-            let mut f = MscnFeaturizer::new(self.db.clone(), self.enc_config.clone());
-            f.use_sample_bitmap = use_samples;
-            f
-        };
-        let train: Vec<_> = suite.train.iter().map(|s| fx.featurize(&s.plan)).collect();
-        let test: Vec<_> = suite.test.iter().map(|s| fx.featurize(&s.plan)).collect();
-        let config = MscnConfig {
-            epochs: self.scale.epochs,
-            hidden_dim: 32,
-            predict_cost,
-            learning_rate: 0.003,
-            ..Default::default()
-        };
-        let model = MscnModel::new(fx.table_dim(), fx.join_dim(), fx.predicate_dim(), config);
-        let mut trainer = MscnTrainer::new(model, &train);
-        trainer.train(&train);
-        test.iter()
-            .map(|s| q_error(trainer.estimate(s), if predict_cost { s.true_cost } else { s.true_cardinality }))
-            .collect()
-    }
-
     /// Construct a feature extractor with the requested string encoding.
     pub fn extractor(
         &self,
@@ -151,18 +114,19 @@ impl Pipeline {
         fx
     }
 
-    /// Train a tree model variant and return its fitted estimator plus the
-    /// encoded test plans.
-    pub fn train_tree_model(
+    /// Build an **unfitted** tree-model estimator variant at the standard
+    /// bench hyper-parameters (the registry's tree builders and the serving
+    /// bench both start here).
+    pub fn tree_estimator(
         &self,
-        suite: &WorkloadSuite,
+        workload: &[QuerySample],
         cell: RepresentationCellKind,
         predicate: PredicateModelKind,
         task: TaskMode,
         encoding: Option<StringEncoding>,
         use_samples: bool,
-    ) -> (CostEstimator, Vec<EncodedPlan>) {
-        let fx = self.extractor(encoding, &suite.train, use_samples);
+    ) -> CostEstimator {
+        let fx = self.extractor(encoding, workload, use_samples);
         let model_config = ModelConfig {
             cell,
             predicate,
@@ -177,25 +141,28 @@ impl Pipeline {
             batch_size: 16,
             learning_rate: 0.003,
             validation_fraction: 0.1,
+            early_stop_patience: None,
             seed: 7,
         };
-        let mut estimator = CostEstimator::new(fx, model_config, train_config);
+        CostEstimator::new(fx, model_config, train_config)
+    }
+
+    /// Train a tree model variant and return its fitted estimator plus the
+    /// encoded test plans.
+    pub fn train_tree_model(
+        &self,
+        suite: &WorkloadSuite,
+        cell: RepresentationCellKind,
+        predicate: PredicateModelKind,
+        task: TaskMode,
+        encoding: Option<StringEncoding>,
+        use_samples: bool,
+    ) -> (CostEstimator, Vec<EncodedPlan>) {
+        let mut estimator = self.tree_estimator(&suite.train, cell, predicate, task, encoding, use_samples);
         let train_plans: Vec<_> = suite.train.iter().map(|s| s.plan.clone()).collect();
         estimator.fit(&train_plans);
         let test_encoded: Vec<EncodedPlan> = suite.test.iter().map(|s| estimator.encode(&s.plan)).collect();
         (estimator, test_encoded)
-    }
-
-    /// q-errors of a fitted tree model on encoded test plans: `(card, cost)`.
-    pub fn tree_errors(&self, estimator: &CostEstimator, test: &[EncodedPlan]) -> (Vec<f64>, Vec<f64>) {
-        let mut card = Vec::new();
-        let mut cost = Vec::new();
-        for plan in test {
-            let (ecost, ecard) = estimator.estimate_encoded(plan);
-            card.push(q_error(ecard, plan.true_cardinality.max(1.0)));
-            cost.push(q_error(ecost, plan.true_cost.max(1.0)));
-        }
-        (card, cost)
     }
 
     /// The cost model used for ground truth (exposed for efficiency benches).

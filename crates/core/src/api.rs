@@ -6,12 +6,18 @@
 //! hand it annotated training plans once, then ask it for `(cost,
 //! cardinality)` of new physical plans.
 
+use crate::backend::{Estimator, EstimatorCapabilities, PlanEstimate, TrainableEstimator};
 use crate::batch::{estimate_batch, estimate_batch_memo};
+use crate::checkpoint;
 use crate::memory::{RepresentationMemoryPool, SubtreeStateCache};
-use crate::model::{ModelConfig, TreeModel};
+use crate::model::{ModelConfig, TaskMode, TreeModel};
 use crate::trainer::{EpochStats, TargetNormalization, TrainConfig, Trainer};
 use featurize::{EncodedPlan, FeatureExtractor};
+use nn::checkpoint as ckpt;
+use nn::checkpoint::CheckpointError;
 use query::PlanNode;
+use std::io::Write as _;
+use std::path::Path;
 
 /// An end-to-end learned cost and cardinality estimator.
 pub struct CostEstimator {
@@ -158,6 +164,104 @@ impl CostEstimator {
     pub fn cache_stats(&self) -> (u64, u64) {
         self.pool.stats()
     }
+
+    /// Persist the fitted model as a versioned binary checkpoint: model
+    /// configuration, target normalization, the extractor's one-hot
+    /// vocabulary and every parameter tensor (raw `f32` bit patterns).  A
+    /// checkpoint loaded by [`CostEstimator::load_checkpoint`] serves
+    /// bit-identical estimates with zero retraining.
+    pub fn save_checkpoint(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let trainer = self.trainer.as_ref().ok_or(CheckpointError::Unsupported("save_checkpoint called before fit"))?;
+        let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+        ckpt::write_header(&mut w, ckpt::KIND_TREE_ESTIMATOR)?;
+        checkpoint::write_model_config(&mut w, &trainer.model.config)?;
+        checkpoint::write_normalization(&mut w, &trainer.normalization)?;
+        checkpoint::write_vocab(&mut w, self.extractor.config(), self.extractor.use_sample_bitmap)?;
+        checkpoint::write_encoder_fingerprint(&mut w, &self.extractor)?;
+        trainer.model.params.save_to(&mut w)?;
+        Ok(w.flush()?)
+    }
+
+    /// Restore a model saved by [`CostEstimator::save_checkpoint`],
+    /// replacing any current fit.
+    ///
+    /// The checkpoint's stored vocabulary is verified entry-by-entry
+    /// against this estimator's extractor, and the extractor's string
+    /// encoder is checked against the stored probe-encoding fingerprint
+    /// ([`CheckpointError::VocabMismatch`] on either), so loaded weights
+    /// can never be applied to features laid out differently than the ones
+    /// they were trained on.  Exactly like a re-fit, a successful load
+    /// clears the representation memory pool and the subtree-state cache —
+    /// every cached value belongs to the replaced parameters.  On error the
+    /// estimator is left untouched.
+    pub fn load_checkpoint(&mut self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
+        ckpt::read_header(&mut r, ckpt::KIND_TREE_ESTIMATOR)?;
+        let model_config = checkpoint::read_model_config(&mut r)?;
+        let normalization = checkpoint::read_normalization(&mut r)?;
+        let vocab = checkpoint::read_vocab(&mut r)?;
+        vocab.verify(self.extractor.config(), self.extractor.use_sample_bitmap)?;
+        checkpoint::verify_encoder_fingerprint(&mut r, &self.extractor)?;
+        let mut model = TreeModel::new(self.extractor.config(), model_config);
+        model.params.load_values_from(&mut r)?;
+        self.model_config = model_config;
+        self.trainer = Some(Trainer::from_parts(model, normalization, self.train_config));
+        // Same invalidation as re-fit: cached estimates and subtree states
+        // belong to the parameters this load just replaced.
+        self.pool.clear();
+        self.subtree_cache.clear();
+        Ok(())
+    }
+}
+
+impl Estimator for CostEstimator {
+    fn backend_name(&self) -> &str {
+        "tree"
+    }
+
+    fn capabilities(&self) -> EstimatorCapabilities {
+        EstimatorCapabilities {
+            cost: matches!(self.model_config.task, TaskMode::CostOnly | TaskMode::Multitask),
+            cardinality: matches!(self.model_config.task, TaskMode::CardinalityOnly | TaskMode::Multitask),
+            checkpointable: true,
+        }
+    }
+
+    fn estimate_one(&self, plan: &PlanNode) -> PlanEstimate {
+        let caps = self.capabilities();
+        let (cost, card) = self.estimate(plan);
+        PlanEstimate { cost: caps.cost.then_some(cost), cardinality: caps.cardinality.then_some(card) }
+    }
+
+    fn estimate_many(&self, plans: &[PlanNode]) -> Vec<PlanEstimate> {
+        let caps = self.capabilities();
+        let encoded: Vec<EncodedPlan> = plans.iter().map(|p| self.encode(p)).collect();
+        self.estimate_encoded_batch(&encoded)
+            .into_iter()
+            .map(|(cost, card)| PlanEstimate {
+                cost: caps.cost.then_some(cost),
+                cardinality: caps.cardinality.then_some(card),
+            })
+            .collect()
+    }
+
+    fn save_checkpoint_to(&self, path: &Path) -> Result<(), CheckpointError> {
+        self.save_checkpoint(path)
+    }
+
+    fn load_checkpoint_from(&mut self, path: &Path) -> Result<(), CheckpointError> {
+        self.load_checkpoint(path)
+    }
+}
+
+impl TrainableEstimator for CostEstimator {
+    fn fit_plans(&mut self, plans: &[PlanNode]) -> Vec<EpochStats> {
+        self.fit(plans)
+    }
+
+    fn is_fitted(&self) -> bool {
+        CostEstimator::is_fitted(self)
+    }
 }
 
 /// A borrowed, thread-shareable view of a fitted estimator for
@@ -294,6 +398,180 @@ mod tests {
         assert!(est.subtree_cache().is_empty());
     }
 
+    fn temp_ckpt(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("e2e-api-test-{}-{tag}.ckpt", std::process::id()))
+    }
+
+    fn bits(estimates: &[(f64, f64)]) -> Vec<(u64, u64)> {
+        estimates.iter().map(|(c, k)| (c.to_bits(), k.to_bits())).collect()
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_is_bit_identical_in_fresh_context() {
+        let (mut est, db) = make_estimator();
+        let plans = executed_plans(&db, 20);
+        est.fit(&plans);
+        let encoded: Vec<EncodedPlan> = plans.iter().map(|p| est.encode(p)).collect();
+        let before = est.estimate_encoded_batch_memo(&encoded);
+
+        let path = temp_ckpt("roundtrip");
+        est.save_checkpoint(&path).expect("save");
+
+        // A fresh estimator, fresh extractor, fresh database instance — the
+        // process-restart posture.  Nothing is fitted before the load.
+        let (mut warm, warm_db) = make_estimator();
+        assert!(!warm.is_fitted());
+        warm.load_checkpoint(&path).expect("load");
+        assert!(warm.is_fitted());
+        let warm_encoded: Vec<EncodedPlan> = plans.iter().map(|p| warm.encode(p)).collect();
+        assert_eq!(
+            bits(&warm.estimate_encoded_batch_memo(&warm_encoded)),
+            bits(&before),
+            "a reloaded checkpoint must serve bit-identical estimates"
+        );
+        // And per-plan single estimates agree too.
+        let single = warm.estimate(&plans[0]);
+        assert_eq!(single.0.to_bits(), before[0].0.to_bits());
+        assert_eq!(single.1.to_bits(), before[0].1.to_bits());
+        drop(warm_db);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Satellite regression guard: swapping a checkpoint in must invalidate
+    /// the subtree-state cache and the representation memory pool exactly
+    /// like a re-fit — a stale cached state from the old parameters must
+    /// not leak into post-swap estimates.
+    #[test]
+    fn load_checkpoint_clears_stale_caches() {
+        let (mut a, db) = make_estimator();
+        let plans = executed_plans(&db, 14);
+        a.fit(&plans);
+        let encoded: Vec<EncodedPlan> = plans.iter().map(|p| a.encode(p)).collect();
+
+        // A differently-seeded model with visibly different estimates.
+        let cfg = EncodingConfig::from_database(&db, 8, 32);
+        let fx = FeatureExtractor::new(db.clone(), cfg, Arc::new(HashBitmapEncoder::new(8)));
+        let mut b = CostEstimator::new(
+            fx,
+            ModelConfig {
+                feature_embed_dim: 8,
+                hidden_dim: 12,
+                estimation_hidden_dim: 8,
+                seed: 4242,
+                ..Default::default()
+            },
+            TrainConfig { epochs: 5, batch_size: 8, seed: 99, ..Default::default() },
+        );
+        b.fit(&plans);
+        let b_estimates = b.estimate_encoded_batch_memo(&encoded);
+
+        // Warm A's subtree cache and memory pool under the OLD parameters.
+        let stale_memo = a.estimate_encoded_batch_memo(&encoded);
+        let _ = a.estimate(&plans[0]);
+        assert!(!a.subtree_cache().is_empty(), "test needs a warm subtree cache");
+        assert_ne!(bits(&stale_memo), bits(&b_estimates), "models must differ for the guard to mean anything");
+
+        // Swap B's checkpoint into A.
+        let path = temp_ckpt("stale-cache");
+        b.save_checkpoint(&path).expect("save");
+        a.load_checkpoint(&path).expect("load");
+        assert!(a.subtree_cache().is_empty(), "subtree cache must be cleared by a checkpoint swap");
+        assert_eq!(a.cache_stats(), (0, 0), "memory-pool stats must be reset by a checkpoint swap");
+
+        // The memoized path after the swap must match B exactly: no column
+        // may be served from a pre-swap cached state.
+        assert_eq!(bits(&a.estimate_encoded_batch_memo(&encoded)), bits(&b_estimates));
+        assert_eq!(a.estimate(&plans[0]).1.to_bits(), b_estimates[0].1.to_bits());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn different_string_encoder_of_same_width_is_rejected() {
+        use nn::checkpoint::CheckpointError;
+        use strembed::EmbeddingEncoder;
+        let (mut est, db) = make_estimator();
+        let plans = executed_plans(&db, 10);
+        est.fit(&plans);
+        let path = temp_ckpt("encoder-fingerprint");
+        est.save_checkpoint(&path).expect("save");
+
+        // Identical EncodingConfig (same string width), but an embedding
+        // encoder instead of the hash bitmap the model was trained under —
+        // only the probe fingerprint can tell them apart.
+        let cfg = EncodingConfig::from_database(&db, 8, 32);
+        let emb = EmbeddingEncoder::new([("Din".to_string(), vec![0.25; 8])], 8);
+        let fx = FeatureExtractor::new(db.clone(), cfg, Arc::new(emb));
+        let mut other = CostEstimator::new(
+            fx,
+            ModelConfig { feature_embed_dim: 8, hidden_dim: 12, estimation_hidden_dim: 8, ..Default::default() },
+            TrainConfig::default(),
+        );
+        assert!(matches!(other.load_checkpoint(&path), Err(CheckpointError::VocabMismatch(_))));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn malformed_checkpoints_fail_with_typed_errors_not_panics() {
+        use nn::checkpoint::CheckpointError;
+        let (mut est, db) = make_estimator();
+
+        // Saving before fit is a typed error.
+        let path = temp_ckpt("typed-errors");
+        assert!(matches!(est.save_checkpoint(&path), Err(CheckpointError::Unsupported(_))));
+
+        let plans = executed_plans(&db, 10);
+        est.fit(&plans);
+        est.save_checkpoint(&path).expect("save");
+        let good = std::fs::read(&path).expect("read back");
+
+        let write_variant = |bytes: &[u8]| {
+            let p = temp_ckpt("typed-errors-variant");
+            std::fs::write(&p, bytes).expect("write variant");
+            p
+        };
+
+        // Truncated anywhere — header, vocab, payload.
+        for cut in [3, 20, good.len() / 2, good.len() - 3] {
+            let p = write_variant(&good[..cut]);
+            let before = est.estimate(&plans[0]);
+            assert!(
+                matches!(est.load_checkpoint(&p), Err(CheckpointError::Truncated { .. })),
+                "cut at {cut} must be a typed truncation error"
+            );
+            // A failed load leaves the estimator serving the old model.
+            assert_eq!(est.estimate(&plans[0]), before);
+        }
+        // Wrong magic.
+        let mut bad = good.clone();
+        bad[0] = b'Z';
+        let p = write_variant(&bad);
+        assert!(matches!(est.load_checkpoint(&p), Err(CheckpointError::BadMagic { .. })));
+        // Unsupported (future) version.
+        let mut future = good.clone();
+        future[8..12].copy_from_slice(&1234u32.to_le_bytes());
+        let p = write_variant(&future);
+        assert!(matches!(est.load_checkpoint(&p), Err(CheckpointError::UnsupportedVersion { found: 1234, .. })));
+        // Wrong section kind (an MSCN checkpoint fed to the tree loader).
+        let mut wrong_kind = good.clone();
+        wrong_kind[12] = nn::checkpoint::KIND_MSCN;
+        let p = write_variant(&wrong_kind);
+        assert!(matches!(est.load_checkpoint(&p), Err(CheckpointError::WrongKind { .. })));
+        // Vocabulary drift: an estimator with a different sample-bitmap
+        // width must refuse the checkpoint.
+        let cfg16 = EncodingConfig::from_database(&db, 8, 16);
+        let fx16 = FeatureExtractor::new(db.clone(), cfg16, Arc::new(HashBitmapEncoder::new(8)));
+        let mut other = CostEstimator::new(
+            fx16,
+            ModelConfig { feature_embed_dim: 8, hidden_dim: 12, estimation_hidden_dim: 8, ..Default::default() },
+            TrainConfig::default(),
+        );
+        assert!(matches!(other.load_checkpoint(&path), Err(CheckpointError::VocabMismatch(_))));
+        // Nonexistent path.
+        assert!(matches!(est.load_checkpoint(temp_ckpt("does-not-exist")), Err(CheckpointError::Io(_))));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(temp_ckpt("typed-errors-variant"));
+    }
+
     #[test]
     fn batched_api_matches_single() {
         let (mut est, db) = make_estimator();
@@ -305,6 +583,76 @@ mod tests {
             let (c, k) = est.estimate_encoded(enc);
             assert!((c.ln() - bc.ln()).abs() < 1e-3);
             assert!((k.ln() - bk.ln()).abs() < 1e-3);
+        }
+    }
+
+    mod checkpoint_property {
+        //! Satellite guard: for randomized planner output (generated queries
+        //! expanded into DP candidate join orders), a `save_checkpoint` →
+        //! `load_checkpoint` round trip into a fresh process-like context
+        //! (new database instance, new extractor, never-fitted estimator)
+        //! must yield **bit-identical** `estimate_encoded_batch_memo`
+        //! results — across cold and warm caches of the reloaded model.
+
+        use super::*;
+        use proptest::prelude::*;
+        use std::sync::OnceLock;
+        use workloads::{generate_enumeration_workload, EnumerationConfig};
+
+        struct Fixture {
+            db: Arc<imdb::Database>,
+            original: CostEstimator,
+            reloaded: CostEstimator,
+        }
+
+        fn fixture() -> &'static Fixture {
+            static FIX: OnceLock<Fixture> = OnceLock::new();
+            FIX.get_or_init(|| {
+                let (mut original, db) = make_estimator();
+                let plans = executed_plans(&db, 24);
+                original.fit(&plans);
+                let path = std::env::temp_dir().join(format!("e2e-ckpt-prop-{}.ckpt", std::process::id()));
+                original.save_checkpoint(&path).expect("save checkpoint");
+                // Fresh context: regenerate the database and the extractor
+                // from scratch rather than sharing the fitted instance's.
+                let (mut reloaded, fresh_db) = make_estimator();
+                reloaded.load_checkpoint(&path).expect("load checkpoint");
+                let _ = std::fs::remove_file(&path);
+                drop(db);
+                Fixture { db: fresh_db, original, reloaded }
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn save_load_roundtrip_bit_identical_on_randomized_planner_output(seed in 0u64..1_000_000) {
+                let fixture = fixture();
+                let workload = generate_enumeration_workload(
+                    &fixture.db,
+                    EnumerationConfig {
+                        num_queries: 1,
+                        min_joins: 1,
+                        max_joins: 3,
+                        max_candidates_per_query: 10,
+                        seed,
+                    },
+                );
+                prop_assert!(!workload.is_empty(), "no enumerable query for seed {seed}");
+                let encoded: Vec<EncodedPlan> =
+                    workload[0].candidates.iter().map(|c| fixture.original.encode(c)).collect();
+                let re_encoded: Vec<EncodedPlan> =
+                    workload[0].candidates.iter().map(|c| fixture.reloaded.encode(c)).collect();
+                prop_assert_eq!(&encoded, &re_encoded);
+
+                let want = fixture.original.estimate_encoded_batch_memo(&encoded);
+                let cold = fixture.reloaded.estimate_encoded_batch_memo(&re_encoded);
+                let warm = fixture.reloaded.estimate_encoded_batch_memo(&re_encoded);
+                let bits = |v: &[(f64, f64)]| {
+                    v.iter().map(|(c, k)| (c.to_bits(), k.to_bits())).collect::<Vec<_>>()
+                };
+                prop_assert_eq!(bits(&want), bits(&cold));
+                prop_assert_eq!(bits(&want), bits(&warm));
+            }
         }
     }
 }

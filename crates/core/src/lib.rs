@@ -14,18 +14,29 @@
 //!   subtree-state cache.
 //! * [`api`] — the [`CostEstimator`] façade downstream users interact with,
 //!   plus the thread-shareable [`ServingEstimator`] handle.
+//! * [`backend`] — the pluggable-backend contract ([`Estimator`] /
+//!   [`TrainableEstimator`]) the tree model, MSCN and the traditional
+//!   estimator all implement, so benches and serving drive any of them
+//!   generically.
+//! * [`checkpoint`] — the versioned binary tree-estimator checkpoint
+//!   (model config + normalization + extractor vocab + parameters) behind
+//!   [`CostEstimator::save_checkpoint`] / `load_checkpoint`.
 
 pub mod api;
+pub mod backend;
 pub mod batch;
+pub mod checkpoint;
 pub mod memory;
 pub mod model;
 pub mod trainer;
 
 pub use api::{CostEstimator, ServingEstimator};
+pub use backend::{Estimator, EstimatorCapabilities, PlanEstimate, TrainableEstimator};
 pub use batch::{
     estimate_batch, estimate_batch_memo, estimate_batch_refs, forward_batch, forward_batch_memo,
     reference::estimate_batch_reference,
 };
 pub use memory::{RepresentationMemoryPool, ShardedCache, SubtreeState, SubtreeStateCache};
 pub use model::{ModelConfig, PredicateModelKind, RepresentationCellKind, TaskMode, TreeModel};
+pub use nn::checkpoint::CheckpointError;
 pub use trainer::{EpochStats, TargetNormalization, TrainConfig, Trainer};

@@ -12,11 +12,9 @@ use crate::batch::{estimate_batch_refs, forward_batch};
 use crate::model::{TaskMode, TreeModel};
 use featurize::EncodedPlan;
 use metrics::q_error;
+pub use metrics::EpochStats;
 use nn::loss::NormalizationStats;
-use nn::{Adam, Graph, Matrix, Optimizer};
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use nn::{Adam, EarlyStop, Graph, Matrix, MiniBatchSchedule, Optimizer};
 use serde::{Deserialize, Serialize};
 
 /// Training hyper-parameters.
@@ -27,22 +25,23 @@ pub struct TrainConfig {
     pub learning_rate: f32,
     /// Fraction of the samples held out for validation.
     pub validation_fraction: f64,
+    /// Stop after this many epochs without validation improvement
+    /// (`None` disables early stopping).
+    pub early_stop_patience: Option<usize>,
     pub seed: u64,
 }
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { epochs: 10, batch_size: 32, learning_rate: 0.001, validation_fraction: 0.1, seed: 1 }
+        TrainConfig {
+            epochs: 10,
+            batch_size: 32,
+            learning_rate: 0.001,
+            validation_fraction: 0.1,
+            early_stop_patience: None,
+            seed: 1,
+        }
     }
-}
-
-/// Per-epoch statistics (validation error curves of Figures 7 and 8).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
-pub struct EpochStats {
-    pub epoch: usize,
-    pub train_loss: f64,
-    pub validation_card_qerror_mean: f64,
-    pub validation_cost_qerror_mean: f64,
 }
 
 /// Target normalization fitted on the training set.
@@ -74,43 +73,65 @@ impl Trainer {
         Trainer { model, normalization: TargetNormalization::fit(samples), config }
     }
 
-    /// Train on `samples`, returning per-epoch statistics.  A
-    /// `validation_fraction` tail of the (shuffled) samples is held out and
-    /// evaluated after each epoch.
-    pub fn train(&mut self, samples: &[EncodedPlan]) -> Vec<EpochStats> {
-        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
-        let mut order: Vec<usize> = (0..samples.len()).collect();
-        order.shuffle(&mut rng);
-        let n_val = ((samples.len() as f64) * self.config.validation_fraction).round() as usize;
-        let (val_idx, train_idx) = order.split_at(n_val.min(samples.len().saturating_sub(1)));
+    /// Reassemble a trainer around an already-parameterized model and a
+    /// previously-fitted normalization — the checkpoint-restore path.
+    pub fn from_parts(model: TreeModel, normalization: TargetNormalization, config: TrainConfig) -> Self {
+        Trainer { model, normalization, config }
+    }
 
+    /// Train on `samples`, returning per-epoch statistics.  A
+    /// `validation_fraction` slice of the (shuffled) samples is held out and
+    /// evaluated after each epoch; with `early_stop_patience` set, training
+    /// stops once the validation metric goes that many epochs without
+    /// improving.
+    pub fn train(&mut self, samples: &[EncodedPlan]) -> Vec<EpochStats> {
+        let mut schedule = MiniBatchSchedule::new(
+            samples.len(),
+            self.config.validation_fraction,
+            self.config.batch_size,
+            self.config.seed,
+        );
+        let mut early_stop = EarlyStop::new(self.config.early_stop_patience);
         let mut optimizer = Adam::new(self.config.learning_rate);
         let mut stats = Vec::with_capacity(self.config.epochs);
-        let mut train_order: Vec<usize> = train_idx.to_vec();
         // One tape reused across every mini-batch of every epoch: after the
         // first batch the forward pass draws all buffers from the pool.
         let mut g = Graph::new();
 
         for epoch in 0..self.config.epochs {
-            train_order.shuffle(&mut rng);
+            let started = std::time::Instant::now();
             let mut epoch_loss = 0.0;
             let mut seen = 0usize;
-            for batch_idx in train_order.chunks(self.config.batch_size.max(1)) {
+            for batch_idx in schedule.epoch_batches() {
                 self.model.params.zero_grad();
                 g.reset();
                 epoch_loss += self.train_batch(&mut g, samples, batch_idx);
                 seen += batch_idx.len();
                 optimizer.step(&mut self.model.params);
             }
-            let (card_q, cost_q) = self.validation_error(samples, val_idx);
-            stats.push(EpochStats {
+            let (card_q, cost_q) = self.validation_error(samples, schedule.validation());
+            let epoch_stats = EpochStats {
                 epoch,
                 train_loss: if seen > 0 { epoch_loss / seen as f64 } else { 0.0 },
                 validation_card_qerror_mean: card_q,
                 validation_cost_qerror_mean: cost_q,
-            });
+                wall_time_secs: started.elapsed().as_secs_f64(),
+            };
+            stats.push(epoch_stats);
+            if early_stop.observe(self.validation_metric(&epoch_stats)) {
+                break;
+            }
         }
         stats
+    }
+
+    /// The validation metric early stopping tracks for this trainer's task.
+    fn validation_metric(&self, stats: &EpochStats) -> f64 {
+        match self.model.config.task {
+            TaskMode::CardinalityOnly => stats.validation_card_qerror_mean,
+            TaskMode::CostOnly => stats.validation_cost_qerror_mean,
+            TaskMode::Multitask => stats.validation_metric(),
+        }
     }
 
     /// One level-batched forward + one two-head backward sweep over a
@@ -149,10 +170,16 @@ impl Trainer {
     }
 
     /// Mean validation q-errors `(cardinality, cost)`, computed with the
-    /// level-batched inference path.
+    /// level-batched inference path.  Unmeasured values are `NaN` — with no
+    /// validation split at all, and for the head a single-task model does
+    /// not train (its output exists but never received a gradient).  A fake
+    /// finite number there would read as real data to any [`EpochStats`]
+    /// consumer, and an empty-split 1.0 would make the early-stop policy
+    /// fire after exactly `patience` epochs on zero signal (`EarlyStop`
+    /// skips non-finite metrics instead).
     fn validation_error(&self, samples: &[EncodedPlan], val_idx: &[usize]) -> (f64, f64) {
         if val_idx.is_empty() {
-            return (1.0, 1.0);
+            return (f64::NAN, f64::NAN);
         }
         let val: Vec<&EncodedPlan> = val_idx.iter().map(|&i| &samples[i]).collect();
         let estimates = estimate_batch_refs(&self.model, &self.model.params, &self.normalization, &val);
@@ -162,7 +189,18 @@ impl Trainer {
             cost_sum += q_error(*cost, plan.true_cost);
             card_sum += q_error(*card, plan.true_cardinality);
         }
-        (card_sum / val.len() as f64, cost_sum / val.len() as f64)
+        let task = self.model.config.task;
+        let card_q = if matches!(task, TaskMode::CardinalityOnly | TaskMode::Multitask) {
+            card_sum / val.len() as f64
+        } else {
+            f64::NAN
+        };
+        let cost_q = if matches!(task, TaskMode::CostOnly | TaskMode::Multitask) {
+            cost_sum / val.len() as f64
+        } else {
+            f64::NAN
+        };
+        (card_q, cost_q)
     }
 
     /// Estimate (denormalized) `(cost, cardinality)` for one encoded plan via
@@ -288,9 +326,69 @@ mod tests {
                     let stats = trainer.train(&samples);
                     assert_eq!(stats.len(), 1);
                     assert!(stats[0].train_loss.is_finite());
+                    // Only trained heads report a (finite) validation error;
+                    // untrained heads are NaN per the EpochStats contract.
+                    let card_q = stats[0].validation_card_qerror_mean;
+                    let cost_q = stats[0].validation_cost_qerror_mean;
+                    match task {
+                        TaskMode::CardinalityOnly => assert!(card_q.is_finite() && cost_q.is_nan()),
+                        TaskMode::CostOnly => assert!(card_q.is_nan() && cost_q.is_finite()),
+                        TaskMode::Multitask => assert!(card_q.is_finite() && cost_q.is_finite()),
+                    }
                 }
             }
         }
+    }
+
+    #[test]
+    fn no_validation_split_reports_nan_and_never_trips_early_stop() {
+        let (samples, cfg) = training_samples(16);
+        let model = TreeModel::new(
+            &cfg,
+            ModelConfig { feature_embed_dim: 8, hidden_dim: 12, estimation_hidden_dim: 8, ..Default::default() },
+        );
+        let mut trainer = Trainer::new(
+            model,
+            &samples,
+            TrainConfig {
+                epochs: 4,
+                batch_size: 8,
+                validation_fraction: 0.0,
+                early_stop_patience: Some(1),
+                ..Default::default()
+            },
+        );
+        let stats = trainer.train(&samples);
+        // No validation data: every epoch runs (nothing to stop on) and the
+        // unmeasured q-errors are NaN, not a fake 1.0.
+        assert_eq!(stats.len(), 4);
+        assert!(stats.iter().all(|s| s.validation_card_qerror_mean.is_nan()));
+        assert!(stats.iter().all(|s| s.validation_cost_qerror_mean.is_nan()));
+        assert!(stats.iter().all(|s| s.train_loss.is_finite()));
+    }
+
+    #[test]
+    fn early_stop_halts_before_epoch_budget() {
+        let (samples, cfg) = training_samples(40);
+        let model = TreeModel::new(
+            &cfg,
+            ModelConfig { feature_embed_dim: 8, hidden_dim: 12, estimation_hidden_dim: 8, ..Default::default() },
+        );
+        // Zero learning rate: the validation metric can never improve after
+        // epoch 0, so patience=2 must stop training at epoch 3 of 50.
+        let mut trainer = Trainer::new(
+            model,
+            &samples,
+            TrainConfig {
+                epochs: 50,
+                batch_size: 8,
+                learning_rate: 0.0,
+                early_stop_patience: Some(2),
+                ..Default::default()
+            },
+        );
+        let stats = trainer.train(&samples);
+        assert_eq!(stats.len(), 3, "patience 2 with a flat metric must stop after epoch 2");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use crate::config::EncodingConfig;
 use imdb::Database;
-use query::{AtomPredicate, Operand, PhysicalOp, PlanNode, Predicate};
+use query::{AtomPredicate, CompareOp, Operand, PhysicalOp, PlanNode, Predicate};
 use std::sync::Arc;
 use strembed::StringEncoder;
 
@@ -112,6 +112,16 @@ impl FeatureExtractor {
     /// The encoding configuration.
     pub fn config(&self) -> &EncodingConfig {
         &self.config
+    }
+
+    /// Encode a raw string operand through the extractor's string encoder.
+    ///
+    /// Exposed so model checkpoints can fingerprint the encoder: two
+    /// extractors with identical one-hot dictionaries but different string
+    /// encoders (different embedding dictionaries, different rules) produce
+    /// different encodings for the same probe strings.
+    pub fn encode_string_operand(&self, s: &str, op: CompareOp) -> Vec<f32> {
+        self.string_encoder.encode(s, op)
     }
 
     /// Encode an atomic predicate into

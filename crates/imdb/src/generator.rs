@@ -507,9 +507,15 @@ pub fn generate_imdb(config: GeneratorConfig) -> Database {
     }
 
     // --- samples ---------------------------------------------------------------
+    // Iterate in schema order, NOT HashMap order: the per-table sample draws
+    // share one RNG stream, so a nondeterministic iteration order would give
+    // every table a different sample on every call despite the fixed seed —
+    // and sample bitmaps (hence encoded features and checkpointed models)
+    // would not be reproducible across processes.
     let mut samples = HashMap::new();
-    for (name, table) in &tables {
-        samples.insert(name.clone(), TableSample::uniform(name, table.n_rows(), config.sample_size, &mut rng));
+    for def in &schema.tables {
+        let table = &tables[&def.name];
+        samples.insert(def.name.clone(), TableSample::uniform(&def.name, table.n_rows(), config.sample_size, &mut rng));
     }
 
     Database::new(schema, tables, samples)
@@ -528,6 +534,16 @@ mod tests {
         assert_eq!(ta.n_rows(), tb.n_rows());
         for row in [0, 5, 100] {
             assert_eq!(ta.str("note", row), tb.str("note", row));
+        }
+        // Samples must be reproducible too (they feed the sample-bitmap
+        // features, and through them every checkpointed model).
+        for def in &a.schema().tables {
+            assert_eq!(
+                a.sample(&def.name).map(|s| s.rows().to_vec()),
+                b.sample(&def.name).map(|s| s.rows().to_vec()),
+                "sample of {} is not deterministic",
+                def.name
+            );
         }
     }
 

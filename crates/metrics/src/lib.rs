@@ -6,10 +6,12 @@
 //! (Section 6.1).  This crate provides those statistics plus small helpers
 //! for formatting the rows printed by the benchmark harnesses.
 
+pub mod epoch;
 pub mod qerror;
 pub mod summary;
 pub mod table;
 
+pub use epoch::EpochStats;
 pub use qerror::{q_error, q_error_log};
 pub use summary::ErrorSummary;
 pub use table::ReportTable;

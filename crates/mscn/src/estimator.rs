@@ -1,0 +1,238 @@
+//! MSCN behind the pluggable-backend contract.
+//!
+//! [`MscnEstimator`] packages the featurizer, the model configuration and a
+//! (possibly absent) fitted trainer into one object implementing
+//! [`estimator_core::Estimator`] / [`estimator_core::TrainableEstimator`],
+//! so the registry-driven bench loop and the serving layer treat MSCN
+//! exactly like the tree model — fit from annotated plans, batched
+//! estimation, versioned checkpointing.  MSCN is single-task: the
+//! capability flags advertise only the target selected by
+//! [`MscnConfig::predict_cost`], and the other estimate slot stays `None`.
+
+use crate::featurize_query::{MscnFeaturizer, QuerySets};
+use crate::model::{MscnConfig, MscnModel, MscnTrainer};
+use estimator_core::checkpoint as vocab_ckpt;
+use estimator_core::{Estimator, EstimatorCapabilities, PlanEstimate, TrainableEstimator};
+use featurize::EncodingConfig;
+use imdb::Database;
+use metrics::EpochStats;
+use nn::checkpoint::CheckpointError;
+use query::PlanNode;
+use std::path::Path;
+use std::sync::Arc;
+
+/// The MSCN baseline as a pluggable estimator backend.
+pub struct MscnEstimator {
+    featurizer: MscnFeaturizer,
+    config: MscnConfig,
+    trainer: Option<MscnTrainer>,
+}
+
+impl MscnEstimator {
+    /// Build an unfitted backend over the shared encoding configuration.
+    pub fn new(db: Arc<Database>, enc: EncodingConfig, config: MscnConfig) -> Self {
+        Self::with_featurizer(MscnFeaturizer::new(db, enc), config)
+    }
+
+    /// Build from an already-configured featurizer (e.g. with the sample
+    /// bitmap disabled for the `MSCNNS*` variants).
+    pub fn with_featurizer(featurizer: MscnFeaturizer, config: MscnConfig) -> Self {
+        MscnEstimator { featurizer, config, trainer: None }
+    }
+
+    /// The featurizer (mutable, to toggle `use_sample_bitmap` before fit).
+    pub fn featurizer_mut(&mut self) -> &mut MscnFeaturizer {
+        &mut self.featurizer
+    }
+
+    /// The fitted trainer, if any.
+    pub fn trainer(&self) -> Option<&MscnTrainer> {
+        self.trainer.as_ref()
+    }
+
+    /// Fit on annotated plans (featurize + train), replacing any prior fit.
+    pub fn fit(&mut self, plans: &[PlanNode]) -> Vec<EpochStats> {
+        let sets: Vec<QuerySets> = plans.iter().map(|p| self.featurizer.featurize(p)).collect();
+        let model = MscnModel::new(
+            self.featurizer.table_dim(),
+            self.featurizer.join_dim(),
+            self.featurizer.predicate_dim(),
+            self.config,
+        );
+        let mut trainer = MscnTrainer::new(model, &sets);
+        let stats = trainer.train(&sets);
+        self.trainer = Some(trainer);
+        stats
+    }
+
+    fn fitted(&self) -> &MscnTrainer {
+        self.trainer.as_ref().expect("MscnEstimator used before fit")
+    }
+
+    fn wrap(&self, value: f64) -> PlanEstimate {
+        if self.config.predict_cost {
+            PlanEstimate { cost: Some(value), cardinality: None }
+        } else {
+            PlanEstimate { cost: None, cardinality: Some(value) }
+        }
+    }
+}
+
+impl Estimator for MscnEstimator {
+    fn backend_name(&self) -> &str {
+        "mscn"
+    }
+
+    fn capabilities(&self) -> EstimatorCapabilities {
+        EstimatorCapabilities {
+            cost: self.config.predict_cost,
+            cardinality: !self.config.predict_cost,
+            checkpointable: true,
+        }
+    }
+
+    fn estimate_one(&self, plan: &PlanNode) -> PlanEstimate {
+        self.wrap(self.fitted().estimate(&self.featurizer.featurize(plan)))
+    }
+
+    fn estimate_many(&self, plans: &[PlanNode]) -> Vec<PlanEstimate> {
+        let sets: Vec<QuerySets> = plans.iter().map(|p| self.featurizer.featurize(p)).collect();
+        self.fitted().estimate_batch(&sets).into_iter().map(|v| self.wrap(v)).collect()
+    }
+
+    fn save_checkpoint_to(&self, path: &Path) -> Result<(), CheckpointError> {
+        use std::io::Write as _;
+        let trainer = self.trainer.as_ref().ok_or(CheckpointError::Unsupported("save_checkpoint called before fit"))?;
+        let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+        trainer.save_checkpoint_to(&mut w)?;
+        // Trailing section: the featurizer's vocabulary, so a load can
+        // verify feature positions exactly like the tree estimator does.
+        vocab_ckpt::write_vocab(&mut w, self.featurizer.config(), self.featurizer.use_sample_bitmap)?;
+        Ok(w.flush()?)
+    }
+
+    fn load_checkpoint_from(&mut self, path: &Path) -> Result<(), CheckpointError> {
+        // One pass over the stream: the trainer body, then the vocab section
+        // the save appended.  Everything is verified before `self` changes.
+        let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
+        let trainer = MscnTrainer::load_checkpoint_from(&mut r)?;
+        let vocab = vocab_ckpt::read_vocab(&mut r)?;
+        vocab.verify(self.featurizer.config(), self.featurizer.use_sample_bitmap)?;
+        if trainer.model.table_dim() != self.featurizer.table_dim()
+            || trainer.model.join_dim() != self.featurizer.join_dim()
+            || trainer.model.predicate_dim() != self.featurizer.predicate_dim()
+        {
+            return Err(CheckpointError::VocabMismatch("MSCN set-element widths differ".into()));
+        }
+        // Adopt only what describes the loaded weights: the served target
+        // (capabilities must match the checkpoint) and the architecture
+        // width a re-fit would rebuild.  Training hyper-parameters (epochs,
+        // learning rate, splits, patience, seed) stay the caller's — same
+        // policy as `CostEstimator::load_checkpoint`, which keeps its
+        // `TrainConfig` and restores only the model configuration.
+        self.config.predict_cost = trainer.model.config.predict_cost;
+        self.config.hidden_dim = trainer.model.config.hidden_dim;
+        self.trainer = Some(trainer);
+        Ok(())
+    }
+}
+
+impl TrainableEstimator for MscnEstimator {
+    fn fit_plans(&mut self, plans: &[PlanNode]) -> Vec<EpochStats> {
+        self.fit(plans)
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.trainer.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine::{execute_plan, CostModel};
+    use imdb::{generate_imdb, GeneratorConfig};
+    use nn::checkpoint as ckpt;
+    use query::{CompareOp, JoinPredicate, Operand, PhysicalOp, Predicate};
+
+    fn setup(predict_cost: bool) -> (MscnEstimator, Vec<PlanNode>) {
+        let db = Arc::new(generate_imdb(GeneratorConfig::tiny()));
+        let enc = EncodingConfig::from_database(&db, 8, 32);
+        let config = MscnConfig { epochs: 3, hidden_dim: 16, predict_cost, ..Default::default() };
+        let est = MscnEstimator::new(db.clone(), enc, config);
+        let cost = CostModel::default();
+        let plans: Vec<PlanNode> = (0..24)
+            .map(|i| {
+                let scan_t = PlanNode::leaf(PhysicalOp::SeqScan {
+                    table: "title".into(),
+                    predicate: Some(Predicate::atom(
+                        "title",
+                        "production_year",
+                        CompareOp::Gt,
+                        Operand::Num((1935 + i * 2) as f64),
+                    )),
+                });
+                let scan_mc = PlanNode::leaf(PhysicalOp::SeqScan { table: "movie_companies".into(), predicate: None });
+                let mut join = PlanNode::inner(
+                    PhysicalOp::HashJoin {
+                        condition: JoinPredicate::new("movie_companies", "movie_id", "title", "id"),
+                    },
+                    vec![scan_t, scan_mc],
+                );
+                execute_plan(&db, &mut join, &cost);
+                join
+            })
+            .collect();
+        (est, plans)
+    }
+
+    #[test]
+    fn trait_driven_fit_and_estimate_respects_capabilities() {
+        let (mut est, plans) = setup(false);
+        assert!(!TrainableEstimator::is_fitted(&est));
+        let stats = est.fit_plans(&plans);
+        assert_eq!(stats.len(), 3);
+        assert!(stats.iter().all(|s| s.train_loss.is_finite()));
+        assert!(stats.iter().all(|s| s.validation_card_qerror_mean.is_finite()));
+        assert!(stats.iter().all(|s| s.validation_cost_qerror_mean.is_nan()));
+        assert!(stats.iter().all(|s| s.wall_time_secs > 0.0));
+
+        let caps = est.capabilities();
+        assert!(caps.cardinality && !caps.cost && caps.checkpointable);
+        let one = est.estimate_one(&plans[0]);
+        assert!(one.cost.is_none());
+        assert!(one.cardinality.expect("card slot").is_finite());
+        let many = est.estimate_many(&plans);
+        assert_eq!(many.len(), plans.len());
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_bit_identical_and_vocab_checked() {
+        let (mut est, plans) = setup(true);
+        est.fit_plans(&plans);
+        let before: Vec<u64> = est.estimate_many(&plans).iter().map(|e| e.cost.expect("cost slot").to_bits()).collect();
+        let path = std::env::temp_dir().join(format!("e2e-mscn-test-{}.ckpt", std::process::id()));
+        est.save_checkpoint_to(&path).expect("save");
+
+        // Fresh-context reload.
+        let (mut warm, _) = setup(true);
+        assert!(!TrainableEstimator::is_fitted(&warm));
+        warm.load_checkpoint_from(&path).expect("load");
+        let after: Vec<u64> = warm.estimate_many(&plans).iter().map(|e| e.cost.expect("cost slot").to_bits()).collect();
+        assert_eq!(before, after, "reloaded MSCN checkpoint must serve bit-identical estimates");
+
+        // A featurizer with a different sample width must refuse the file.
+        let db = Arc::new(generate_imdb(GeneratorConfig::tiny()));
+        let enc16 = EncodingConfig::from_database(&db, 8, 16);
+        let mut other = MscnEstimator::new(db, enc16, MscnConfig { predict_cost: true, ..Default::default() });
+        assert!(matches!(other.load_checkpoint_from(&path), Err(CheckpointError::VocabMismatch(_))));
+        // Feeding an MSCN checkpoint to the tree loader is a typed error in
+        // the other direction too: wrong kind byte.
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes[12] = ckpt::KIND_TREE_ESTIMATOR;
+        std::fs::write(&path, &bytes).expect("write");
+        let (mut wrong, _) = setup(true);
+        assert!(matches!(wrong.load_checkpoint_from(&path), Err(CheckpointError::WrongKind { .. })));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -45,6 +45,11 @@ impl MscnFeaturizer {
         MscnFeaturizer { db, config, join_pos, use_sample_bitmap: true }
     }
 
+    /// The shared encoding configuration the feature positions come from.
+    pub fn config(&self) -> &EncodingConfig {
+        &self.config
+    }
+
     /// Width of one table-set element.
     pub fn table_dim(&self) -> usize {
         self.config.table_pos.len() + self.config.sample_dim()

@@ -8,8 +8,10 @@
 //! cost.  Unlike the tree model it sees the query, not the plan tree, which
 //! is exactly the structural limitation the paper's model removes.
 
+pub mod estimator;
 pub mod featurize_query;
 pub mod model;
 
+pub use estimator::MscnEstimator;
 pub use featurize_query::{MscnFeaturizer, QuerySets};
 pub use model::{MscnConfig, MscnModel, MscnTrainer};

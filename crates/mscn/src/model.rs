@@ -1,13 +1,15 @@
 //! The MSCN model: per-set MLPs, average pooling, final MLP.
 
 use crate::featurize_query::QuerySets;
-use metrics::q_error;
+use metrics::{q_error, EpochStats};
+use nn::checkpoint as ckpt;
+use nn::checkpoint::CheckpointError;
 use nn::layers::Mlp2;
 use nn::loss::NormalizationStats;
-use nn::{Adam, Graph, Matrix, NodeId, Optimizer, ParamStore};
-use rand::seq::SliceRandom;
+use nn::{Adam, EarlyStop, Graph, Matrix, MiniBatchSchedule, NodeId, Optimizer, ParamStore};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::path::Path;
 
 /// MSCN hyper-parameters.
 #[derive(Debug, Clone, Copy)]
@@ -19,12 +21,26 @@ pub struct MscnConfig {
     /// Train the cost head (true) or the cardinality head (false) — MSCN is a
     /// single-task model in the paper; both are provided for Tables 7 and 8.
     pub predict_cost: bool,
+    /// Fraction of the samples held out for validation.
+    pub validation_fraction: f64,
+    /// Stop after this many epochs without validation improvement
+    /// (`None` disables early stopping).
+    pub early_stop_patience: Option<usize>,
     pub seed: u64,
 }
 
 impl Default for MscnConfig {
     fn default() -> Self {
-        MscnConfig { hidden_dim: 32, epochs: 10, batch_size: 32, learning_rate: 0.001, predict_cost: false, seed: 3 }
+        MscnConfig {
+            hidden_dim: 32,
+            epochs: 10,
+            batch_size: 32,
+            learning_rate: 0.001,
+            predict_cost: false,
+            validation_fraction: 0.1,
+            early_stop_patience: None,
+            seed: 3,
+        }
     }
 }
 
@@ -49,6 +65,21 @@ impl MscnModel {
         let pred_mlp = Mlp2::new(&mut params, "mscn.pred", pred_dim, h, h, &mut rng);
         let out_mlp = Mlp2::new(&mut params, "mscn.out", 3 * h, h, 1, &mut rng);
         MscnModel { config, params, table_mlp, join_mlp, pred_mlp, out_mlp }
+    }
+
+    /// Width of one table-set element (as constructed).
+    pub fn table_dim(&self) -> usize {
+        self.table_mlp.l1.in_dim()
+    }
+
+    /// Width of one join-set element (as constructed).
+    pub fn join_dim(&self) -> usize {
+        self.join_mlp.l1.in_dim()
+    }
+
+    /// Width of one predicate-set element (as constructed).
+    pub fn predicate_dim(&self) -> usize {
+        self.pred_mlp.l1.in_dim()
     }
 
     /// Average-pool the per-element MLP outputs of one set.
@@ -161,34 +192,60 @@ impl MscnTrainer {
         }
     }
 
-    /// Train on `samples`; returns the mean training loss per epoch.
-    pub fn train(&mut self, samples: &[QuerySets]) -> Vec<f64> {
+    /// Train on `samples`, returning the shared per-epoch statistics
+    /// (training loss, validation q-error of the trained target, wall time).
+    ///
+    /// The validation split, per-epoch mini-batch shuffling and the
+    /// early-stop policy all come from the shared
+    /// [`nn::MiniBatchSchedule`] / [`nn::EarlyStop`] helpers — the same
+    /// scaffolding the tree-model trainer runs on.  The q-error slot of the
+    /// target MSCN does not train is `f64::NAN`.
+    pub fn train(&mut self, samples: &[QuerySets]) -> Vec<EpochStats> {
         let cfg = self.model.config;
-        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let mut schedule = MiniBatchSchedule::new(samples.len(), cfg.validation_fraction, cfg.batch_size, cfg.seed);
+        let mut early_stop = EarlyStop::new(cfg.early_stop_patience);
         let mut optimizer = Adam::new(cfg.learning_rate);
-        let mut losses = Vec::with_capacity(cfg.epochs);
-        for _ in 0..cfg.epochs {
-            order.shuffle(&mut rng);
+        let mut stats = Vec::with_capacity(cfg.epochs);
+        let val_refs: Vec<&QuerySets> = schedule.validation().iter().map(|&i| &samples[i]).collect();
+        for epoch in 0..cfg.epochs {
+            let started = std::time::Instant::now();
             let mut epoch_loss = 0.0;
-            self.model.params.zero_grad();
-            for (i, &si) in order.iter().enumerate() {
-                let s = &samples[si];
-                let target = self.normalization.normalize(self.target(s));
-                let mut g = Graph::new();
-                let out = self.model.forward(&mut g, &self.model.params, s);
-                let val = g.value(out).data()[0];
-                let (loss, grad) = self.normalization.loss_and_grad(val, target);
-                epoch_loss += loss;
-                g.backward(out, Matrix::from_vec(1, 1, vec![grad]), &mut self.model.params);
-                if (i + 1) % cfg.batch_size == 0 || i + 1 == order.len() {
-                    optimizer.step(&mut self.model.params);
-                    self.model.params.zero_grad();
+            let mut seen = 0usize;
+            for batch in schedule.epoch_batches() {
+                self.model.params.zero_grad();
+                for &si in batch {
+                    let s = &samples[si];
+                    let target = self.normalization.normalize(self.target(s));
+                    let mut g = Graph::new();
+                    let out = self.model.forward(&mut g, &self.model.params, s);
+                    let val = g.value(out).data()[0];
+                    let (loss, grad) = self.normalization.loss_and_grad(val, target);
+                    epoch_loss += loss;
+                    g.backward(out, Matrix::from_vec(1, 1, vec![grad]), &mut self.model.params);
                 }
+                seen += batch.len();
+                optimizer.step(&mut self.model.params);
             }
-            losses.push(if samples.is_empty() { 0.0 } else { epoch_loss / samples.len() as f64 });
+            let val_q = if val_refs.is_empty() {
+                f64::NAN
+            } else {
+                let estimates = self.estimate_refs(&val_refs);
+                val_refs.iter().zip(estimates.iter()).map(|(s, &e)| q_error(e, self.target(s))).sum::<f64>()
+                    / val_refs.len() as f64
+            };
+            let (card_q, cost_q) = if cfg.predict_cost { (f64::NAN, val_q) } else { (val_q, f64::NAN) };
+            stats.push(EpochStats {
+                epoch,
+                train_loss: if seen > 0 { epoch_loss / seen as f64 } else { 0.0 },
+                validation_card_qerror_mean: card_q,
+                validation_cost_qerror_mean: cost_q,
+                wall_time_secs: started.elapsed().as_secs_f64(),
+            });
+            if early_stop.observe(val_q) {
+                break;
+            }
         }
-        losses
+        stats
     }
 
     /// Predict the denormalized target for one query.
@@ -203,14 +260,94 @@ impl MscnTrainer {
     /// matmul per layer ([`MscnModel::forward_batch`]) — the MSCN analogue
     /// of the tree models' level-batched inference.
     pub fn estimate_batch(&self, samples: &[QuerySets]) -> Vec<f64> {
-        if samples.is_empty() {
+        let refs: Vec<&QuerySets> = samples.iter().collect();
+        self.estimate_refs(&refs)
+    }
+
+    /// Batched estimation over borrowed queries (the validation loop's path).
+    pub fn estimate_refs(&self, refs: &[&QuerySets]) -> Vec<f64> {
+        if refs.is_empty() {
             return Vec::new();
         }
-        let refs: Vec<&QuerySets> = samples.iter().collect();
         let mut g = Graph::inference();
-        let out = self.model.forward_batch(&mut g, &self.model.params, &refs);
+        let out = self.model.forward_batch(&mut g, &self.model.params, refs);
         let vals = g.value(out);
-        (0..samples.len()).map(|i| self.normalization.denormalize(vals.get(0, i))).collect()
+        (0..refs.len()).map(|i| self.normalization.denormalize(vals.get(0, i))).collect()
+    }
+
+    /// Serialize the fitted MSCN model (config + set-element widths +
+    /// target normalization + parameters) into `w` — the MSCN equivalent of
+    /// `CostEstimator::save_checkpoint`, and just as bit-identical on
+    /// reload.  Callers may append further sections (e.g. a vocab snapshot)
+    /// to the same stream.
+    pub fn save_checkpoint_to(&self, w: &mut impl std::io::Write) -> Result<(), CheckpointError> {
+        let cfg = self.model.config;
+        ckpt::write_header(w, ckpt::KIND_MSCN)?;
+        ckpt::write_u64(w, cfg.hidden_dim as u64)?;
+        ckpt::write_u64(w, cfg.epochs as u64)?;
+        ckpt::write_u64(w, cfg.batch_size as u64)?;
+        ckpt::write_f64(w, cfg.learning_rate as f64)?;
+        ckpt::write_u8(w, cfg.predict_cost as u8)?;
+        ckpt::write_f64(w, cfg.validation_fraction)?;
+        ckpt::write_u8(w, cfg.early_stop_patience.is_some() as u8)?;
+        ckpt::write_u64(w, cfg.early_stop_patience.unwrap_or(0) as u64)?;
+        ckpt::write_u64(w, cfg.seed)?;
+        ckpt::write_u64(w, self.model.table_dim() as u64)?;
+        ckpt::write_u64(w, self.model.join_dim() as u64)?;
+        ckpt::write_u64(w, self.model.predicate_dim() as u64)?;
+        ckpt::write_f64(w, self.normalization.log_min)?;
+        ckpt::write_f64(w, self.normalization.log_max)?;
+        self.model.params.save_to(w)
+    }
+
+    /// [`MscnTrainer::save_checkpoint_to`] into a file.
+    pub fn save_checkpoint(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        use std::io::Write as _;
+        let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+        self.save_checkpoint_to(&mut w)?;
+        Ok(w.flush()?)
+    }
+
+    /// Restore a trainer saved by [`MscnTrainer::save_checkpoint_to`]; the
+    /// returned trainer serves bit-identical estimates with zero
+    /// retraining.  The reader is left positioned after the parameter
+    /// payload, so callers can read any sections they appended.
+    pub fn load_checkpoint_from(r: &mut impl std::io::Read) -> Result<MscnTrainer, CheckpointError> {
+        ckpt::read_header(r, ckpt::KIND_MSCN)?;
+        let hidden_dim = ckpt::read_u64(r, "hidden dim")? as usize;
+        let epochs = ckpt::read_u64(r, "epochs")? as usize;
+        let batch_size = ckpt::read_u64(r, "batch size")? as usize;
+        let learning_rate = ckpt::read_f64(r, "learning rate")? as f32;
+        let predict_cost = ckpt::read_u8(r, "predict_cost flag")? != 0;
+        let validation_fraction = ckpt::read_f64(r, "validation fraction")?;
+        let has_patience = ckpt::read_u8(r, "early-stop flag")? != 0;
+        let patience = ckpt::read_u64(r, "early-stop patience")? as usize;
+        let seed = ckpt::read_u64(r, "seed")?;
+        let config = MscnConfig {
+            hidden_dim,
+            epochs,
+            batch_size,
+            learning_rate,
+            predict_cost,
+            validation_fraction,
+            early_stop_patience: has_patience.then_some(patience),
+            seed,
+        };
+        let table_dim = ckpt::read_u64(r, "table dim")? as usize;
+        let join_dim = ckpt::read_u64(r, "join dim")? as usize;
+        let pred_dim = ckpt::read_u64(r, "predicate dim")? as usize;
+        let normalization = NormalizationStats {
+            log_min: ckpt::read_f64(r, "target log_min")?,
+            log_max: ckpt::read_f64(r, "target log_max")?,
+        };
+        let mut model = MscnModel::new(table_dim, join_dim, pred_dim, config);
+        model.params.load_values_from(r)?;
+        Ok(MscnTrainer { model, normalization })
+    }
+
+    /// [`MscnTrainer::load_checkpoint_from`] out of a file.
+    pub fn load_checkpoint(path: impl AsRef<Path>) -> Result<MscnTrainer, CheckpointError> {
+        Self::load_checkpoint_from(&mut std::io::BufReader::new(std::fs::File::open(path)?))
     }
 
     /// Mean q-error over a workload.

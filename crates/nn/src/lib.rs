@@ -21,6 +21,7 @@
 //!   Section 4.3 ([`loss`]).
 
 pub mod cells;
+pub mod checkpoint;
 pub mod graph;
 pub mod init;
 pub mod layers;
@@ -28,11 +29,14 @@ pub mod loss;
 pub mod matrix;
 pub mod optim;
 pub mod params;
+pub mod schedule;
 
 pub use cells::{TreeLstmCell, TreeNnCell};
+pub use checkpoint::CheckpointError;
 pub use graph::{Graph, Mode, NodeId};
 pub use layers::Linear;
 pub use loss::{qerror_from_normalized, NormalizationStats};
 pub use matrix::Matrix;
 pub use optim::{Adam, Optimizer, Sgd};
 pub use params::{ParamId, ParamStore};
+pub use schedule::{EarlyStop, MiniBatchSchedule};

@@ -7,9 +7,12 @@
 //! graphs reference them by [`ParamId`] and accumulate gradients back into
 //! the store after each backward pass.
 
+use crate::checkpoint::{self, CheckpointError};
 use crate::init;
 use crate::matrix::Matrix;
 use rand::Rng;
+use std::io::{Read, Write};
+use std::path::Path;
 
 /// Identifier of a parameter inside a [`ParamStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -109,6 +112,94 @@ impl ParamStore {
         &self.params
     }
 
+    /// Serialize every parameter tensor into `w`: the shared section header
+    /// ([`checkpoint::MAGIC`], [`checkpoint::FORMAT_VERSION`],
+    /// [`checkpoint::KIND_PARAMS`]), a tensor count, then per tensor its
+    /// name, shape and raw little-endian `f32` payload.  Values only —
+    /// gradients and Adam moments are training state, not model state.
+    pub fn save_to(&self, w: &mut impl Write) -> Result<(), CheckpointError> {
+        checkpoint::write_header(w, checkpoint::KIND_PARAMS)?;
+        checkpoint::write_u64(w, self.params.len() as u64)?;
+        for p in &self.params {
+            checkpoint::write_str(w, &p.name)?;
+            checkpoint::write_u64(w, p.value.rows() as u64)?;
+            checkpoint::write_u64(w, p.value.cols() as u64)?;
+            checkpoint::write_f32_slice(w, p.value.data())?;
+        }
+        Ok(())
+    }
+
+    /// Deserialize a parameter section written by [`ParamStore::save_to`]
+    /// into a fresh store (gradients and moments zeroed).
+    pub fn load_from(r: &mut impl Read) -> Result<ParamStore, CheckpointError> {
+        checkpoint::read_header(r, checkpoint::KIND_PARAMS)?;
+        let count = checkpoint::read_count(r, "parameter count")?;
+        let mut store = ParamStore::new();
+        for _ in 0..count {
+            let (name, value) = Self::read_tensor(r)?;
+            store.add(name, value);
+        }
+        Ok(store)
+    }
+
+    /// Deserialize a parameter section into an **existing** store, verifying
+    /// that every tensor matches the store's registration order, name and
+    /// shape — the restore path for a freshly-constructed model.  Values are
+    /// overwritten, gradients and moments reset.  On any error the store is
+    /// left untouched (the section is validated in full first).
+    pub fn load_values_from(&mut self, r: &mut impl Read) -> Result<(), CheckpointError> {
+        checkpoint::read_header(r, checkpoint::KIND_PARAMS)?;
+        let count = checkpoint::read_count(r, "parameter count")?;
+        if count != self.params.len() {
+            return Err(CheckpointError::CountMismatch { expected: self.params.len(), found: count });
+        }
+        let mut loaded = Vec::with_capacity(count);
+        for p in &self.params {
+            let (name, value) = Self::read_tensor(r)?;
+            if name != p.name {
+                return Err(CheckpointError::NameMismatch { expected: p.name.clone(), found: name });
+            }
+            if (value.rows(), value.cols()) != (p.value.rows(), p.value.cols()) {
+                return Err(CheckpointError::ShapeMismatch {
+                    name,
+                    expected: (p.value.rows(), p.value.cols()),
+                    found: (value.rows(), value.cols()),
+                });
+            }
+            loaded.push(value);
+        }
+        for (p, value) in self.params.iter_mut().zip(loaded) {
+            p.value = value;
+            p.grad.fill_zero();
+            p.m.fill_zero();
+            p.v.fill_zero();
+        }
+        Ok(())
+    }
+
+    fn read_tensor(r: &mut impl Read) -> Result<(String, Matrix), CheckpointError> {
+        let name = checkpoint::read_str(r, "parameter name")?;
+        let rows = checkpoint::read_u64(r, "parameter rows")? as usize;
+        let cols = checkpoint::read_u64(r, "parameter cols")? as usize;
+        let len = (rows as u64)
+            .checked_mul(cols as u64)
+            .ok_or_else(|| CheckpointError::Corrupt(format!("parameter {name:?} shape {rows}x{cols} overflows")))?;
+        let data = checkpoint::read_f32_vec(r, len, "parameter payload")?;
+        Ok((name, Matrix::from_vec(rows, cols, data)))
+    }
+
+    /// [`ParamStore::save_to`] into a file (buffered, created/truncated).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+        self.save_to(&mut w)?;
+        Ok(w.flush()?)
+    }
+
+    /// [`ParamStore::load_from`] out of a file (buffered).
+    pub fn load(path: impl AsRef<Path>) -> Result<ParamStore, CheckpointError> {
+        Self::load_from(&mut std::io::BufReader::new(std::fs::File::open(path)?))
+    }
+
     /// Global L2 norm of all gradients (for gradient clipping).
     pub fn grad_norm(&self) -> f32 {
         self.params.iter().map(|p| p.grad.norm().powi(2)).sum::<f32>().sqrt()
@@ -157,6 +248,87 @@ mod tests {
         for &x in store.value(id).data() {
             assert!(x.abs() <= bound + 1e-6);
         }
+    }
+
+    #[test]
+    fn save_load_roundtrip_is_bit_identical() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut store = ParamStore::new();
+        store.add_xavier("a.w", 7, 5, &mut rng);
+        store.add_zeros("a.b", 7, 1);
+        store.add("odd", Matrix::from_vec(1, 3, vec![-0.0, f32::MIN_POSITIVE, 3.25]));
+        let mut buf = Vec::new();
+        store.save_to(&mut buf).unwrap();
+
+        let loaded = ParamStore::load_from(&mut std::io::Cursor::new(&buf)).unwrap();
+        assert_eq!(loaded.len(), store.len());
+        for (a, b) in store.params().iter().zip(loaded.params().iter()) {
+            assert_eq!(a.name, b.name);
+            let bits = |m: &Matrix| m.data().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&a.value), bits(&b.value), "payload must round-trip bit-identically");
+            assert!(b.grad.data().iter().all(|&g| g == 0.0));
+        }
+
+        // load_values_from into a differently-initialized same-shape store.
+        let mut rng2 = ChaCha8Rng::seed_from_u64(999);
+        let mut other = ParamStore::new();
+        other.add_xavier("a.w", 7, 5, &mut rng2);
+        other.add_zeros("a.b", 7, 1);
+        other.add("odd", Matrix::zeros(1, 3));
+        other.load_values_from(&mut std::io::Cursor::new(&buf)).unwrap();
+        assert_eq!(other.value(ParamId(0)), store.value(ParamId(0)));
+        assert_eq!(other.value(ParamId(2)), store.value(ParamId(2)));
+    }
+
+    #[test]
+    fn load_rejects_malformed_sections_with_typed_errors() {
+        use crate::checkpoint::CheckpointError;
+        let mut store = ParamStore::new();
+        store.add("w", Matrix::column(&[1.0, 2.0, 3.0]));
+        let mut buf = Vec::new();
+        store.save_to(&mut buf).unwrap();
+
+        // Truncated mid-payload.
+        let cut = &buf[..buf.len() - 5];
+        assert!(matches!(
+            ParamStore::load_from(&mut std::io::Cursor::new(cut)),
+            Err(CheckpointError::Truncated { .. })
+        ));
+        // Wrong magic.
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            ParamStore::load_from(&mut std::io::Cursor::new(&bad)),
+            Err(CheckpointError::BadMagic { .. })
+        ));
+        // Future version.
+        let mut future = buf.clone();
+        future[8..12].copy_from_slice(&7u32.to_le_bytes());
+        assert!(matches!(
+            ParamStore::load_from(&mut std::io::Cursor::new(&future)),
+            Err(CheckpointError::UnsupportedVersion { found: 7, .. })
+        ));
+
+        // Mismatched target store: wrong count, wrong name, wrong shape.
+        let mut empty = ParamStore::new();
+        assert!(matches!(
+            empty.load_values_from(&mut std::io::Cursor::new(&buf)),
+            Err(CheckpointError::CountMismatch { expected: 0, found: 1 })
+        ));
+        let mut renamed = ParamStore::new();
+        renamed.add("v", Matrix::column(&[0.0, 0.0, 0.0]));
+        assert!(matches!(
+            renamed.load_values_from(&mut std::io::Cursor::new(&buf)),
+            Err(CheckpointError::NameMismatch { .. })
+        ));
+        let mut reshaped = ParamStore::new();
+        reshaped.add("w", Matrix::zeros(2, 2));
+        let before = reshaped.value(ParamId(0)).clone();
+        assert!(matches!(
+            reshaped.load_values_from(&mut std::io::Cursor::new(&buf)),
+            Err(CheckpointError::ShapeMismatch { .. })
+        ));
+        assert_eq!(reshaped.value(ParamId(0)), &before, "failed load must not partially apply");
     }
 
     #[test]

@@ -123,6 +123,37 @@ impl TraditionalEstimator {
     }
 }
 
+impl estimator_core::Estimator for TraditionalEstimator {
+    fn backend_name(&self) -> &str {
+        "pgest"
+    }
+
+    fn capabilities(&self) -> estimator_core::EstimatorCapabilities {
+        // Histograms estimate both targets; there is no learned state to
+        // persist — "training" is ANALYZE, which rebuilds from the database
+        // in milliseconds, so checkpointing would save nothing.
+        estimator_core::EstimatorCapabilities { cost: true, cardinality: true, checkpointable: false }
+    }
+
+    fn estimate_one(&self, plan: &PlanNode) -> estimator_core::PlanEstimate {
+        let mut annotated = plan.clone();
+        let (card, cost) = self.estimate_plan(&mut annotated);
+        estimator_core::PlanEstimate::both(cost, card)
+    }
+}
+
+impl estimator_core::TrainableEstimator for TraditionalEstimator {
+    /// Nothing iterative to train: the statistics were built by
+    /// [`TraditionalEstimator::analyze`].  Returns no epochs.
+    fn fit_plans(&mut self, _plans: &[PlanNode]) -> Vec<metrics::EpochStats> {
+        Vec::new()
+    }
+
+    fn is_fitted(&self) -> bool {
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +253,33 @@ mod tests {
         let q1 = q_error(est1, real1);
         let q2 = q_error(est2, real2);
         assert!(q2 >= q1 * 0.8, "error did not grow with joins: q1={q1:.2} q2={q2:.2}");
+    }
+
+    #[test]
+    fn trait_driven_estimation_fills_both_slots() {
+        use estimator_core::{Estimator, TrainableEstimator};
+        let db = db();
+        let mut est = TraditionalEstimator::analyze(&db);
+        assert!(TrainableEstimator::is_fitted(&est));
+        assert!(est.fit_plans(&[]).is_empty());
+        let caps = est.capabilities();
+        assert!(caps.cost && caps.cardinality && !caps.checkpointable);
+
+        let pred = Predicate::atom("title", "production_year", CompareOp::Gt, Operand::Num(1990.0));
+        let plan = PlanNode::leaf(PhysicalOp::SeqScan { table: "title".into(), predicate: Some(pred) });
+        let one = est.estimate_one(&plan);
+        // Trait estimates agree with the inherent (annotating) path, and the
+        // input plan is left unannotated.
+        let (card, cost) = est.estimate_plan(&mut plan.clone());
+        assert_eq!(one.cost, Some(cost));
+        assert_eq!(one.cardinality, Some(card));
+        assert!(plan.annotations.estimated_cardinality.is_none());
+        assert_eq!(est.estimate_many(std::slice::from_ref(&plan)), vec![one]);
+        // Checkpointing is a typed refusal, not a panic.
+        assert!(matches!(
+            est.save_checkpoint_to(std::path::Path::new("/tmp/pg.ckpt")),
+            Err(estimator_core::CheckpointError::Unsupported(_))
+        ));
     }
 
     #[test]

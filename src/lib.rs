@@ -50,12 +50,13 @@ pub use workloads;
 pub mod prelude {
     pub use engine::{execute_plan, plan_query, CostModel, PlannerConfig};
     pub use estimator_core::{
-        CostEstimator, ModelConfig, PredicateModelKind, RepresentationCellKind, TaskMode, TrainConfig,
+        CheckpointError, CostEstimator, Estimator, EstimatorCapabilities, ModelConfig, PlanEstimate,
+        PredicateModelKind, RepresentationCellKind, TaskMode, TrainConfig, TrainableEstimator,
     };
     pub use featurize::{EncodingConfig, FeatureExtractor};
     pub use imdb::{generate_imdb, Database, GeneratorConfig};
-    pub use metrics::{q_error, ErrorSummary, ReportTable};
-    pub use mscn::{MscnConfig, MscnFeaturizer, MscnModel, MscnTrainer};
+    pub use metrics::{q_error, EpochStats, ErrorSummary, ReportTable};
+    pub use mscn::{MscnConfig, MscnEstimator, MscnFeaturizer, MscnModel, MscnTrainer};
     pub use pgest::TraditionalEstimator;
     pub use query::{CompareOp, JoinPredicate, LogicalQuery, Operand, PhysicalOp, PlanNode, Predicate};
     pub use strembed::{build_string_encoder, EmbedderConfig, HashBitmapEncoder, StringEncoding};
