@@ -32,7 +32,12 @@ use strembed::StringEncoding;
 use workloads::WorkloadSuite;
 
 /// Builds one backend instance for a pipeline + suite.
-pub type BackendBuilder = Box<dyn Fn(&Pipeline, &WorkloadSuite) -> Box<dyn TrainableEstimator> + Send + Sync>;
+///
+/// Instances are `Send + Sync` so a built (and fitted or
+/// checkpoint-loaded) backend can go straight into a multi-tenant
+/// `serving::ModelCatalog` slot as well as through the bench loop.
+pub type BackendBuilder =
+    Box<dyn Fn(&Pipeline, &WorkloadSuite) -> Box<dyn TrainableEstimator + Send + Sync> + Send + Sync>;
 
 /// Name-keyed backend builders.
 pub struct EstimatorRegistry {
@@ -59,7 +64,12 @@ impl EstimatorRegistry {
     ///
     /// # Panics
     /// Panics on an unknown name, listing the registered ones.
-    pub fn build(&self, name: &str, pipeline: &Pipeline, suite: &WorkloadSuite) -> Box<dyn TrainableEstimator> {
+    pub fn build(
+        &self,
+        name: &str,
+        pipeline: &Pipeline,
+        suite: &WorkloadSuite,
+    ) -> Box<dyn TrainableEstimator + Send + Sync> {
         let builder = self
             .builders
             .get(name)
@@ -114,7 +124,7 @@ impl EstimatorRegistry {
                 name,
                 Box::new(move |p: &Pipeline, s: &WorkloadSuite| {
                     Box::new(p.tree_estimator(&s.train, cell, predicate, task, encoding, use_samples))
-                        as Box<dyn TrainableEstimator>
+                        as Box<dyn TrainableEstimator + Send + Sync>
                 }),
             );
         }

@@ -18,6 +18,7 @@ use nn::checkpoint::CheckpointError;
 use query::PlanNode;
 use std::io::Write as _;
 use std::path::Path;
+use std::sync::Arc;
 
 /// An end-to-end learned cost and cardinality estimator.
 pub struct CostEstimator {
@@ -26,7 +27,7 @@ pub struct CostEstimator {
     model_config: ModelConfig,
     train_config: TrainConfig,
     pool: RepresentationMemoryPool,
-    subtree_cache: SubtreeStateCache,
+    subtree_cache: Arc<SubtreeStateCache>,
 }
 
 impl CostEstimator {
@@ -38,8 +39,19 @@ impl CostEstimator {
             model_config,
             train_config,
             pool: RepresentationMemoryPool::new(),
-            subtree_cache: SubtreeStateCache::new(),
+            subtree_cache: Arc::new(SubtreeStateCache::new()),
         }
+    }
+
+    /// Invalidate every serving cache: the memory pool is cleared and the
+    /// subtree-state cache is **replaced** with a fresh `Arc` rather than
+    /// cleared in place, so an outstanding owned [`ServingEstimator`] keeps
+    /// its consistent (old model, old cache) pair while this estimator's
+    /// next handle starts empty — nothing computed under the old parameters
+    /// can ever serve the new ones, in either direction.
+    fn invalidate_caches(&mut self) {
+        self.pool.clear();
+        self.subtree_cache = Arc::new(SubtreeStateCache::new());
     }
 
     /// The feature extractor (exposed for encoding plans externally).
@@ -59,8 +71,7 @@ impl CostEstimator {
         let stats = trainer.train(samples);
         self.trainer = Some(trainer);
         // Cached estimates and subtree states belong to the previous model.
-        self.pool.clear();
-        self.subtree_cache.clear();
+        self.invalidate_caches();
         stats
     }
 
@@ -70,9 +81,49 @@ impl CostEstimator {
         self.fit_encoded(&encoded)
     }
 
+    /// Continue an interrupted training run on already-encoded plans —
+    /// after [`CostEstimator::resume_from_checkpoint`] — until
+    /// `train_config.epochs` total epochs are done.  With the same samples
+    /// and hyper-parameters as the interrupted run, the result is
+    /// **bit-identical** to never having been interrupted.  Unlike
+    /// [`CostEstimator::fit_encoded`], nothing is re-initialized.
+    ///
+    /// # Panics
+    /// Panics if there is nothing to resume: no trainer at all, or a
+    /// trainer without resumable training state (e.g. after a model-only
+    /// v1 checkpoint load) — silently restarting training from epoch 0 with
+    /// a fresh optimizer would masquerade as a continuation.  Check
+    /// [`CostEstimator::is_resumable`] first.
+    pub fn fit_resumed_encoded(&mut self, samples: &[EncodedPlan]) -> Vec<EpochStats> {
+        let trainer = self.trainer.as_mut().expect("CostEstimator::fit_resumed_encoded called with nothing to resume");
+        assert!(
+            trainer.is_resumable(),
+            "CostEstimator::fit_resumed_encoded called with nothing to resume: \
+             the checkpoint carried no resumable training state"
+        );
+        let stats = trainer.train(samples);
+        // Parameters moved: every cached estimate/state is stale.
+        self.invalidate_caches();
+        stats
+    }
+
+    /// [`CostEstimator::fit_resumed_encoded`] over raw annotated plans.
+    pub fn fit_resumed(&mut self, plans: &[PlanNode]) -> Vec<EpochStats> {
+        let encoded: Vec<EncodedPlan> = plans.iter().map(|p| self.encode(p)).collect();
+        self.fit_resumed_encoded(&encoded)
+    }
+
     /// True once the model has been trained.
     pub fn is_fitted(&self) -> bool {
         self.trainer.is_some()
+    }
+
+    /// True when [`CostEstimator::fit_resumed`] can continue training: the
+    /// model trained in this process, or was restored (with training state)
+    /// by [`CostEstimator::resume_from_checkpoint`] /
+    /// [`CostEstimator::load_checkpoint`] from a v2 checkpoint.
+    pub fn is_resumable(&self) -> bool {
+        self.trainer.as_ref().is_some_and(|t| t.is_resumable())
     }
 
     /// Estimate `(cost, cardinality)` for a physical plan.
@@ -117,22 +168,30 @@ impl CostEstimator {
         self.serving().estimate_encoded_batch(&refs)
     }
 
-    /// A shareable serving handle over the fitted model and the subtree
-    /// cache.  The handle is `Copy + Send + Sync`, so concurrent serving
-    /// threads each take one and score candidate batches in parallel —
-    /// tapes are per-thread and the cache is sharded, so nothing serializes
-    /// on a global lock.
+    /// An **owned**, shareable serving handle over the fitted model and the
+    /// subtree cache.  The handle is `Clone + Send + Sync` and holds the
+    /// model and cache by `Arc`, so its lifetime is decoupled from this
+    /// estimator (and its trainer): a multi-tenant catalog can keep serving
+    /// a model whose trainer is long gone, and a hot-swap or re-fit on this
+    /// estimator leaves outstanding handles pinned to the exact weights and
+    /// cache they were created with.  Tapes are per-thread and the cache is
+    /// sharded, so concurrent sessions sharing one handle serialize on no
+    /// global lock.
     ///
     /// # Panics
     /// Panics if the estimator has not been fitted.
-    pub fn serving(&self) -> ServingEstimator<'_> {
+    pub fn serving(&self) -> ServingEstimator {
         let trainer = self.trainer.as_ref().expect("CostEstimator::serving called before fit");
-        ServingEstimator { model: &trainer.model, normalization: &trainer.normalization, cache: &self.subtree_cache }
+        ServingEstimator {
+            model: Arc::clone(&trainer.model),
+            normalization: trainer.normalization,
+            cache: Arc::clone(&self.subtree_cache),
+        }
     }
 
     /// The subtree-state cache backing the memoized serving path.
     pub fn subtree_cache(&self) -> &SubtreeStateCache {
-        &self.subtree_cache
+        self.subtree_cache.as_ref()
     }
 
     /// Pre-optimization one-by-one estimation (per-node forward on a
@@ -170,6 +229,10 @@ impl CostEstimator {
     /// vocabulary and every parameter tensor (raw `f32` bit patterns).  A
     /// checkpoint loaded by [`CostEstimator::load_checkpoint`] serves
     /// bit-identical estimates with zero retraining.
+    /// (Format v2 additionally appends the trainer's resumable state —
+    /// schedule position, Adam step counter + moments, early-stop state —
+    /// when the model was trained in this process; see
+    /// [`CostEstimator::resume_from_checkpoint`].)
     pub fn save_checkpoint(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
         let trainer = self.trainer.as_ref().ok_or(CheckpointError::Unsupported("save_checkpoint called before fit"))?;
         let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
@@ -179,6 +242,7 @@ impl CostEstimator {
         checkpoint::write_vocab(&mut w, self.extractor.config(), self.extractor.use_sample_bitmap)?;
         checkpoint::write_encoder_fingerprint(&mut w, &self.extractor)?;
         trainer.model.params.save_to(&mut w)?;
+        trainer.write_training_state(&mut w)?;
         Ok(w.flush()?)
     }
 
@@ -195,8 +259,29 @@ impl CostEstimator {
     /// every cached value belongs to the replaced parameters.  On error the
     /// estimator is left untouched.
     pub fn load_checkpoint(&mut self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        self.load_checkpoint_impl(path.as_ref(), false)
+    }
+
+    /// Restore a checkpoint **including its training state**, so a
+    /// following [`CostEstimator::fit_resumed`] continues the interrupted
+    /// run — with the same samples and hyper-parameters, bit-identically to
+    /// never having stopped (Adam moments and step counter, the schedule's
+    /// replayed RNG position and the early-stop state all come back).
+    ///
+    /// Fails with [`CheckpointError::Unsupported`] on a v1 file or a v2
+    /// file saved without training state (e.g. from a loaded-not-trained
+    /// estimator): those are model-only checkpoints — use
+    /// [`CostEstimator::load_checkpoint`].
+    pub fn resume_from_checkpoint(&mut self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        self.load_checkpoint_impl(path.as_ref(), true)
+    }
+
+    fn load_checkpoint_impl(&mut self, path: &Path, resume: bool) -> Result<(), CheckpointError> {
         let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
-        ckpt::read_header(&mut r, ckpt::KIND_TREE_ESTIMATOR)?;
+        let version = ckpt::read_header(&mut r, ckpt::KIND_TREE_ESTIMATOR)?;
+        if resume && version < 2 {
+            return Err(CheckpointError::Unsupported("v1 checkpoints carry no training state to resume from"));
+        }
         let model_config = checkpoint::read_model_config(&mut r)?;
         let normalization = checkpoint::read_normalization(&mut r)?;
         let vocab = checkpoint::read_vocab(&mut r)?;
@@ -204,12 +289,21 @@ impl CostEstimator {
         checkpoint::verify_encoder_fingerprint(&mut r, &self.extractor)?;
         let mut model = TreeModel::new(self.extractor.config(), model_config);
         model.params.load_values_from(&mut r)?;
+        let mut trainer = Trainer::from_parts(model, normalization, self.train_config);
+        if version >= 2 {
+            // Always consume and validate the training-state block — a
+            // truncated or corrupt tail must fail the load — and keep the
+            // restored progress, so a loaded checkpoint stays resumable.
+            let has_state = trainer.read_training_state(&mut r)?;
+            if resume && !has_state {
+                return Err(CheckpointError::Unsupported("checkpoint was saved without training state"));
+            }
+        }
         self.model_config = model_config;
-        self.trainer = Some(Trainer::from_parts(model, normalization, self.train_config));
+        self.trainer = Some(trainer);
         // Same invalidation as re-fit: cached estimates and subtree states
         // belong to the parameters this load just replaced.
-        self.pool.clear();
-        self.subtree_cache.clear();
+        self.invalidate_caches();
         Ok(())
     }
 }
@@ -235,8 +329,14 @@ impl Estimator for CostEstimator {
 
     fn estimate_many(&self, plans: &[PlanNode]) -> Vec<PlanEstimate> {
         let caps = self.capabilities();
+        if plans.is_empty() {
+            return Vec::new();
+        }
         let encoded: Vec<EncodedPlan> = plans.iter().map(|p| self.encode(p)).collect();
-        self.estimate_encoded_batch(&encoded)
+        // The memoized path: bit-identical to `estimate_encoded_batch`, and
+        // trait-driven serving (catalog sessions, coalesced admission
+        // batches) shares the subtree cache across calls for free.
+        self.estimate_encoded_batch_memo(&encoded)
             .into_iter()
             .map(|(cost, card)| PlanEstimate {
                 cost: caps.cost.then_some(cost),
@@ -264,30 +364,39 @@ impl TrainableEstimator for CostEstimator {
     }
 }
 
-/// A borrowed, thread-shareable view of a fitted estimator for
+/// An owned, thread-shareable view of a fitted estimator for
 /// optimizer-in-the-loop serving: the tree model, the target normalization
-/// and the shared subtree-state cache, with nothing else attached (in
-/// particular no feature extractor, whose string encoder need not be
-/// thread-safe).  Obtain one per worker thread via [`CostEstimator::serving`]
-/// — the handle is `Copy`, and all its referents are immutable or sharded.
-#[derive(Clone, Copy)]
-pub struct ServingEstimator<'a> {
-    model: &'a TreeModel,
-    normalization: &'a TargetNormalization,
-    cache: &'a SubtreeStateCache,
+/// and the shared subtree-state cache — held by `Arc`, with nothing else
+/// attached.  Obtain one via [`CostEstimator::serving`]; clones share the
+/// same weights and cache.  Because the handle **owns** its referents, it
+/// outlives the estimator/trainer that minted it: a model catalog can drop
+/// or hot-swap the source estimator while in-flight sessions finish on
+/// their pinned handle, and a re-fit/checkpoint-load never mutates weights
+/// under a live handle (training copies-on-write, cache invalidation swaps
+/// in a fresh `Arc`).
+#[derive(Clone)]
+pub struct ServingEstimator {
+    model: Arc<TreeModel>,
+    normalization: TargetNormalization,
+    cache: Arc<SubtreeStateCache>,
 }
 
-impl<'a> ServingEstimator<'a> {
+impl ServingEstimator {
     /// Score a batch of candidate plans with subtree memoization
     /// ([`crate::batch::estimate_batch_memo`]); `(cost, cardinality)` per
     /// plan, in input order.
     pub fn estimate_encoded_batch(&self, plans: &[&EncodedPlan]) -> Vec<(f64, f64)> {
-        estimate_batch_memo(self.model, &self.model.params, self.normalization, plans, self.cache)
+        estimate_batch_memo(&self.model, &self.model.params, &self.normalization, plans, self.cache.as_ref())
     }
 
     /// The shared subtree-state cache (for hit-rate reporting).
-    pub fn cache(&self) -> &'a SubtreeStateCache {
-        self.cache
+    pub fn cache(&self) -> &SubtreeStateCache {
+        self.cache.as_ref()
+    }
+
+    /// The pinned model weights (shared with every clone of this handle).
+    pub fn model(&self) -> &TreeModel {
+        self.model.as_ref()
     }
 }
 
@@ -583,6 +692,95 @@ mod tests {
             let (c, k) = est.estimate_encoded(enc);
             assert!((c.ln() - bc.ln()).abs() < 1e-3);
             assert!((k.ln() - bk.ln()).abs() < 1e-3);
+        }
+    }
+
+    mod resume_property {
+        //! Satellite guard: `fit` for N epochs must be **bit-identical** to
+        //! `fit` for k epochs → `save_checkpoint` → `resume_from_checkpoint`
+        //! into a fresh estimator → `fit_resumed` for the remaining N−k —
+        //! same estimates to the bit, and the resumed epoch curve equal to
+        //! the uninterrupted run's tail.  All (N, k) combinations in range
+        //! are verified once; repeated proptest cases hit the memo.
+
+        use super::*;
+        use proptest::prelude::*;
+        use std::collections::HashSet;
+        use std::sync::{Mutex, OnceLock};
+
+        struct Fixture {
+            db: Arc<imdb::Database>,
+            plans: Vec<PlanNode>,
+            verified: Mutex<HashSet<(usize, usize)>>,
+        }
+
+        fn fixture() -> &'static Fixture {
+            static FIX: OnceLock<Fixture> = OnceLock::new();
+            FIX.get_or_init(|| {
+                let db = Arc::new(generate_imdb(GeneratorConfig::tiny()));
+                let plans = executed_plans(&db, 24);
+                Fixture { db, plans, verified: Mutex::new(HashSet::new()) }
+            })
+        }
+
+        fn estimator_with_epochs(db: &Arc<imdb::Database>, epochs: usize) -> CostEstimator {
+            let cfg = EncodingConfig::from_database(db, 8, 32);
+            let fx = FeatureExtractor::new(db.clone(), cfg, Arc::new(HashBitmapEncoder::new(8)));
+            CostEstimator::new(
+                fx,
+                ModelConfig { feature_embed_dim: 8, hidden_dim: 12, estimation_hidden_dim: 8, ..Default::default() },
+                TrainConfig { epochs, batch_size: 8, learning_rate: 0.005, ..Default::default() },
+            )
+        }
+
+        fn verify_combo(fixture: &Fixture, n: usize, k: usize) {
+            let plans = &fixture.plans;
+            // The uninterrupted reference run: N epochs in one sitting.
+            let mut uninterrupted = estimator_with_epochs(&fixture.db, n);
+            let full_stats = uninterrupted.fit(plans);
+            let encoded: Vec<EncodedPlan> = plans.iter().map(|p| uninterrupted.encode(p)).collect();
+            let want = bits(&uninterrupted.estimate_encoded_batch_memo(&encoded));
+
+            // The interrupted run: k epochs, checkpoint, process "restart".
+            let mut interrupted = estimator_with_epochs(&fixture.db, k);
+            interrupted.fit(plans);
+            assert!(interrupted.is_resumable());
+            let path = std::env::temp_dir().join(format!("e2e-resume-{}-{n}-{k}.ckpt", std::process::id()));
+            interrupted.save_checkpoint(&path).expect("save mid-training checkpoint");
+            drop(interrupted);
+
+            let mut resumed = estimator_with_epochs(&fixture.db, n);
+            resumed.resume_from_checkpoint(&path).expect("resume");
+            let _ = std::fs::remove_file(&path);
+            assert!(resumed.is_resumable());
+            let tail_stats = resumed.fit_resumed(plans);
+
+            assert_eq!(tail_stats.len(), full_stats.len() - k, "resume must run exactly the remaining epochs");
+            for (tail, full) in tail_stats.iter().zip(&full_stats[k..]) {
+                assert_eq!(tail.epoch, full.epoch, "resumed epoch numbering must continue");
+                assert_eq!(
+                    tail.train_loss.to_bits(),
+                    full.train_loss.to_bits(),
+                    "epoch {} loss diverged after resume (N={n}, k={k})",
+                    full.epoch
+                );
+            }
+            assert_eq!(
+                bits(&resumed.estimate_encoded_batch_memo(&encoded)),
+                want,
+                "resumed training must be bit-identical to uninterrupted (N={n}, k={k})"
+            );
+        }
+
+        proptest! {
+            #[test]
+            fn resumed_training_is_bit_identical_to_uninterrupted(n in 2usize..5, k_sel in 0usize..8) {
+                let fixture = fixture();
+                let k = 1 + k_sel % (n - 1);
+                if fixture.verified.lock().expect("memo").insert((n, k)) {
+                    verify_combo(fixture, n, k);
+                }
+            }
         }
     }
 

@@ -51,18 +51,36 @@ impl Hasher for IdentityHasher {
     }
 }
 
-type SigMap<V> = HashMap<u64, V, BuildHasherDefault<IdentityHasher>>;
+/// One cached value plus its insertion sequence number (shard-local,
+/// monotonically increasing) — the recency the eviction policy keeps.
+#[derive(Debug)]
+struct Entry<V> {
+    value: V,
+    seq: u64,
+}
+
+type SigMap<V> = HashMap<u64, Entry<V>, BuildHasherDefault<IdentityHasher>>;
+
+#[derive(Debug)]
+struct ShardInner<V> {
+    map: SigMap<V>,
+    next_seq: u64,
+}
 
 #[derive(Debug)]
 struct Shard<V> {
-    map: RwLock<SigMap<V>>,
+    inner: RwLock<ShardInner<V>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl<V> Default for Shard<V> {
     fn default() -> Self {
-        Shard { map: RwLock::new(SigMap::default()), hits: AtomicU64::new(0), misses: AtomicU64::new(0) }
+        Shard {
+            inner: RwLock::new(ShardInner { map: SigMap::default(), next_seq: 0 }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
     }
 }
 
@@ -70,10 +88,15 @@ impl<V> Default for Shard<V> {
 /// sharded by middle bits of the key, with per-shard atomic hit/miss
 /// counters.
 ///
-/// Bounded: when an insert would push a shard past its per-shard cap the
-/// shard is dropped wholesale (the caches are advisory — evicting costs a
-/// re-computation, never correctness), which bounds memory without any
-/// per-entry LRU bookkeeping on the hot path.
+/// Bounded: when an insert would push a shard past its per-shard cap, the
+/// **oldest-inserted half** of the shard is dropped and the
+/// most-recently-inserted half retained (the caches are advisory — evicting
+/// costs a re-computation, never correctness).  An earlier version dropped
+/// the whole shard, which discarded the very states the current enumeration
+/// had just memoized and collapsed the hit rate exactly when the cache was
+/// under pressure; keeping the recent half preserves the working set while
+/// still bounding memory, with no per-lookup LRU bookkeeping on the hot
+/// path (recency is stamped on insert only).
 #[derive(Debug)]
 pub struct ShardedCache<V> {
     shards: Box<[Shard<V>; NUM_SHARDS]>,
@@ -106,7 +129,7 @@ impl<V: Clone> ShardedCache<V> {
     /// Look up a signature, counting a hit or a miss in the shard's atomics.
     pub fn get(&self, key: u64) -> Option<V> {
         let shard = self.shard(key);
-        let found = shard.map.read().get(&key).cloned();
+        let found = shard.inner.read().map.get(&key).map(|e| e.value.clone());
         // Relaxed atomics: statistics never acquire a lock of their own
         // (and need none — approximate global ordering is fine for stats).
         if found.is_some() {
@@ -119,24 +142,39 @@ impl<V: Clone> ShardedCache<V> {
 
     /// Store a value under a signature (last writer wins on a race; both
     /// writers computed the value from the same sub-plan, so the values are
-    /// interchangeable).
+    /// interchangeable).  Re-inserting an existing key refreshes its
+    /// recency.  When the shard is full, the oldest-inserted half is
+    /// evicted first.
     pub fn insert(&self, key: u64, value: V) {
         let shard = self.shard(key);
-        let mut map = shard.map.write();
-        if map.len() >= self.max_per_shard && !map.contains_key(&key) {
-            map.clear();
+        let mut inner = shard.inner.write();
+        if inner.map.len() >= self.max_per_shard && !inner.map.contains_key(&key) {
+            // Evict the oldest-inserted entries, keeping the newest
+            // `max_per_shard / 2` — sequence numbers are unique, so the
+            // cutoff retains exactly that many.
+            let keep = self.max_per_shard / 2;
+            if keep == 0 {
+                inner.map.clear();
+            } else {
+                let mut seqs: Vec<u64> = inner.map.values().map(|e| e.seq).collect();
+                let cut_idx = seqs.len() - keep;
+                let (_, &mut cutoff, _) = seqs.select_nth_unstable(cut_idx);
+                inner.map.retain(|_, e| e.seq >= cutoff);
+            }
         }
-        map.insert(key, value);
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.map.insert(key, Entry { value, seq });
     }
 
     /// Number of cached entries across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.map.read().len()).sum()
+        self.shards.iter().map(|s| s.inner.read().map.len()).sum()
     }
 
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.map.read().is_empty())
+        self.shards.iter().all(|s| s.inner.read().map.is_empty())
     }
 
     /// `(hits, misses)` lookup counters summed over all shards.
@@ -153,7 +191,9 @@ impl<V: Clone> ShardedCache<V> {
     /// Drop all cached entries and reset the counters.
     pub fn clear(&self) {
         for s in self.shards.iter() {
-            s.map.write().clear();
+            let mut inner = s.inner.write();
+            inner.map.clear();
+            inner.next_seq = 0;
             s.hits.store(0, Ordering::Relaxed);
             s.misses.store(0, Ordering::Relaxed);
         }
@@ -354,6 +394,64 @@ mod tests {
         }
         assert!(cache.len() <= 8 * NUM_SHARDS, "cache grew past its bound: {}", cache.len());
         assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn eviction_retains_the_most_recently_inserted_half() {
+        // One shard's worth of keys (same middle bits), tiny capacity.
+        let cache: ShardedCache<u64> = ShardedCache::with_shard_capacity(8);
+        let key = |i: u64| i; // middle bits zero for i < 2^32: all in shard 0
+        for i in 0..8 {
+            cache.insert(key(i), i);
+        }
+        assert_eq!(cache.len(), 8);
+        // The 9th insert evicts the OLDEST half (0..4), never the newest.
+        cache.insert(key(8), 8);
+        assert_eq!(cache.len(), 5);
+        for old in 0..4 {
+            assert!(cache.get(key(old)).is_none(), "oldest entry {old} must be evicted");
+        }
+        for recent in 4..9 {
+            assert_eq!(cache.get(key(recent)), Some(recent), "recent entry {recent} must survive eviction");
+        }
+        // Re-inserting refreshes recency: touch 4 so it outlives 5.
+        cache.insert(key(4), 44);
+        for i in 9..12 {
+            cache.insert(key(i), i);
+        }
+        cache.insert(key(12), 12); // triggers the next eviction at len 8
+        assert_eq!(cache.get(key(4)), Some(44), "re-inserted key must be treated as recent");
+        assert!(cache.get(key(5)).is_none(), "stale key must go first");
+    }
+
+    /// Satellite regression: hit rate under capacity pressure.  The serving
+    /// access pattern is phased — an enumeration memoizes a handful of new
+    /// subtree states, and the very next candidates look those states up
+    /// again.  The old policy dropped the **whole shard** on overflow, so an
+    /// overflow landing mid-phase discarded states inserted moments earlier
+    /// and the following lookups re-missed them; retaining the
+    /// most-recently-inserted half guarantees the current phase's states
+    /// always survive the eviction that their own inserts trigger.
+    #[test]
+    fn hit_rate_under_pressure_keeps_current_phase_resident() {
+        let cache: ShardedCache<u64> = ShardedCache::with_shard_capacity(16);
+        let mut lookups = 0u64;
+        // Phase width 5 does not divide the capacity, so overflows land at
+        // every offset within a phase over the course of the run.
+        for phase in 0..200u64 {
+            let keys: Vec<u64> = (0..5).map(|i| phase * 5 + i).collect();
+            for &k in &keys {
+                cache.insert(k, k);
+            }
+            for &k in &keys {
+                assert!(cache.get(k).is_some(), "state inserted this phase was evicted by its own phase's overflow");
+                lookups += 1;
+            }
+        }
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (lookups, 0), "every in-phase lookup must hit under pressure");
+        // And the cache stayed bounded the whole time.
+        assert!(cache.len() <= 16);
     }
 
     /// Satellite guard: N threads hammer one pool with interleaved inserts

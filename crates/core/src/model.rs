@@ -80,12 +80,18 @@ impl Default for ModelConfig {
     }
 }
 
+#[derive(Clone)]
 enum RepresentationCell {
     Lstm(TreeLstmCell),
     Nn(TreeNnCell),
 }
 
 /// The assembled tree model: all parameters plus the layer definitions.
+///
+/// `Clone` exists for copy-on-write training: the trainer holds the model in
+/// an `Arc`, and resuming training while an owned serving handle still pins
+/// the weights clones the store once instead of mutating under the handle.
+#[derive(Clone)]
 pub struct TreeModel {
     pub config: ModelConfig,
     pub params: ParamStore,

@@ -13,9 +13,11 @@ use crate::model::{TaskMode, TreeModel};
 use featurize::EncodedPlan;
 use metrics::q_error;
 pub use metrics::EpochStats;
+use nn::checkpoint::CheckpointError;
 use nn::loss::NormalizationStats;
 use nn::{Adam, EarlyStop, Graph, Matrix, MiniBatchSchedule, Optimizer};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Training hyper-parameters.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -60,23 +62,62 @@ impl TargetNormalization {
     }
 }
 
+/// The mutable training state that survives a `train` call — and, through a
+/// v2 checkpoint, a process restart.  The per-parameter Adam moments live in
+/// the model's `ParamStore`; this carries everything else an interrupted run
+/// needs to continue **bit-identically**: how many epochs are done (the
+/// schedule's RNG stream is replayed up to there), the optimizer's step
+/// counter, and the early-stop position.
+#[derive(Debug, Clone)]
+pub struct TrainProgress {
+    pub(crate) epochs_done: usize,
+    pub(crate) optimizer: Adam,
+    pub(crate) early_stop: EarlyStop,
+    pub(crate) stopped_early: bool,
+}
+
+impl TrainProgress {
+    fn fresh(config: &TrainConfig) -> Self {
+        TrainProgress {
+            epochs_done: 0,
+            optimizer: Adam::new(config.learning_rate),
+            early_stop: EarlyStop::new(config.early_stop_patience),
+            stopped_early: false,
+        }
+    }
+}
+
 /// Trainer: owns the model, the optimizer state and the normalization.
+///
+/// The model sits behind an `Arc` so serving handles
+/// ([`crate::ServingEstimator`]) own the weights independently of the
+/// trainer's lifetime; training mutates via copy-on-write
+/// (`Arc::make_mut`), which is free while no handle is outstanding and
+/// leaves outstanding handles pinned to the pre-training weights otherwise.
 pub struct Trainer {
-    pub model: TreeModel,
+    pub model: Arc<TreeModel>,
     pub normalization: TargetNormalization,
     config: TrainConfig,
+    progress: Option<TrainProgress>,
 }
 
 impl Trainer {
     /// Create a trainer; normalization is fitted on `samples`.
     pub fn new(model: TreeModel, samples: &[EncodedPlan], config: TrainConfig) -> Self {
-        Trainer { model, normalization: TargetNormalization::fit(samples), config }
+        Trainer { model: Arc::new(model), normalization: TargetNormalization::fit(samples), config, progress: None }
     }
 
     /// Reassemble a trainer around an already-parameterized model and a
     /// previously-fitted normalization — the checkpoint-restore path.
     pub fn from_parts(model: TreeModel, normalization: TargetNormalization, config: TrainConfig) -> Self {
-        Trainer { model, normalization, config }
+        Trainer { model: Arc::new(model), normalization, config, progress: None }
+    }
+
+    /// True when the trainer carries resumable training state (it trained
+    /// in this process, or was restored from a v2 checkpoint with state);
+    /// false after a model-only checkpoint load.
+    pub fn is_resumable(&self) -> bool {
+        self.progress.is_some()
     }
 
     /// Train on `samples`, returning per-epoch statistics.  A
@@ -84,6 +125,13 @@ impl Trainer {
     /// evaluated after each epoch; with `early_stop_patience` set, training
     /// stops once the validation metric goes that many epochs without
     /// improving.
+    ///
+    /// A fresh trainer runs epochs `0..config.epochs`.  A trainer carrying
+    /// restored [`TrainProgress`] (resumed from a v2 checkpoint) continues
+    /// at `epochs_done` and — given the same samples and hyper-parameters —
+    /// reproduces the uninterrupted run bit for bit: the schedule's RNG
+    /// stream is replayed through the completed epochs, and the Adam
+    /// moments/step counter were restored with the parameters.
     pub fn train(&mut self, samples: &[EncodedPlan]) -> Vec<EpochStats> {
         let mut schedule = MiniBatchSchedule::new(
             samples.len(),
@@ -91,23 +139,29 @@ impl Trainer {
             self.config.batch_size,
             self.config.seed,
         );
-        let mut early_stop = EarlyStop::new(self.config.early_stop_patience);
-        let mut optimizer = Adam::new(self.config.learning_rate);
-        let mut stats = Vec::with_capacity(self.config.epochs);
+        let mut progress = self.progress.take().unwrap_or_else(|| TrainProgress::fresh(&self.config));
+        // Re-walk the shuffles of already-completed epochs: the schedule's
+        // RNG continues exactly where the interrupted run left it.
+        for _ in 0..progress.epochs_done {
+            let _ = schedule.epoch_batches();
+        }
+        let mut stats = Vec::with_capacity(self.config.epochs.saturating_sub(progress.epochs_done));
         // One tape reused across every mini-batch of every epoch: after the
         // first batch the forward pass draws all buffers from the pool.
         let mut g = Graph::new();
 
-        for epoch in 0..self.config.epochs {
+        while !progress.stopped_early && progress.epochs_done < self.config.epochs {
+            let epoch = progress.epochs_done;
             let started = std::time::Instant::now();
             let mut epoch_loss = 0.0;
             let mut seen = 0usize;
             for batch_idx in schedule.epoch_batches() {
-                self.model.params.zero_grad();
+                let model = Arc::make_mut(&mut self.model);
+                model.params.zero_grad();
                 g.reset();
-                epoch_loss += self.train_batch(&mut g, samples, batch_idx);
+                epoch_loss += Self::train_batch(model, &self.normalization, &mut g, samples, batch_idx);
                 seen += batch_idx.len();
-                optimizer.step(&mut self.model.params);
+                progress.optimizer.step(&mut Arc::make_mut(&mut self.model).params);
             }
             let (card_q, cost_q) = self.validation_error(samples, schedule.validation());
             let epoch_stats = EpochStats {
@@ -117,11 +171,14 @@ impl Trainer {
                 validation_cost_qerror_mean: cost_q,
                 wall_time_secs: started.elapsed().as_secs_f64(),
             };
+            progress.epochs_done = epoch + 1;
+            let metric = self.validation_metric(&epoch_stats);
             stats.push(epoch_stats);
-            if early_stop.observe(self.validation_metric(&epoch_stats)) {
-                break;
+            if progress.early_stop.observe(metric) {
+                progress.stopped_early = true;
             }
         }
+        self.progress = Some(progress);
         stats
     }
 
@@ -136,21 +193,27 @@ impl Trainer {
 
     /// One level-batched forward + one two-head backward sweep over a
     /// mini-batch; returns the summed loss.
-    fn train_batch(&mut self, g: &mut Graph, samples: &[EncodedPlan], batch_idx: &[usize]) -> f64 {
+    fn train_batch(
+        model: &mut TreeModel,
+        normalization: &TargetNormalization,
+        g: &mut Graph,
+        samples: &[EncodedPlan],
+        batch_idx: &[usize],
+    ) -> f64 {
         let batch: Vec<&EncodedPlan> = batch_idx.iter().map(|&si| &samples[si]).collect();
-        let (cost_out, card_out) = forward_batch(&self.model, &self.model.params, g, &batch);
+        let (cost_out, card_out) = forward_batch(model, &model.params, g, &batch);
 
-        let task = self.model.config.task;
-        let omega = self.model.config.cost_loss_weight as f32;
+        let task = model.config.task;
+        let omega = model.config.cost_loss_weight as f32;
         let n = batch.len();
         let mut loss = 0.0f64;
         let mut seeds = Vec::with_capacity(2);
         if matches!(task, TaskMode::CostOnly | TaskMode::Multitask) {
             let mut seed = Matrix::zeros(1, n);
             for (j, sample) in batch.iter().enumerate() {
-                let target = self.normalization.cost.normalize(sample.true_cost);
-                let (l, grad) = self.normalization.cost.loss_and_grad(g.value(cost_out).get(0, j), target);
-                loss += self.model.config.cost_loss_weight * l;
+                let target = normalization.cost.normalize(sample.true_cost);
+                let (l, grad) = normalization.cost.loss_and_grad(g.value(cost_out).get(0, j), target);
+                loss += model.config.cost_loss_weight * l;
                 seed.set(0, j, omega * grad);
             }
             seeds.push((cost_out, seed));
@@ -158,14 +221,14 @@ impl Trainer {
         if matches!(task, TaskMode::CardinalityOnly | TaskMode::Multitask) {
             let mut seed = Matrix::zeros(1, n);
             for (j, sample) in batch.iter().enumerate() {
-                let target = self.normalization.cardinality.normalize(sample.true_cardinality);
-                let (l, grad) = self.normalization.cardinality.loss_and_grad(g.value(card_out).get(0, j), target);
+                let target = normalization.cardinality.normalize(sample.true_cardinality);
+                let (l, grad) = normalization.cardinality.loss_and_grad(g.value(card_out).get(0, j), target);
                 loss += l;
                 seed.set(0, j, grad);
             }
             seeds.push((card_out, seed));
         }
-        g.backward_multi(seeds, &mut self.model.params);
+        g.backward_multi(seeds, &mut model.params);
         loss
     }
 
@@ -201,6 +264,53 @@ impl Trainer {
             f64::NAN
         };
         (card_q, cost_q)
+    }
+
+    /// Append the v2 training-state block: a presence flag, then — when the
+    /// trainer actually trained — the schedule position, the Adam step
+    /// counter, the early-stop state and the per-parameter moment payloads.
+    /// A model-only trainer (fresh `from_parts`, e.g. after a plain
+    /// checkpoint load) writes just the absent flag.
+    pub(crate) fn write_training_state(&self, w: &mut impl std::io::Write) -> Result<(), CheckpointError> {
+        use nn::checkpoint as ckpt;
+        let Some(progress) = &self.progress else {
+            return ckpt::write_u8(w, 0);
+        };
+        ckpt::write_u8(w, 1)?;
+        ckpt::write_u64(w, progress.epochs_done as u64)?;
+        ckpt::write_u64(w, progress.optimizer.step_count())?;
+        let (best, since_best) = progress.early_stop.state();
+        ckpt::write_f64(w, best)?;
+        ckpt::write_u64(w, since_best as u64)?;
+        ckpt::write_u8(w, progress.stopped_early as u8)?;
+        self.model.params.save_moments_to(w)
+    }
+
+    /// Read a training-state block written by
+    /// [`Trainer::write_training_state`], restoring the optimizer moments
+    /// into this trainer's param store and the progress so the next `train`
+    /// call resumes.  Returns whether the block carried any state.
+    pub(crate) fn read_training_state(&mut self, r: &mut impl std::io::Read) -> Result<bool, CheckpointError> {
+        use nn::checkpoint as ckpt;
+        if ckpt::read_u8(r, "training-state flag")? == 0 {
+            self.progress = None;
+            return Ok(false);
+        }
+        let epochs_done = ckpt::read_u64(r, "epochs done")? as usize;
+        let step_count = ckpt::read_u64(r, "optimizer step count")?;
+        let best = ckpt::read_f64(r, "early-stop best metric")?;
+        let since_best = ckpt::read_u64(r, "early-stop epochs since best")? as usize;
+        let stopped_early = ckpt::read_u8(r, "early-stop stopped flag")? != 0;
+        Arc::make_mut(&mut self.model).params.load_moments_from(r)?;
+        let mut optimizer = Adam::new(self.config.learning_rate);
+        optimizer.set_step_count(step_count);
+        self.progress = Some(TrainProgress {
+            epochs_done,
+            optimizer,
+            early_stop: EarlyStop::from_state(self.config.early_stop_patience, best, since_best),
+            stopped_early,
+        });
+        Ok(true)
     }
 
     /// Estimate (denormalized) `(cost, cardinality)` for one encoded plan via

@@ -65,6 +65,69 @@ impl MscnEstimator {
         stats
     }
 
+    /// Restore a checkpoint including its training state, so
+    /// [`MscnEstimator::fit_resumed`] can continue the interrupted run.
+    /// Verifies the vocabulary exactly like
+    /// [`Estimator::load_checkpoint_from`]; fails with
+    /// [`CheckpointError::Unsupported`] on a v1 or model-only file.  On any
+    /// error the estimator is left untouched.
+    pub fn resume_from_checkpoint(&mut self, path: &Path) -> Result<(), CheckpointError> {
+        self.load_impl(path, true)
+    }
+
+    fn load_impl(&mut self, path: &Path, require_state: bool) -> Result<(), CheckpointError> {
+        // One pass over the stream: the trainer body, then the vocab section
+        // the save appended.  Everything is verified before `self` changes.
+        let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
+        let trainer = MscnTrainer::load_checkpoint_from(&mut r)?;
+        if require_state && !trainer.is_resumable() {
+            return Err(CheckpointError::Unsupported("checkpoint carries no MSCN training state to resume from"));
+        }
+        let vocab = vocab_ckpt::read_vocab(&mut r)?;
+        vocab.verify(self.featurizer.config(), self.featurizer.use_sample_bitmap)?;
+        if trainer.model.table_dim() != self.featurizer.table_dim()
+            || trainer.model.join_dim() != self.featurizer.join_dim()
+            || trainer.model.predicate_dim() != self.featurizer.predicate_dim()
+        {
+            return Err(CheckpointError::VocabMismatch("MSCN set-element widths differ".into()));
+        }
+        // Adopt only what describes the loaded weights: the served target
+        // (capabilities must match the checkpoint) and the architecture
+        // width a re-fit would rebuild.  Training hyper-parameters (epochs,
+        // learning rate, splits, patience, seed) stay the caller's — same
+        // policy as `CostEstimator::load_checkpoint`, which keeps its
+        // `TrainConfig` and restores only the model configuration.
+        self.config.predict_cost = trainer.model.config.predict_cost;
+        self.config.hidden_dim = trainer.model.config.hidden_dim;
+        self.trainer = Some(trainer);
+        Ok(())
+    }
+
+    /// Continue an interrupted training run (after
+    /// [`MscnEstimator::resume_from_checkpoint`]) until `config.epochs`
+    /// total epochs are done — bit-identical to an uninterrupted fit given
+    /// the same plans and hyper-parameters.  Unlike [`MscnEstimator::fit`],
+    /// nothing is re-initialized.
+    ///
+    /// # Panics
+    /// Panics if there is nothing to resume: no trainer, or a trainer
+    /// without resumable training state (a model-only v1 load) — restarting
+    /// from epoch 0 would masquerade as a continuation.
+    pub fn fit_resumed(&mut self, plans: &[PlanNode]) -> Vec<EpochStats> {
+        let sets: Vec<QuerySets> = plans.iter().map(|p| self.featurizer.featurize(p)).collect();
+        let trainer = self.trainer.as_mut().expect("MscnEstimator::fit_resumed called with nothing to resume");
+        assert!(
+            trainer.is_resumable(),
+            "MscnEstimator::fit_resumed called with nothing to resume: \
+             the checkpoint carried no resumable training state"
+        );
+        // The caller's epoch budget is the resumed target; every other
+        // hyper-parameter comes from the checkpoint and must match the
+        // interrupted run for bit-identical continuation.
+        trainer.model.config.epochs = self.config.epochs;
+        trainer.train(&sets)
+    }
+
     fn fitted(&self) -> &MscnTrainer {
         self.trainer.as_ref().expect("MscnEstimator used before fit")
     }
@@ -112,28 +175,7 @@ impl Estimator for MscnEstimator {
     }
 
     fn load_checkpoint_from(&mut self, path: &Path) -> Result<(), CheckpointError> {
-        // One pass over the stream: the trainer body, then the vocab section
-        // the save appended.  Everything is verified before `self` changes.
-        let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
-        let trainer = MscnTrainer::load_checkpoint_from(&mut r)?;
-        let vocab = vocab_ckpt::read_vocab(&mut r)?;
-        vocab.verify(self.featurizer.config(), self.featurizer.use_sample_bitmap)?;
-        if trainer.model.table_dim() != self.featurizer.table_dim()
-            || trainer.model.join_dim() != self.featurizer.join_dim()
-            || trainer.model.predicate_dim() != self.featurizer.predicate_dim()
-        {
-            return Err(CheckpointError::VocabMismatch("MSCN set-element widths differ".into()));
-        }
-        // Adopt only what describes the loaded weights: the served target
-        // (capabilities must match the checkpoint) and the architecture
-        // width a re-fit would rebuild.  Training hyper-parameters (epochs,
-        // learning rate, splits, patience, seed) stay the caller's — same
-        // policy as `CostEstimator::load_checkpoint`, which keeps its
-        // `TrainConfig` and restores only the model configuration.
-        self.config.predict_cost = trainer.model.config.predict_cost;
-        self.config.hidden_dim = trainer.model.config.hidden_dim;
-        self.trainer = Some(trainer);
-        Ok(())
+        self.load_impl(path, false)
     }
 }
 
@@ -204,6 +246,87 @@ mod tests {
         assert!(one.cardinality.expect("card slot").is_finite());
         let many = est.estimate_many(&plans);
         assert_eq!(many.len(), plans.len());
+    }
+
+    mod resume_property {
+        //! Satellite guard (MSCN half): `fit` for N epochs bit-identical to
+        //! `fit` for k → checkpoint → `resume_from_checkpoint` →
+        //! `fit_resumed` for N−k.  Distinct (N, k) combos verified once.
+
+        use super::*;
+        use proptest::prelude::*;
+        use std::collections::HashSet;
+        use std::sync::{Mutex, OnceLock};
+
+        fn verified() -> &'static Mutex<HashSet<(usize, usize)>> {
+            static MEMO: OnceLock<Mutex<HashSet<(usize, usize)>>> = OnceLock::new();
+            MEMO.get_or_init(|| Mutex::new(HashSet::new()))
+        }
+
+        fn setup_with_epochs(epochs: usize) -> (MscnEstimator, Vec<PlanNode>) {
+            let (mut est, plans) = setup(false);
+            est.config.epochs = epochs;
+            (est, plans)
+        }
+
+        fn verify_combo(n: usize, k: usize) {
+            let (mut uninterrupted, plans) = setup_with_epochs(n);
+            let full_stats = uninterrupted.fit_plans(&plans);
+            let bits = |est: &MscnEstimator| -> Vec<u64> {
+                est.estimate_many(&plans).iter().map(|e| e.cardinality.expect("card").to_bits()).collect()
+            };
+            let want = bits(&uninterrupted);
+
+            let (mut interrupted, _) = setup_with_epochs(k);
+            interrupted.fit_plans(&plans);
+            let path = std::env::temp_dir().join(format!("e2e-mscn-resume-{}-{n}-{k}.ckpt", std::process::id()));
+            Estimator::save_checkpoint_to(&interrupted, &path).expect("save mid-training checkpoint");
+            drop(interrupted);
+
+            let (mut resumed, _) = setup_with_epochs(n);
+            resumed.resume_from_checkpoint(&path).expect("resume");
+            let _ = std::fs::remove_file(&path);
+            let tail_stats = resumed.fit_resumed(&plans);
+            assert_eq!(tail_stats.len(), full_stats.len() - k);
+            for (tail, full) in tail_stats.iter().zip(&full_stats[k..]) {
+                assert_eq!(tail.epoch, full.epoch);
+                assert_eq!(
+                    tail.train_loss.to_bits(),
+                    full.train_loss.to_bits(),
+                    "MSCN epoch {} loss diverged after resume (N={n}, k={k})",
+                    full.epoch
+                );
+            }
+            assert_eq!(bits(&resumed), want, "resumed MSCN training must be bit-identical (N={n}, k={k})");
+        }
+
+        proptest! {
+            #[test]
+            fn resumed_mscn_training_is_bit_identical(n in 2usize..5, k_sel in 0usize..8) {
+                let k = 1 + k_sel % (n - 1);
+                if verified().lock().expect("memo").insert((n, k)) {
+                    verify_combo(n, k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn model_only_and_stateless_checkpoints_refuse_to_resume() {
+        let (mut est, plans) = setup(false);
+        est.fit_plans(&plans);
+        let path = std::env::temp_dir().join(format!("e2e-mscn-noresume-{}.ckpt", std::process::id()));
+        Estimator::save_checkpoint_to(&est, &path).expect("save");
+        // A loaded checkpoint keeps its training state, so resume works...
+        let (mut resumable, _) = setup(false);
+        resumable.resume_from_checkpoint(&path).expect("v2 with state resumes");
+        // ...but the estimates of a failed resume target stay untouched.
+        let (mut other, _) = setup(false);
+        other.fit_plans(&plans);
+        let before: Vec<_> = other.estimate_many(&plans);
+        assert!(matches!(other.resume_from_checkpoint(&path.with_extension("missing")), Err(CheckpointError::Io(_))));
+        assert_eq!(other.estimate_many(&plans), before);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

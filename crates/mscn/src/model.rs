@@ -170,10 +170,34 @@ impl MscnModel {
     }
 }
 
+/// The training state an interrupted MSCN run needs to continue
+/// bit-identically: schedule position, optimizer step counter (the moments
+/// live in the param store) and early-stop position.  Mirrors
+/// `estimator_core`'s `TrainProgress`.
+#[derive(Debug, Clone)]
+struct MscnProgress {
+    epochs_done: usize,
+    optimizer: Adam,
+    early_stop: EarlyStop,
+    stopped_early: bool,
+}
+
+impl MscnProgress {
+    fn fresh(cfg: &MscnConfig) -> Self {
+        MscnProgress {
+            epochs_done: 0,
+            optimizer: Adam::new(cfg.learning_rate),
+            early_stop: EarlyStop::new(cfg.early_stop_patience),
+            stopped_early: false,
+        }
+    }
+}
+
 /// Trainer for MSCN (single-task, MSE-style loss on normalized log targets).
 pub struct MscnTrainer {
     pub model: MscnModel,
     pub normalization: NormalizationStats,
+    progress: Option<MscnProgress>,
 }
 
 impl MscnTrainer {
@@ -181,7 +205,7 @@ impl MscnTrainer {
     pub fn new(model: MscnModel, samples: &[QuerySets]) -> Self {
         let targets: Vec<f64> =
             samples.iter().map(|s| if model.config.predict_cost { s.true_cost } else { s.true_cardinality }).collect();
-        MscnTrainer { model, normalization: NormalizationStats::fit(&targets) }
+        MscnTrainer { model, normalization: NormalizationStats::fit(&targets), progress: None }
     }
 
     fn target(&self, s: &QuerySets) -> f64 {
@@ -200,14 +224,21 @@ impl MscnTrainer {
     /// [`nn::MiniBatchSchedule`] / [`nn::EarlyStop`] helpers — the same
     /// scaffolding the tree-model trainer runs on.  The q-error slot of the
     /// target MSCN does not train is `f64::NAN`.
+    /// A fresh trainer runs epochs `0..config.epochs`; one carrying restored
+    /// progress (via [`MscnTrainer::resume_from_checkpoint`]) continues at
+    /// `epochs_done`, replaying the schedule's RNG through the completed
+    /// epochs so the resumed run is bit-identical to an uninterrupted one.
     pub fn train(&mut self, samples: &[QuerySets]) -> Vec<EpochStats> {
         let cfg = self.model.config;
         let mut schedule = MiniBatchSchedule::new(samples.len(), cfg.validation_fraction, cfg.batch_size, cfg.seed);
-        let mut early_stop = EarlyStop::new(cfg.early_stop_patience);
-        let mut optimizer = Adam::new(cfg.learning_rate);
-        let mut stats = Vec::with_capacity(cfg.epochs);
+        let mut progress = self.progress.take().unwrap_or_else(|| MscnProgress::fresh(&cfg));
+        for _ in 0..progress.epochs_done {
+            let _ = schedule.epoch_batches();
+        }
+        let mut stats = Vec::with_capacity(cfg.epochs.saturating_sub(progress.epochs_done));
         let val_refs: Vec<&QuerySets> = schedule.validation().iter().map(|&i| &samples[i]).collect();
-        for epoch in 0..cfg.epochs {
+        while !progress.stopped_early && progress.epochs_done < cfg.epochs {
+            let epoch = progress.epochs_done;
             let started = std::time::Instant::now();
             let mut epoch_loss = 0.0;
             let mut seen = 0usize;
@@ -224,7 +255,7 @@ impl MscnTrainer {
                     g.backward(out, Matrix::from_vec(1, 1, vec![grad]), &mut self.model.params);
                 }
                 seen += batch.len();
-                optimizer.step(&mut self.model.params);
+                progress.optimizer.step(&mut self.model.params);
             }
             let val_q = if val_refs.is_empty() {
                 f64::NAN
@@ -234,6 +265,7 @@ impl MscnTrainer {
                     / val_refs.len() as f64
             };
             let (card_q, cost_q) = if cfg.predict_cost { (f64::NAN, val_q) } else { (val_q, f64::NAN) };
+            progress.epochs_done = epoch + 1;
             stats.push(EpochStats {
                 epoch,
                 train_loss: if seen > 0 { epoch_loss / seen as f64 } else { 0.0 },
@@ -241,10 +273,11 @@ impl MscnTrainer {
                 validation_cost_qerror_mean: cost_q,
                 wall_time_secs: started.elapsed().as_secs_f64(),
             });
-            if early_stop.observe(val_q) {
-                break;
+            if progress.early_stop.observe(val_q) {
+                progress.stopped_early = true;
             }
         }
+        self.progress = Some(progress);
         stats
     }
 
@@ -297,7 +330,21 @@ impl MscnTrainer {
         ckpt::write_u64(w, self.model.predicate_dim() as u64)?;
         ckpt::write_f64(w, self.normalization.log_min)?;
         ckpt::write_f64(w, self.normalization.log_max)?;
-        self.model.params.save_to(w)
+        self.model.params.save_to(w)?;
+        // v2 training-state block: presence flag, then the resumable state.
+        match &self.progress {
+            None => ckpt::write_u8(w, 0),
+            Some(p) => {
+                ckpt::write_u8(w, 1)?;
+                ckpt::write_u64(w, p.epochs_done as u64)?;
+                ckpt::write_u64(w, p.optimizer.step_count())?;
+                let (best, since_best) = p.early_stop.state();
+                ckpt::write_f64(w, best)?;
+                ckpt::write_u64(w, since_best as u64)?;
+                ckpt::write_u8(w, p.stopped_early as u8)?;
+                self.model.params.save_moments_to(w)
+            }
+        }
     }
 
     /// [`MscnTrainer::save_checkpoint_to`] into a file.
@@ -313,7 +360,7 @@ impl MscnTrainer {
     /// retraining.  The reader is left positioned after the parameter
     /// payload, so callers can read any sections they appended.
     pub fn load_checkpoint_from(r: &mut impl std::io::Read) -> Result<MscnTrainer, CheckpointError> {
-        ckpt::read_header(r, ckpt::KIND_MSCN)?;
+        let version = ckpt::read_header(r, ckpt::KIND_MSCN)?;
         let hidden_dim = ckpt::read_u64(r, "hidden dim")? as usize;
         let epochs = ckpt::read_u64(r, "epochs")? as usize;
         let batch_size = ckpt::read_u64(r, "batch size")? as usize;
@@ -342,12 +389,51 @@ impl MscnTrainer {
         };
         let mut model = MscnModel::new(table_dim, join_dim, pred_dim, config);
         model.params.load_values_from(r)?;
-        Ok(MscnTrainer { model, normalization })
+        // The v2 training-state block sits between the parameters and any
+        // caller-appended sections, so it must be consumed even by a
+        // model-only load; v1 files simply do not have it.
+        let progress = if version >= 2 && ckpt::read_u8(r, "training-state flag")? != 0 {
+            let epochs_done = ckpt::read_u64(r, "epochs done")? as usize;
+            let step_count = ckpt::read_u64(r, "optimizer step count")?;
+            let best = ckpt::read_f64(r, "early-stop best metric")?;
+            let since_best = ckpt::read_u64(r, "early-stop epochs since best")? as usize;
+            let stopped_early = ckpt::read_u8(r, "early-stop stopped flag")? != 0;
+            model.params.load_moments_from(r)?;
+            let mut optimizer = Adam::new(config.learning_rate);
+            optimizer.set_step_count(step_count);
+            Some(MscnProgress {
+                epochs_done,
+                optimizer,
+                early_stop: EarlyStop::from_state(config.early_stop_patience, best, since_best),
+                stopped_early,
+            })
+        } else {
+            None
+        };
+        Ok(MscnTrainer { model, normalization, progress })
     }
 
     /// [`MscnTrainer::load_checkpoint_from`] out of a file.
     pub fn load_checkpoint(path: impl AsRef<Path>) -> Result<MscnTrainer, CheckpointError> {
         Self::load_checkpoint_from(&mut std::io::BufReader::new(std::fs::File::open(path)?))
+    }
+
+    /// Restore a trainer **with its training state** so a following
+    /// [`MscnTrainer::train`] call continues the interrupted run —
+    /// bit-identically, given the same samples and hyper-parameters (bump
+    /// `model.config.epochs` to the full target first).  Fails with
+    /// [`CheckpointError::Unsupported`] on a v1 or model-only checkpoint.
+    pub fn resume_from_checkpoint(path: impl AsRef<Path>) -> Result<MscnTrainer, CheckpointError> {
+        let trainer = Self::load_checkpoint(path)?;
+        if trainer.progress.is_none() {
+            return Err(CheckpointError::Unsupported("checkpoint carries no MSCN training state to resume from"));
+        }
+        Ok(trainer)
+    }
+
+    /// True when the trainer carries resumable training state.
+    pub fn is_resumable(&self) -> bool {
+        self.progress.is_some()
     }
 
     /// Mean q-error over a workload.

@@ -20,8 +20,19 @@ use std::io::{Read, Write};
 /// Magic prefix of every checkpoint section written by this workspace.
 pub const MAGIC: [u8; 8] = *b"E2ECKPT\0";
 
-/// Current (and only) checkpoint format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current checkpoint format version.
+///
+/// * **v1** — model state only: config sections, vocab, raw-f32 parameter
+///   values.
+/// * **v2** — adds an optional trailing *training-state* block to the
+///   tree-estimator and MSCN sections (Adam step count + first/second
+///   moments, epochs completed, early-stop state) so training resumes
+///   bit-identically from a checkpoint.  The shared header and every v1
+///   section layout are unchanged; v1 files remain loadable.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Oldest format version this build still reads.
+pub const MIN_FORMAT_VERSION: u32 = 1;
 
 /// Section kind tag: a bare [`crate::ParamStore`] parameter payload.
 pub const KIND_PARAMS: u8 = 0;
@@ -133,14 +144,16 @@ pub fn write_header(w: &mut impl Write, kind: u8) -> Result<(), CheckpointError>
 }
 
 /// Read and validate a section header against the expected kind tag.
-pub fn read_header(r: &mut impl Read, expected_kind: u8) -> Result<(), CheckpointError> {
+/// Returns the section's format version (any supported one — readers of
+/// versioned sections branch on it for optional trailing blocks).
+pub fn read_header(r: &mut impl Read, expected_kind: u8) -> Result<u32, CheckpointError> {
     let mut magic = [0u8; 8];
     read_exact(r, &mut magic, "magic")?;
     if magic != MAGIC {
         return Err(CheckpointError::BadMagic { found: magic });
     }
     let version = read_u32(r, "format version")?;
-    if version != FORMAT_VERSION {
+    if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(CheckpointError::UnsupportedVersion { found: version, supported: FORMAT_VERSION });
     }
     let mut kind = [0u8; 1];
@@ -148,7 +161,7 @@ pub fn read_header(r: &mut impl Read, expected_kind: u8) -> Result<(), Checkpoin
     if kind[0] != expected_kind {
         return Err(CheckpointError::WrongKind { found: kind[0], expected: expected_kind });
     }
-    Ok(())
+    Ok(version)
 }
 
 fn read_exact(r: &mut impl Read, buf: &mut [u8], what: &'static str) -> Result<(), CheckpointError> {
@@ -268,7 +281,18 @@ mod tests {
     fn header_roundtrip_and_rejections() {
         let mut buf = Vec::new();
         write_header(&mut buf, KIND_PARAMS).unwrap();
-        read_header(&mut Cursor::new(&buf), KIND_PARAMS).unwrap();
+        assert_eq!(read_header(&mut Cursor::new(&buf), KIND_PARAMS).unwrap(), FORMAT_VERSION);
+        // A v1 header is still accepted and reported as such.
+        let mut v1 = buf.clone();
+        v1[8..12].copy_from_slice(&1u32.to_le_bytes());
+        assert_eq!(read_header(&mut Cursor::new(&v1), KIND_PARAMS).unwrap(), 1);
+        // Version 0 predates the format and is rejected like a future one.
+        let mut v0 = buf.clone();
+        v0[8..12].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            read_header(&mut Cursor::new(&v0), KIND_PARAMS),
+            Err(CheckpointError::UnsupportedVersion { found: 0, .. })
+        ));
         // Wrong kind.
         match read_header(&mut Cursor::new(&buf), KIND_MSCN) {
             Err(CheckpointError::WrongKind { found, expected }) => {

@@ -57,6 +57,18 @@ impl Adam {
     pub fn new(learning_rate: f32) -> Self {
         Adam { learning_rate, beta1: 0.9, beta2: 0.999, eps: 1e-8, clip_norm: Some(5.0), t: 0 }
     }
+
+    /// Number of update steps taken so far (the bias-correction counter).
+    pub fn step_count(&self) -> u64 {
+        self.t
+    }
+
+    /// Restore the bias-correction counter of a checkpointed optimizer; the
+    /// per-parameter moment estimates live in the `ParamStore` and are
+    /// restored by [`crate::ParamStore::load_moments_from`].
+    pub fn set_step_count(&mut self, t: u64) {
+        self.t = t;
+    }
 }
 
 impl Optimizer for Adam {

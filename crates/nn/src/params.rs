@@ -177,6 +177,43 @@ impl ParamStore {
         Ok(())
     }
 
+    /// Serialize the Adam moment estimates (`m`, `v` per tensor, in
+    /// registration order, raw `f32` bit patterns) — the per-parameter half
+    /// of the optimizer state a v2 checkpoint persists for resumable
+    /// training.  Shapes are implied by the value tensors, so the payload is
+    /// just a count guard followed by the raw moments.
+    pub fn save_moments_to(&self, w: &mut impl Write) -> Result<(), CheckpointError> {
+        checkpoint::write_u64(w, self.params.len() as u64)?;
+        for p in &self.params {
+            checkpoint::write_f32_slice(w, p.m.data())?;
+            checkpoint::write_f32_slice(w, p.v.data())?;
+        }
+        Ok(())
+    }
+
+    /// Restore moment estimates written by [`ParamStore::save_moments_to`]
+    /// into this store's tensors (which define the expected shapes).  On any
+    /// error the store is left untouched.
+    pub fn load_moments_from(&mut self, r: &mut impl Read) -> Result<(), CheckpointError> {
+        let count = checkpoint::read_count(r, "moment tensor count")?;
+        if count != self.params.len() {
+            return Err(CheckpointError::CountMismatch { expected: self.params.len(), found: count });
+        }
+        let mut loaded = Vec::with_capacity(count * 2);
+        for p in &self.params {
+            let len = p.value.len() as u64;
+            loaded.push(checkpoint::read_f32_vec(r, len, "first-moment payload")?);
+            loaded.push(checkpoint::read_f32_vec(r, len, "second-moment payload")?);
+        }
+        let mut it = loaded.into_iter();
+        for p in self.params.iter_mut() {
+            let (rows, cols) = (p.value.rows(), p.value.cols());
+            p.m = Matrix::from_vec(rows, cols, it.next().expect("moment pair"));
+            p.v = Matrix::from_vec(rows, cols, it.next().expect("moment pair"));
+        }
+        Ok(())
+    }
+
     fn read_tensor(r: &mut impl Read) -> Result<(String, Matrix), CheckpointError> {
         let name = checkpoint::read_str(r, "parameter name")?;
         let rows = checkpoint::read_u64(r, "parameter rows")? as usize;

@@ -69,6 +69,18 @@ impl EarlyStop {
         EarlyStop { patience, best: f64::INFINITY, epochs_since_best: 0 }
     }
 
+    /// `(best metric, epochs since best)` — the state a resumable-training
+    /// checkpoint persists so a restored run stops exactly where an
+    /// uninterrupted one would.
+    pub fn state(&self) -> (f64, usize) {
+        (self.best, self.epochs_since_best)
+    }
+
+    /// Rebuild a policy from checkpointed [`EarlyStop::state`].
+    pub fn from_state(patience: Option<usize>, best: f64, epochs_since_best: usize) -> Self {
+        EarlyStop { patience, best, epochs_since_best }
+    }
+
     /// Record this epoch's validation metric; returns `true` when training
     /// should stop now.
     pub fn observe(&mut self, metric: f64) -> bool {

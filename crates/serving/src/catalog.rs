@@ -1,0 +1,492 @@
+//! The hot-swappable model catalog and tenant-scoped sessions.
+
+use crate::aggregate::BatchAggregator;
+use estimator_core::{CheckpointError, CostEstimator, Estimator, PlanEstimate};
+use featurize::EncodedPlan;
+use parking_lot::RwLock;
+use query::PlanNode;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One catalog entry's backend: either the tree estimator (which brings the
+/// encoded fast path, the owned serving handle and the cross-session batch
+/// aggregator) or any other [`Estimator`] behind the generic trait.
+pub enum TenantBackend {
+    /// The paper's tree model — full serving feature set.  Boxed: the tree
+    /// estimator is an order of magnitude larger than a trait-object
+    /// pointer, and the backend is moved around during publish.
+    Tree(Box<CostEstimator>),
+    /// Any other backend (MSCN, the traditional estimator, ...), served
+    /// through [`Estimator::estimate_many`].
+    Dyn(Box<dyn Estimator + Send + Sync>),
+}
+
+impl TenantBackend {
+    /// Wrap a tree estimator (convenience over boxing at every call site).
+    pub fn tree(estimator: CostEstimator) -> Self {
+        TenantBackend::Tree(Box::new(estimator))
+    }
+
+    fn as_estimator(&self) -> &(dyn Estimator + Send + Sync) {
+        match self {
+            TenantBackend::Tree(est) => est.as_ref(),
+            TenantBackend::Dyn(b) => b.as_ref(),
+        }
+    }
+
+    fn load_checkpoint(&mut self, path: &Path) -> Result<(), CheckpointError> {
+        match self {
+            TenantBackend::Tree(est) => est.load_checkpoint(path),
+            TenantBackend::Dyn(b) => b.load_checkpoint_from(path),
+        }
+    }
+}
+
+/// One immutable published model: the backend, its generation number and —
+/// for tree backends — the cross-session batch aggregator over the owned
+/// serving handle.  Sessions pin an `Arc<TenantModel>` per call; a hot-swap
+/// replaces the tenant's slot with a new `TenantModel` and never mutates
+/// this one, so an in-flight batch completes on exactly the weights and
+/// caches it started with.
+pub struct TenantModel {
+    backend: TenantBackend,
+    generation: u64,
+    aggregator: Option<BatchAggregator>,
+}
+
+impl TenantModel {
+    fn new(backend: TenantBackend, generation: u64) -> Self {
+        let aggregator = match &backend {
+            TenantBackend::Tree(est) if est.is_fitted() => Some(BatchAggregator::new(est.serving())),
+            _ => None,
+        };
+        TenantModel { backend, generation, aggregator }
+    }
+
+    /// The generic estimator view of this model.
+    pub fn estimator(&self) -> &(dyn Estimator + Send + Sync) {
+        self.backend.as_estimator()
+    }
+
+    /// The tree backend, when this tenant serves one (the encoded fast
+    /// path: `encode`, owned serving handles, per-model caches).
+    pub fn tree(&self) -> Option<&CostEstimator> {
+        match &self.backend {
+            TenantBackend::Tree(est) => Some(est),
+            TenantBackend::Dyn(_) => None,
+        }
+    }
+
+    /// The cross-session batch aggregator (tree backends only).
+    pub fn aggregator(&self) -> Option<&BatchAggregator> {
+        self.aggregator.as_ref()
+    }
+
+    /// Monotonic per-tenant generation of this model (bumped by every
+    /// publish/hot-swap under the same name).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+/// Builds a fresh, unfitted backend instance for a tenant — the vessel a
+/// checkpoint is loaded into on [`ModelCatalog::install_checkpoint`].
+pub type BackendFactory = Box<dyn Fn() -> TenantBackend + Send + Sync>;
+
+/// Per-tenant state: the swappable model slot, the generation counter and
+/// an optional backend factory for checkpoint installs.
+struct Tenant {
+    name: String,
+    slot: RwLock<Option<Arc<TenantModel>>>,
+    generations: AtomicU64,
+    factory: RwLock<Option<BackendFactory>>,
+}
+
+impl Tenant {
+    fn new(name: &str) -> Self {
+        Tenant {
+            name: name.to_string(),
+            slot: RwLock::new(None),
+            generations: AtomicU64::new(0),
+            factory: RwLock::new(None),
+        }
+    }
+
+    fn publish(&self, backend: TenantBackend) -> u64 {
+        // Generation allocation and the slot store happen under one write
+        // lock: with them decoupled, two racing publishes could install
+        // their models in the opposite order of their generation numbers
+        // and leave the tenant permanently serving the older model.  The
+        // lock is held only to wrap the backend and store one Arc.
+        let mut slot = self.slot.write();
+        let generation = self.generations.fetch_add(1, Ordering::Relaxed) + 1;
+        *slot = Some(Arc::new(TenantModel::new(backend, generation)));
+        generation
+    }
+}
+
+/// A named catalog of served models with atomic per-tenant hot-swap.
+///
+/// The top-level map is only write-locked to add or remove tenant *names*;
+/// publishing a model (including a hot-swap) write-locks a single tenant's
+/// slot for the duration of one `Arc` store.  Sessions on other tenants
+/// never contend with a swap, and sessions on the swapped tenant keep the
+/// model they pinned until their next call.
+#[derive(Default)]
+pub struct ModelCatalog {
+    tenants: RwLock<HashMap<String, Arc<Tenant>>>,
+}
+
+impl ModelCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn tenant(&self, name: &str) -> Option<Arc<Tenant>> {
+        self.tenants.read().get(name).cloned()
+    }
+
+    fn tenant_or_create(&self, name: &str) -> Arc<Tenant> {
+        if let Some(t) = self.tenant(name) {
+            return t;
+        }
+        let mut map = self.tenants.write();
+        Arc::clone(map.entry(name.to_string()).or_insert_with(|| Arc::new(Tenant::new(name))))
+    }
+
+    /// Publish a (fitted or checkpoint-loaded) backend under a name,
+    /// creating the tenant or atomically hot-swapping its current model.
+    /// Returns the new model's generation.
+    pub fn publish(&self, name: &str, backend: TenantBackend) -> u64 {
+        self.tenant_or_create(name).publish(backend)
+    }
+
+    /// Register the factory that builds fresh backend instances for
+    /// [`ModelCatalog::install_checkpoint`] under this name.
+    pub fn register_factory(&self, name: &str, factory: BackendFactory) {
+        *self.tenant_or_create(name).factory.write() = Some(factory);
+    }
+
+    /// Build a fresh backend via the tenant's registered factory, load the
+    /// checkpoint into it and atomically publish it — the hot-swap path for
+    /// rolling out a newly trained model version.  The previous model keeps
+    /// serving until the moment of the swap (and beyond, for sessions that
+    /// already pinned it); a load error leaves the tenant serving its
+    /// current model.
+    pub fn install_checkpoint(&self, name: &str, path: impl AsRef<Path>) -> Result<u64, CheckpointError> {
+        let tenant = self
+            .tenant(name)
+            .ok_or(CheckpointError::Unsupported("no such tenant; register_factory/publish it first"))?;
+        let mut backend = {
+            // Hold the factory read lock only for the build itself — the
+            // checkpoint load below can be long, and a concurrent
+            // register_factory must not block behind it.
+            let factory = tenant.factory.read();
+            let build =
+                factory.as_ref().ok_or(CheckpointError::Unsupported("tenant has no backend factory registered"))?;
+            build()
+        };
+        backend.load_checkpoint(path.as_ref())?;
+        Ok(tenant.publish(backend))
+    }
+
+    /// The tenant's current model, if any is published.
+    pub fn current(&self, name: &str) -> Option<Arc<TenantModel>> {
+        self.tenant(name).and_then(|t| t.slot.read().clone())
+    }
+
+    /// Open a session on a tenant (it need not have a model yet; calls
+    /// return `None` until one is published).
+    pub fn session(&self, name: &str) -> Option<Session> {
+        self.tenant(name).map(|tenant| Session { tenant })
+    }
+
+    /// All tenant names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tenants.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Remove a tenant entirely.  In-flight sessions holding the tenant or
+    /// a pinned model finish undisturbed; new lookups no longer find it.
+    pub fn remove(&self, name: &str) -> bool {
+        self.tenants.write().remove(name).is_some()
+    }
+}
+
+/// A client handle scoped to one tenant.  Cheap to clone and `Send + Sync`;
+/// every estimate call pins the tenant's current model generation, so
+/// hot-swaps are observed at call boundaries and never mid-batch.
+#[derive(Clone)]
+pub struct Session {
+    tenant: Arc<Tenant>,
+}
+
+impl Session {
+    /// The tenant this session is bound to.
+    pub fn tenant_name(&self) -> &str {
+        &self.tenant.name
+    }
+
+    /// Pin the tenant's current model (or `None` before the first publish /
+    /// after a remove-and-recreate race).
+    pub fn model(&self) -> Option<Arc<TenantModel>> {
+        self.tenant.slot.read().clone()
+    }
+
+    /// The current model generation, for observing hot-swaps.
+    pub fn generation(&self) -> Option<u64> {
+        self.model().map(|m| m.generation())
+    }
+
+    /// Estimate physical plans through the pinned model's generic trait
+    /// path.  `None` when the tenant has no published model.
+    pub fn estimate_plans(&self, plans: &[PlanNode]) -> Option<Vec<PlanEstimate>> {
+        self.model().map(|m| m.estimator().estimate_many(plans))
+    }
+
+    /// Tree-backend fast path: estimate already-encoded plans through the
+    /// tenant's cross-session batch aggregator (coalescing with concurrent
+    /// sessions of this tenant).  `None` when no model is published or the
+    /// backend is not the tree estimator.
+    ///
+    /// Encoded plans are tied to the feature vocabulary they were encoded
+    /// under; across a hot-swap of a model with the *same* vocabulary
+    /// (the common retrain-and-roll-out case, enforced at checkpoint load)
+    /// they remain valid.
+    pub fn estimate_encoded(&self, plans: &[EncodedPlan]) -> Option<Vec<(f64, f64)>> {
+        self.model().and_then(|m| m.aggregator().map(|agg| agg.estimate(plans)))
+    }
+
+    /// Encode a plan with the pinned tree model's extractor.
+    pub fn encode(&self, plan: &PlanNode) -> Option<EncodedPlan> {
+        self.model().and_then(|m| m.tree().map(|t| t.encode(plan)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine::{execute_plan, CostModel};
+    use estimator_core::{ModelConfig, TrainConfig};
+    use featurize::{EncodingConfig, FeatureExtractor};
+    use imdb::{generate_imdb, GeneratorConfig};
+    use query::{CompareOp, JoinPredicate, Operand, PhysicalOp, Predicate};
+    use strembed::HashBitmapEncoder;
+
+    fn make_estimator(db: &Arc<imdb::Database>, seed: u64) -> CostEstimator {
+        let cfg = EncodingConfig::from_database(db, 8, 32);
+        let fx = FeatureExtractor::new(db.clone(), cfg, Arc::new(HashBitmapEncoder::new(8)));
+        CostEstimator::new(
+            fx,
+            ModelConfig { feature_embed_dim: 8, hidden_dim: 12, estimation_hidden_dim: 8, seed, ..Default::default() },
+            TrainConfig { epochs: 2, batch_size: 8, seed, ..Default::default() },
+        )
+    }
+
+    fn executed_plans(db: &Arc<imdb::Database>, n: usize) -> Vec<PlanNode> {
+        let cost = CostModel::default();
+        (0..n)
+            .map(|i| {
+                let scan_t = PlanNode::leaf(PhysicalOp::SeqScan {
+                    table: "title".into(),
+                    predicate: Some(Predicate::atom(
+                        "title",
+                        "production_year",
+                        CompareOp::Gt,
+                        Operand::Num((1938 + i * 3) as f64),
+                    )),
+                });
+                let scan_mc = PlanNode::leaf(PhysicalOp::SeqScan { table: "movie_companies".into(), predicate: None });
+                let mut join = PlanNode::inner(
+                    PhysicalOp::HashJoin {
+                        condition: JoinPredicate::new("movie_companies", "movie_id", "title", "id"),
+                    },
+                    vec![scan_t, scan_mc],
+                );
+                execute_plan(db, &mut join, &cost);
+                join
+            })
+            .collect()
+    }
+
+    fn card_bits(estimates: &[PlanEstimate]) -> Vec<u64> {
+        estimates.iter().map(|e| e.cardinality.expect("card").to_bits()).collect()
+    }
+
+    #[test]
+    fn catalog_serves_multiple_named_models() {
+        let db = Arc::new(generate_imdb(GeneratorConfig::tiny()));
+        let plans = executed_plans(&db, 16);
+        let mut a = make_estimator(&db, 1);
+        a.fit(&plans);
+        let mut b = make_estimator(&db, 4242);
+        b.fit(&plans);
+        let want_a = a.estimate_many(&plans);
+        let want_b = b.estimate_many(&plans);
+        assert_ne!(card_bits(&want_a), card_bits(&want_b), "seeds must differ for the test to mean anything");
+
+        let catalog = ModelCatalog::new();
+        assert_eq!(catalog.publish("tenant_a", TenantBackend::tree(a)), 1);
+        assert_eq!(catalog.publish("tenant_b", TenantBackend::tree(b)), 1);
+        assert_eq!(catalog.names(), vec!["tenant_a".to_string(), "tenant_b".to_string()]);
+
+        let sa = catalog.session("tenant_a").expect("tenant_a");
+        let sb = catalog.session("tenant_b").expect("tenant_b");
+        assert_eq!(card_bits(&sa.estimate_plans(&plans).expect("a")), card_bits(&want_a));
+        assert_eq!(card_bits(&sb.estimate_plans(&plans).expect("b")), card_bits(&want_b));
+        assert!(catalog.session("nope").is_none());
+    }
+
+    #[test]
+    fn hot_swap_is_observed_at_call_boundaries_and_isolated_per_tenant() {
+        let db = Arc::new(generate_imdb(GeneratorConfig::tiny()));
+        let plans = executed_plans(&db, 14);
+        let mut a = make_estimator(&db, 1);
+        a.fit(&plans);
+        let mut b1 = make_estimator(&db, 2);
+        b1.fit(&plans);
+        let mut b2 = make_estimator(&db, 4242);
+        b2.fit(&plans);
+        let want_a = card_bits(&a.estimate_many(&plans));
+        let want_b1 = card_bits(&b1.estimate_many(&plans));
+        let want_b2 = card_bits(&b2.estimate_many(&plans));
+        assert_ne!(want_b1, want_b2);
+
+        let catalog = ModelCatalog::new();
+        catalog.publish("a", TenantBackend::tree(a));
+        catalog.publish("b", TenantBackend::tree(b1));
+
+        let sa = catalog.session("a").expect("a");
+        let sb = catalog.session("b").expect("b");
+        assert_eq!(sb.generation(), Some(1));
+        assert_eq!(card_bits(&sb.estimate_plans(&plans).expect("b")), want_b1);
+
+        // A pinned model survives the swap it predates...
+        let pinned_b1 = sb.model().expect("pinned");
+        catalog.publish("b", TenantBackend::tree(b2));
+        assert_eq!(card_bits(&pinned_b1.estimator().estimate_many(&plans)), want_b1);
+        // ...while the session observes the swap at its next call.
+        assert_eq!(sb.generation(), Some(2));
+        assert_eq!(card_bits(&sb.estimate_plans(&plans).expect("b")), want_b2);
+        // And tenant a never noticed.
+        assert_eq!(sa.generation(), Some(1));
+        assert_eq!(card_bits(&sa.estimate_plans(&plans).expect("a")), want_a);
+    }
+
+    #[test]
+    fn tenants_have_isolated_caches() {
+        let db = Arc::new(generate_imdb(GeneratorConfig::tiny()));
+        let plans = executed_plans(&db, 12);
+        let mut a = make_estimator(&db, 1);
+        a.fit(&plans);
+        let mut b = make_estimator(&db, 2);
+        b.fit(&plans);
+        let catalog = ModelCatalog::new();
+        catalog.publish("a", TenantBackend::tree(a));
+        catalog.publish("b", TenantBackend::tree(b));
+
+        let sa = catalog.session("a").expect("a");
+        let sb = catalog.session("b").expect("b");
+        // Warm b's subtree cache, then hammer a.
+        sb.estimate_plans(&plans).expect("warm b");
+        let b_len = catalog.current("b").expect("b").tree().expect("tree").subtree_cache().len();
+        assert!(b_len > 0, "warm pass must populate b's cache");
+        for _ in 0..5 {
+            sa.estimate_plans(&plans).expect("hammer a");
+        }
+        // a's traffic cannot evict (or even touch) b's entries.
+        let b_model = catalog.current("b").expect("b");
+        let b_tree = b_model.tree().expect("tree");
+        assert_eq!(b_tree.subtree_cache().len(), b_len);
+        let (hits_before, misses_before) = b_tree.subtree_cache().stats();
+        sb.estimate_plans(&plans).expect("b again");
+        let (hits_after, misses_after) = b_tree.subtree_cache().stats();
+        assert!(hits_after > hits_before, "b's warm entries must still hit");
+        assert_eq!(misses_after, misses_before, "a's traffic must not have evicted b's entries");
+    }
+
+    #[test]
+    fn install_checkpoint_builds_loads_and_swaps() {
+        let db = Arc::new(generate_imdb(GeneratorConfig::tiny()));
+        let plans = executed_plans(&db, 12);
+        let mut trained = make_estimator(&db, 4242);
+        trained.fit(&plans);
+        let want = card_bits(&trained.estimate_many(&plans));
+        let path = std::env::temp_dir().join(format!("serving-install-{}.ckpt", std::process::id()));
+        trained.save_checkpoint(&path).expect("save");
+
+        let catalog = ModelCatalog::new();
+        // No tenant yet: typed refusal.
+        assert!(matches!(catalog.install_checkpoint("m", &path), Err(CheckpointError::Unsupported(_))));
+        let factory_db = db.clone();
+        catalog.register_factory("m", Box::new(move || TenantBackend::tree(make_estimator(&factory_db, 4242))));
+        let generation = catalog.install_checkpoint("m", &path).expect("install");
+        assert_eq!(generation, 1);
+        let s = catalog.session("m").expect("m");
+        assert_eq!(card_bits(&s.estimate_plans(&plans).expect("est")), want);
+
+        // Installing again is a hot-swap onto generation 2.
+        assert_eq!(catalog.install_checkpoint("m", &path).expect("reinstall"), 2);
+        assert_eq!(s.generation(), Some(2));
+        // A failed install (missing file) leaves generation 2 serving.
+        assert!(catalog.install_checkpoint("m", path.with_extension("missing")).is_err());
+        assert_eq!(s.generation(), Some(2));
+        assert_eq!(card_bits(&s.estimate_plans(&plans).expect("est")), want);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Review regression: generation allocation and the slot store must be
+    /// one atomic step — with them decoupled, racing publishes could
+    /// install models in the opposite order of their generation numbers
+    /// and leave the tenant serving an older model than `publish` reported.
+    #[test]
+    fn concurrent_publishes_never_regress_the_served_generation() {
+        let db = Arc::new(generate_imdb(GeneratorConfig::tiny()));
+        let catalog = ModelCatalog::new();
+        catalog.publish("m", TenantBackend::Dyn(Box::new(pgest::TraditionalEstimator::analyze(&db))));
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 20;
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                let (catalog, db) = (&catalog, &db);
+                scope.spawn(move || {
+                    let mut last_seen = 0;
+                    for _ in 0..PER_THREAD {
+                        let mine = catalog
+                            .publish("m", TenantBackend::Dyn(Box::new(pgest::TraditionalEstimator::analyze(db))));
+                        // The served generation may already be past ours,
+                        // but it must never move backwards.
+                        let served = catalog.current("m").expect("published").generation();
+                        assert!(served >= mine, "served generation {served} regressed below published {mine}");
+                        assert!(served >= last_seen, "served generation moved backwards: {last_seen} -> {served}");
+                        last_seen = served;
+                    }
+                });
+            }
+        });
+        let final_generation = catalog.current("m").expect("published").generation();
+        assert_eq!(final_generation as usize, 1 + THREADS * PER_THREAD, "every publish must claim its own generation");
+    }
+
+    #[test]
+    fn dyn_backends_serve_through_the_catalog() {
+        let db = Arc::new(generate_imdb(GeneratorConfig::tiny()));
+        let plans = executed_plans(&db, 8);
+        let pg = pgest::TraditionalEstimator::analyze(&db);
+        let want = pg.estimate_many(&plans);
+        let catalog = ModelCatalog::new();
+        catalog.publish("pg", TenantBackend::Dyn(Box::new(pg)));
+        let s = catalog.session("pg").expect("pg");
+        assert_eq!(s.estimate_plans(&plans).expect("pg"), want);
+        // No tree fast path on a dyn backend.
+        assert!(s.encode(&plans[0]).is_none());
+        assert!(s.estimate_encoded(&[]).is_none());
+        assert!(catalog.remove("pg"));
+        assert!(catalog.session("pg").is_none());
+    }
+}

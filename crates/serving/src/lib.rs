@@ -1,0 +1,36 @@
+//! Multi-tenant serving runtime.
+//!
+//! One process, many trained models, many concurrent optimizer sessions —
+//! the production posture the paper's estimator needs inside a real
+//! database.  Three pieces:
+//!
+//! * [`ModelCatalog`] — a named catalog of checkpoint-loaded backends (any
+//!   [`estimator_core::Estimator`]).  Publishing a new model under an
+//!   existing name is an **atomic hot-swap**: the tenant's `Arc` slot is
+//!   replaced under a per-tenant lock held for nanoseconds, in-flight
+//!   sessions finish on the model they pinned, and sessions on *other*
+//!   tenants never touch the swapped tenant's lock at all.  Each published
+//!   model owns its own sharded caches (they arrive freshly invalidated
+//!   from `load_checkpoint`), so tenants cannot evict each other and a
+//!   swap can never serve a stale subtree state.
+//! * [`Session`] — a tenant-scoped client handle.  Every estimate call
+//!   pins the tenant's current model generation, so a session observes a
+//!   hot-swap at its next call boundary while the batch it already
+//!   submitted completes on the old weights.
+//! * [`BatchAggregator`] — the admission layer: estimate requests arriving
+//!   concurrently from sessions of the **same** tenant are coalesced into
+//!   one level-batched, subtree-memoized inference call
+//!   (`estimate_encoded_batch_memo`), amortizing the blocked matmuls
+//!   across sessions exactly like PR 1/PR 3 amortized them within one.
+//!
+//! Ownership is the load-bearing design: `CostEstimator::serving()` hands
+//! out an *owned* `ServingEstimator` (model + cache behind `Arc`s), so a
+//! model's lifetime is decoupled from its trainer and from the catalog
+//! slot it was published under.  Nothing here blocks on a global lock —
+//! the catalog map is only write-locked to add/remove tenant *names*.
+
+mod aggregate;
+mod catalog;
+
+pub use aggregate::BatchAggregator;
+pub use catalog::{BackendFactory, ModelCatalog, Session, TenantBackend, TenantModel};

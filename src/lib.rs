@@ -43,6 +43,7 @@ pub use mscn;
 pub use nn;
 pub use pgest;
 pub use query;
+pub use serving;
 pub use strembed;
 pub use workloads;
 
@@ -59,6 +60,7 @@ pub mod prelude {
     pub use mscn::{MscnConfig, MscnEstimator, MscnFeaturizer, MscnModel, MscnTrainer};
     pub use pgest::TraditionalEstimator;
     pub use query::{CompareOp, JoinPredicate, LogicalQuery, Operand, PhysicalOp, PlanNode, Predicate};
+    pub use serving::{BatchAggregator, ModelCatalog, Session, TenantBackend};
     pub use strembed::{build_string_encoder, EmbedderConfig, HashBitmapEncoder, StringEncoding};
     pub use workloads::{
         generate_workload, workload_strings, QuerySample, SuiteConfig, WorkloadConfig, WorkloadKind, WorkloadSuite,

@@ -1,0 +1,157 @@
+//! Backward compatibility of the checkpoint format.
+//!
+//! `tests/fixtures/golden_*_v1.ckpt` are **committed binary fixtures**
+//! written by the format-v1 code (the last commit before the v2 bump) from
+//! a deterministic tiny database and a fixed training run; the expected
+//! estimate bit patterns below were printed by the same run.  The v2 reader
+//! must load them forever — and a fabricated future version must keep
+//! failing with `UnsupportedVersion` — so backward compatibility can never
+//! silently break.  (Regenerating the fixtures is by construction
+//! impossible with current code: the writer only emits the current
+//! version.  Do not replace these files.)
+
+use e2e_cost_estimator::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+/// The deterministic context the fixtures were generated under.
+fn golden_db() -> Arc<Database> {
+    Arc::new(generate_imdb(GeneratorConfig { n_titles: 200, sample_size: 32, seed: 7 }))
+}
+
+fn golden_plans(db: &Arc<Database>, n: usize) -> Vec<PlanNode> {
+    let cost = CostModel::default();
+    (0..n)
+        .map(|i| {
+            let scan_t = PlanNode::leaf(PhysicalOp::SeqScan {
+                table: "title".into(),
+                predicate: Some(Predicate::atom(
+                    "title",
+                    "production_year",
+                    CompareOp::Gt,
+                    Operand::Num((1945 + i * 2) as f64),
+                )),
+            });
+            let scan_mc = PlanNode::leaf(PhysicalOp::SeqScan { table: "movie_companies".into(), predicate: None });
+            let mut join = PlanNode::inner(
+                PhysicalOp::HashJoin { condition: JoinPredicate::new("movie_companies", "movie_id", "title", "id") },
+                vec![scan_t, scan_mc],
+            );
+            execute_plan(db, &mut join, &cost);
+            join
+        })
+        .collect()
+}
+
+fn golden_tree_estimator(db: &Arc<Database>) -> CostEstimator {
+    let enc = EncodingConfig::from_database(db, 8, 32);
+    let fx = FeatureExtractor::new(db.clone(), enc, Arc::new(HashBitmapEncoder::new(8)));
+    CostEstimator::new(
+        fx,
+        ModelConfig { feature_embed_dim: 8, hidden_dim: 12, estimation_hidden_dim: 8, ..Default::default() },
+        TrainConfig { epochs: 2, batch_size: 8, ..Default::default() },
+    )
+}
+
+/// Estimate bit patterns recorded at fixture-generation time (v1 writer).
+const GOLDEN_TREE_BITS: [(u64, u64); 3] = [
+    (0x403b166b62c7e0ae, 0x407321c03a3e01fb),
+    (0x403b166b64ab836e, 0x407321c0502189ab),
+    (0x403b166b6872c8ef, 0x407321c066051178),
+];
+
+const GOLDEN_MSCN_BITS: [u64; 3] = [0x40743dd5d073c6b2, 0x40743f3a411a45ee, 0x4074409e754fbce0];
+
+#[test]
+fn v2_reader_loads_v1_tree_golden_checkpoint_bit_identically() {
+    let db = golden_db();
+    let plans = golden_plans(&db, 3);
+    let mut est = golden_tree_estimator(&db);
+    est.load_checkpoint(fixture("golden_tree_v1.ckpt")).expect("v1 golden checkpoint must load forever");
+    assert!(est.is_fitted());
+    for (plan, &(cost_bits, card_bits)) in plans.iter().zip(GOLDEN_TREE_BITS.iter()) {
+        let (cost, card) = est.estimate(plan);
+        assert_eq!(cost.to_bits(), cost_bits, "v1 checkpoint no longer serves its recorded cost");
+        assert_eq!(card.to_bits(), card_bits, "v1 checkpoint no longer serves its recorded cardinality");
+    }
+}
+
+#[test]
+fn v1_checkpoints_load_but_refuse_to_resume() {
+    let db = golden_db();
+    let mut est = golden_tree_estimator(&db);
+    // v1 carries no training state: a plain load works but is not
+    // resumable, and an explicit resume is a typed refusal.
+    assert!(matches!(est.resume_from_checkpoint(fixture("golden_tree_v1.ckpt")), Err(CheckpointError::Unsupported(_))));
+    est.load_checkpoint(fixture("golden_tree_v1.ckpt")).expect("load");
+    assert!(!est.is_resumable());
+
+    // Re-saving the v1-loaded model produces a v2 file *without* training
+    // state; resuming from that is the other typed refusal path.
+    let resaved = std::env::temp_dir().join(format!("golden-resaved-{}.ckpt", std::process::id()));
+    est.save_checkpoint(&resaved).expect("re-save as v2");
+    let mut fresh = golden_tree_estimator(&db);
+    assert!(matches!(fresh.resume_from_checkpoint(&resaved), Err(CheckpointError::Unsupported(_))));
+    fresh.load_checkpoint(&resaved).expect("stateless v2 still loads fine");
+    let _ = std::fs::remove_file(&resaved);
+}
+
+/// Review regression: resuming training on a model-only load must refuse
+/// loudly — a silent fresh-optimizer restart from epoch 0 would masquerade
+/// as a continuation of the interrupted run.
+#[test]
+#[should_panic(expected = "no resumable training state")]
+fn fit_resumed_after_model_only_v1_load_panics_instead_of_retraining() {
+    let db = golden_db();
+    let plans = golden_plans(&db, 3);
+    let mut est = golden_tree_estimator(&db);
+    est.load_checkpoint(fixture("golden_tree_v1.ckpt")).expect("load");
+    assert!(!est.is_resumable());
+    let _ = est.fit_resumed(&plans);
+}
+
+#[test]
+fn fabricated_future_version_fails_with_unsupported_version() {
+    let db = golden_db();
+    for (name, patch_offset) in [("golden_tree_v1.ckpt", 8usize), ("golden_mscn_v1.ckpt", 8usize)] {
+        let mut bytes = std::fs::read(fixture(name)).expect("read fixture");
+        bytes[patch_offset..patch_offset + 4].copy_from_slice(&3u32.to_le_bytes());
+        let path = std::env::temp_dir().join(format!("golden-v3-{}-{name}", std::process::id()));
+        std::fs::write(&path, &bytes).expect("write fabricated v3");
+        if name.contains("tree") {
+            let mut est = golden_tree_estimator(&db);
+            assert!(
+                matches!(est.load_checkpoint(&path), Err(CheckpointError::UnsupportedVersion { found: 3, .. })),
+                "a v3 tree file must be rejected, not guessed at"
+            );
+        } else {
+            let enc = EncodingConfig::from_database(&db, 8, 32);
+            let mut est = MscnEstimator::new(db.clone(), enc, MscnConfig::default());
+            assert!(
+                matches!(est.load_checkpoint_from(&path), Err(CheckpointError::UnsupportedVersion { found: 3, .. })),
+                "a v3 MSCN file must be rejected, not guessed at"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn v2_reader_loads_v1_mscn_golden_checkpoint_bit_identically() {
+    let db = golden_db();
+    let plans = golden_plans(&db, 3);
+    let enc = EncodingConfig::from_database(&db, 8, 32);
+    let mut est = MscnEstimator::new(db.clone(), enc, MscnConfig { epochs: 2, hidden_dim: 16, ..Default::default() });
+    est.load_checkpoint_from(&fixture("golden_mscn_v1.ckpt")).expect("v1 MSCN golden checkpoint must load forever");
+    for (estimate, &want) in est.estimate_many(&plans).iter().zip(GOLDEN_MSCN_BITS.iter()) {
+        assert_eq!(
+            estimate.cardinality.expect("cardinality slot").to_bits(),
+            want,
+            "v1 MSCN checkpoint no longer serves its recorded estimate"
+        );
+    }
+}
