@@ -30,8 +30,9 @@
 //! Results go to `BENCH_serving.json` (into `E2E_BENCH_OUT` or the current
 //! directory).  With `E2E_CHECK` set, regression floors are asserted:
 //! memoization speedup ≥ 3x, node-level hit rate ≥ 0.85, ≥ 1.5x aggregate
-//! throughput at 4 threads, and checkpoint warm start ≥ 5x faster than a
-//! cold fit — the guards CI's smoke job runs.
+//! throughput at 4 threads, checkpoint warm start ≥ 5x faster than a
+//! cold fit, and the tiered int8 section's quant ≥ 0.3x / tiered ≥ 0.1x
+//! of the memoized f32 stream — the guards CI's smoke job runs.
 
 use bench::{time_reps, Pipeline};
 use estimator_core::{PredicateModelKind, RepresentationCellKind, TaskMode};
@@ -91,6 +92,9 @@ fn main() {
             }
         }
     }
+    // Publish posture: derive the int8 tier (a no-op when the checkpoint
+    // already carried it).  The f32 paths below are untouched by this.
+    est.ensure_quantized();
     let est = est;
 
     // The enumeration stream: per query, all connected left-deep candidate
@@ -176,6 +180,62 @@ fn main() {
         assert_eq!(serving.estimate_encoded_batch(&refs), est.estimate_encoded_batch(q), "memoized estimates diverged");
     }
 
+    // --- Tiered int8 serving: quantized pass + top-k f32 escalation. ---
+    // The quantized pass scores every candidate through the int8 tier
+    // (its own memo cache); the tiered path additionally re-scores the
+    // `top_k` cheapest-looking candidates per batch at full precision —
+    // the optimizer keeps exact costs exactly where the plan choice is
+    // made.  Both streams are compared against the all-f32 memoized
+    // stream above (identical stream shape, cold caches at start).
+    let top_k = env_usize("E2E_SERVING_TOPK", 8);
+    assert!(serving.has_quantized_weights(), "quantized tier must be available for the tiered bench");
+    let run_stream_quant = || {
+        for _ in 0..rounds {
+            for q in &encoded {
+                let refs: Vec<&EncodedPlan> = q.iter().collect();
+                serving.estimate_encoded_batch_quant(&refs);
+            }
+        }
+    };
+    let run_stream_tiered = || {
+        for _ in 0..rounds {
+            for q in &encoded {
+                let refs: Vec<&EncodedPlan> = q.iter().collect();
+                serving.estimate_encoded_batch_tiered(&refs, top_k);
+            }
+        }
+    };
+    let secs_quant = time_reps(reps, || serving.quant_cache().clear(), run_stream_quant);
+    let secs_tiered = time_reps(
+        reps,
+        || {
+            serving.cache().clear();
+            serving.quant_cache().clear();
+        },
+        run_stream_tiered,
+    );
+    let quant_speedup = secs_memo / secs_quant;
+    let tiered_speedup = secs_memo / secs_tiered;
+    let escalated_per_round: usize = encoded.iter().map(|q| top_k.min(q.len())).sum();
+    let escalation_fraction = escalated_per_round as f64 / plans_per_round as f64;
+    println!(
+        "tiered: quant pass {:.1} plans/s ({quant_speedup:.2}x f32 memo), tiered top-{top_k} {:.1} plans/s \
+         ({tiered_speedup:.2}x f32 memo, {:.1}% escalated)",
+        plans_per_session as f64 / secs_quant,
+        plans_per_session as f64 / secs_tiered,
+        escalation_fraction * 100.0
+    );
+    // The escalated candidates must carry f32-tier bits.
+    {
+        serving.cache().clear();
+        serving.quant_cache().clear();
+        let refs: Vec<&EncodedPlan> = encoded[0].iter().collect();
+        let tiered = serving.estimate_encoded_batch_tiered(&refs, top_k);
+        let full = est.estimate_encoded_batch(&encoded[0]);
+        let exact = tiered.iter().zip(&full).filter(|(t, f)| t == f).count();
+        assert!(exact >= top_k.min(refs.len()), "tiered wave escalated only {exact} candidates to full precision");
+    }
+
     // --- Concurrent sessions: 1/2/4/8 threads over the shared cache. ---
     struct ThreadRow {
         threads: usize,
@@ -244,6 +304,7 @@ fn main() {
     // --- Machine-readable trajectory record. ---
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"serving_throughput\",");
+    let _ = writeln!(json, "  \"host\": {},", bench::host_capabilities_json());
     let _ = writeln!(json, "  \"cpus\": {cpus},");
     let _ = writeln!(json, "  \"queries\": {},", workload.len());
     let _ = writeln!(json, "  \"rounds\": {rounds},");
@@ -258,6 +319,14 @@ fn main() {
     let _ = writeln!(json, "    \"subtree_cache_hit_rate\": {node_hit_rate:.4},");
     let _ = writeln!(json, "    \"lookup_hits\": {lookup_hits},");
     let _ = writeln!(json, "    \"lookup_misses\": {lookup_misses}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"tiered\": {{");
+    let _ = writeln!(json, "    \"top_k\": {top_k},");
+    let _ = writeln!(json, "    \"escalation_fraction\": {escalation_fraction:.4},");
+    let _ = writeln!(json, "    \"quant_plans_per_sec\": {:.1},", plans_per_session as f64 / secs_quant);
+    let _ = writeln!(json, "    \"quant_speedup_vs_f32\": {quant_speedup:.3},");
+    let _ = writeln!(json, "    \"tiered_plans_per_sec\": {:.1},", plans_per_session as f64 / secs_tiered);
+    let _ = writeln!(json, "    \"tiered_speedup_vs_f32\": {tiered_speedup:.3}");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"warm_start\": {{");
     let _ = match cold_fit_secs {
@@ -304,6 +373,21 @@ fn main() {
         if let Some(speedup) = warm_speedup {
             assert!(speedup >= 5.0, "checkpoint warm start only {speedup:.1}x faster than a cold fit (floor 5x)");
         }
-        println!("check mode: serving floors hold (memo >= 3x, hit rate >= 0.85, 4-session >= 1.5x, warm start >= 5x)");
+        // The f32 baseline here is the *memoized* stream (92%+ subtree hit
+        // rate), so the int8 tier competes against cache lookups rather
+        // than raw inference; the floors guard against the quant tier or
+        // the escalation merge becoming pathologically slow, not against
+        // it beating memoized f32.  Typical ratios on the 1-cpu dev VM are
+        // ~3.5-4x (quant) and ~0.9x (tiered), but both dip several-fold
+        // under host contention, so the floors keep a wide margin.
+        assert!(quant_speedup >= 0.3, "quant pass {quant_speedup:.2}x of memoized f32 below the 0.3x regression floor");
+        assert!(
+            tiered_speedup >= 0.1,
+            "tiered top-{top_k} pass {tiered_speedup:.2}x of memoized f32 below the 0.1x regression floor"
+        );
+        println!(
+            "check mode: serving floors hold (memo >= 3x, hit rate >= 0.85, 4-session >= 1.5x, warm start >= 5x, \
+             quant >= 0.3x memo, tiered >= 0.1x memo)"
+        );
     }
 }

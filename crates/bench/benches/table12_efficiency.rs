@@ -113,10 +113,12 @@ fn main() {
     //   <label>         optimized per-node path (inference tape)
     //   <label>BatchRef pre-optimization level-batched path
     //   <label>Batch    optimized level-batched path
+    let truths: Vec<f64> = suite.test.iter().map(|s| s.true_cardinality()).collect();
     let mut speedups = String::new();
     let mut floor_checks: Vec<(String, f64, f64)> = Vec::new();
+    let mut q8_checks: Vec<(String, f64, f64)> = Vec::new();
     for (label, predicate) in [("TLSTM", PredicateModelKind::TreeLstm), ("TPool", PredicateModelKind::MinMaxPool)] {
-        let (est, test_encoded) = pipeline.train_tree_model(
+        let (mut est, test_encoded) = pipeline.train_tree_model(
             &suite,
             RepresentationCellKind::Lstm,
             predicate,
@@ -161,13 +163,46 @@ fn main() {
         );
         report(&mut rows, &format!("{label}Batch"), batched, n);
 
+        // Int8 tier: the same level-batched path over per-channel quantized
+        // weights (dynamic per-column activation quantization, dispatched
+        // i8 dot kernels).  The accuracy cost is recorded alongside the
+        // throughput win as the relative mean q-error shift vs the f32 rows.
+        assert!(est.ensure_quantized(), "bench model must quantize at least one weight matrix");
+        let batched_q8 = time_reps(
+            reps,
+            || (),
+            || {
+                est.estimate_encoded_batch_quant(&test_encoded);
+            },
+        );
+        report(&mut rows, &format!("{label}BatchQ8"), batched_q8, n);
+        let q8_vs_batch = batched / batched_q8;
+        let mean_qerr = |ests: &[(f64, f64)]| {
+            let errs: Vec<f64> = ests
+                .iter()
+                .zip(&truths)
+                .filter(|(_, &t)| t > 0.0)
+                .map(|(&(_, card), &t)| metrics::q_error(card, t))
+                .collect();
+            errs.iter().sum::<f64>() / errs.len().max(1) as f64
+        };
+        let qerr_f32 = mean_qerr(&est.estimate_encoded_batch(&test_encoded));
+        let qerr_q8 = mean_qerr(&est.estimate_encoded_batch_quant(&test_encoded));
+        let qerr_shift = (qerr_q8 - qerr_f32) / qerr_f32;
+
         let vs_per_node = per_node_ref / batched;
         let vs_per_node_optimized = per_node / batched;
         let vs_reference = reference / batched;
         floor_checks.push((label.to_string(), vs_per_node, vs_reference));
+        q8_checks.push((label.to_string(), q8_vs_batch, qerr_shift));
         println!(
             "{label}: batch is {vs_per_node:.1}x naive per-node ({vs_per_node_optimized:.1}x optimized per-node), \
              {vs_reference:.1}x pre-optimization batch"
+        );
+        println!(
+            "{label}: int8 tier is {q8_vs_batch:.1}x the f32 batch; mean card q-error {qerr_f32:.3} -> {qerr_q8:.3} \
+             ({:+.1}% shift)",
+            qerr_shift * 100.0
         );
         if !speedups.is_empty() {
             speedups.push(',');
@@ -175,17 +210,23 @@ fn main() {
         let _ = write!(
             speedups,
             "\n    \"{}\": {{ \"batch_vs_per_node\": {:.3}, \"batch_vs_per_node_optimized\": {:.3}, \
-             \"batch_vs_reference\": {:.3} }}",
+             \"batch_vs_reference\": {:.3}, \"q8_vs_batch\": {:.3}, \"mean_qerr_f32\": {:.4}, \
+             \"mean_qerr_q8\": {:.4}, \"qerr_rel_shift\": {:.4} }}",
             label.to_lowercase(),
             vs_per_node,
             vs_per_node_optimized,
-            vs_reference
+            vs_reference,
+            q8_vs_batch,
+            qerr_f32,
+            qerr_q8,
+            qerr_shift
         );
     }
 
     // Emit the machine-readable trajectory record.
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"table12_efficiency\",");
+    let _ = writeln!(json, "  \"host\": {},", bench::host_capabilities_json());
     let _ = writeln!(json, "  \"queries\": {n},");
     let _ = writeln!(json, "  \"reps\": {reps},");
     let _ = writeln!(json, "  \"rows\": [");
@@ -216,6 +257,17 @@ fn main() {
                 "{label}: batch_vs_reference {vs_reference:.2}x below the 2x regression floor"
             );
         }
-        println!("check mode: speed-up floors hold (batch_vs_per_node >= 5x, batch_vs_reference >= 2x)");
+        for (label, q8_vs_batch, qerr_shift) in &q8_checks {
+            assert!(*q8_vs_batch >= 2.0, "{label}: q8_vs_batch {q8_vs_batch:.2}x below the 2x regression floor");
+            assert!(
+                *qerr_shift <= 0.10,
+                "{label}: int8 tier degrades mean q-error by {:.1}% (> 10% budget)",
+                qerr_shift * 100.0
+            );
+        }
+        println!(
+            "check mode: speed-up floors hold (batch_vs_per_node >= 5x, batch_vs_reference >= 2x, \
+             q8_vs_batch >= 2x, q-error shift <= 10%)"
+        );
     }
 }

@@ -40,6 +40,35 @@ pub fn time_reps(reps: usize, mut before: impl FnMut(), mut f: impl FnMut()) -> 
     best
 }
 
+/// Host capability metadata as a single-line JSON object — logical cpus,
+/// the runtime-detected SIMD feature set and which kernel dispatch path
+/// `nn::simd` selected for this process (`"scalar"` under
+/// `E2E_FORCE_SCALAR`).  Every bench harness embeds this in its
+/// `BENCH_*.json` so recorded numbers carry the hardware they came from.
+pub fn host_capabilities_json() -> String {
+    let cpus = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    #[allow(unused_mut)]
+    let mut features: Vec<&str> = Vec::new();
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            features.push("avx2");
+        }
+        if std::arch::is_x86_feature_detected!("fma") {
+            features.push("fma");
+        }
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            features.push("avx512f");
+        }
+    }
+    let features = features.iter().map(|f| format!("\"{f}\"")).collect::<Vec<_>>().join(", ");
+    format!(
+        "{{ \"cpus\": {cpus}, \"arch\": \"{}\", \"target_features\": [{features}], \"simd_dispatch\": \"{}\" }}",
+        std::env::consts::ARCH,
+        nn::simd::path_name()
+    )
+}
+
 /// Experiment scale knobs (read from the environment with small defaults).
 #[derive(Debug, Clone, Copy)]
 pub struct BenchScale {
@@ -180,6 +209,17 @@ impl Default for Pipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn host_capabilities_json_names_the_dispatch_path() {
+        let json = host_capabilities_json();
+        assert!(json.contains("\"cpus\":"), "missing cpus: {json}");
+        assert!(json.contains("\"target_features\":"), "missing features: {json}");
+        assert!(
+            json.contains("\"simd_dispatch\": \"avx2\"") || json.contains("\"simd_dispatch\": \"scalar\""),
+            "missing dispatch path: {json}"
+        );
+    }
 
     #[test]
     fn scale_env_defaults_are_sane() {

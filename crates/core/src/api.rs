@@ -7,7 +7,7 @@
 //! cardinality)` of new physical plans.
 
 use crate::backend::{Estimator, EstimatorCapabilities, PlanEstimate, TrainableEstimator};
-use crate::batch::{estimate_batch, estimate_batch_memo};
+use crate::batch::{estimate_batch, estimate_batch_memo, estimate_batch_memo_quant, estimate_batch_quant};
 use crate::checkpoint;
 use crate::memory::{RepresentationMemoryPool, SubtreeStateCache};
 use crate::model::{ModelConfig, TaskMode, TreeModel};
@@ -15,6 +15,7 @@ use crate::trainer::{EpochStats, TargetNormalization, TrainConfig, Trainer};
 use featurize::{EncodedPlan, FeatureExtractor};
 use nn::checkpoint as ckpt;
 use nn::checkpoint::CheckpointError;
+use nn::QuantWeights;
 use query::PlanNode;
 use std::io::Write as _;
 use std::path::Path;
@@ -28,6 +29,12 @@ pub struct CostEstimator {
     train_config: TrainConfig,
     pool: RepresentationMemoryPool,
     subtree_cache: Arc<SubtreeStateCache>,
+    /// Per-channel int8 form of the fitted weights (the cheap serving tier);
+    /// derived on demand or restored from a v3 checkpoint.
+    quant: Option<Arc<QuantWeights>>,
+    /// Subtree-state cache dedicated to the quantized tier — int8 states are
+    /// not bit-compatible with the f32 tier's, so the tiers never share one.
+    quant_cache: Arc<SubtreeStateCache>,
 }
 
 impl CostEstimator {
@@ -40,6 +47,8 @@ impl CostEstimator {
             train_config,
             pool: RepresentationMemoryPool::new(),
             subtree_cache: Arc::new(SubtreeStateCache::new()),
+            quant: None,
+            quant_cache: Arc::new(SubtreeStateCache::new()),
         }
     }
 
@@ -48,10 +57,33 @@ impl CostEstimator {
     /// cleared in place, so an outstanding owned [`ServingEstimator`] keeps
     /// its consistent (old model, old cache) pair while this estimator's
     /// next handle starts empty — nothing computed under the old parameters
-    /// can ever serve the new ones, in either direction.
+    /// can ever serve the new ones, in either direction.  The quantized
+    /// weights and their tier cache are dropped too: both derive from the
+    /// parameters that just changed.
     fn invalidate_caches(&mut self) {
         self.pool.clear();
         self.subtree_cache = Arc::new(SubtreeStateCache::new());
+        self.quant = None;
+        self.quant_cache = Arc::new(SubtreeStateCache::new());
+    }
+
+    /// Derive the per-channel int8 weights for the fitted model if not
+    /// already present (from a fit in this process or a v3 checkpoint).
+    /// Idempotent; returns whether quantized weights are now available.
+    ///
+    /// # Panics
+    /// Panics if the estimator has not been fitted.
+    pub fn ensure_quantized(&mut self) -> bool {
+        let trainer = self.trainer.as_ref().expect("CostEstimator::ensure_quantized called before fit");
+        if self.quant.is_none() {
+            self.quant = Some(Arc::new(QuantWeights::from_store(&trainer.model.params)));
+        }
+        self.quant.as_ref().is_some_and(|q| q.n_quantized() > 0)
+    }
+
+    /// True when the int8 serving tier is available.
+    pub fn has_quantized_weights(&self) -> bool {
+        self.quant.as_ref().is_some_and(|q| q.n_quantized() > 0)
     }
 
     /// The feature extractor (exposed for encoding plans externally).
@@ -156,6 +188,24 @@ impl CostEstimator {
         estimate_batch(&trainer.model, &trainer.model.params, &trainer.normalization, plans)
     }
 
+    /// Level-batched estimation through the int8 tier: quantized weight
+    /// matmuls, no memoization — the Q8 counterpart of
+    /// [`CostEstimator::estimate_encoded_batch`] (the Table-12 Q8 rows).
+    /// Falls back to the f32 batch when no quantized weights are available.
+    ///
+    /// # Panics
+    /// Panics if the estimator has not been fitted.
+    pub fn estimate_encoded_batch_quant(&self, plans: &[EncodedPlan]) -> Vec<(f64, f64)> {
+        let trainer = self.trainer.as_ref().expect("CostEstimator::estimate_encoded_batch_quant called before fit");
+        let refs: Vec<&EncodedPlan> = plans.iter().collect();
+        match self.quant.as_ref().filter(|q| q.n_quantized() > 0) {
+            Some(quant) => {
+                estimate_batch_quant(&trainer.model, &trainer.model.params, quant, &trainer.normalization, &refs)
+            }
+            None => estimate_batch(&trainer.model, &trainer.model.params, &trainer.normalization, plans),
+        }
+    }
+
     /// Memoized batched estimation against this estimator's subtree-state
     /// cache: candidate plans sharing sub-plans (a DP enumeration) embed
     /// each distinct subtree once.  Results are bit-identical to
@@ -186,6 +236,8 @@ impl CostEstimator {
             model: Arc::clone(&trainer.model),
             normalization: trainer.normalization,
             cache: Arc::clone(&self.subtree_cache),
+            quant: self.quant.clone(),
+            quant_cache: Arc::clone(&self.quant_cache),
         }
     }
 
@@ -232,8 +284,24 @@ impl CostEstimator {
     /// (Format v2 additionally appends the trainer's resumable state —
     /// schedule position, Adam step counter + moments, early-stop state —
     /// when the model was trained in this process; see
-    /// [`CostEstimator::resume_from_checkpoint`].)
+    /// [`CostEstimator::resume_from_checkpoint`].  Format v3 appends the
+    /// per-channel int8 quantized weights — quantized on the fly here if
+    /// not already derived — so a loaded checkpoint serves the two-tier
+    /// path without re-quantizing; see
+    /// [`CostEstimator::save_checkpoint_full_precision`] to opt out.)
     pub fn save_checkpoint(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        self.save_checkpoint_impl(path.as_ref(), true)
+    }
+
+    /// [`CostEstimator::save_checkpoint`] without the v3 quantized-weights
+    /// block: the file stays format v3 but carries only the f32 parameters,
+    /// and loading it serves full-precision only (until
+    /// [`CostEstimator::ensure_quantized`] re-derives the int8 tier).
+    pub fn save_checkpoint_full_precision(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        self.save_checkpoint_impl(path.as_ref(), false)
+    }
+
+    fn save_checkpoint_impl(&self, path: &Path, with_quant: bool) -> Result<(), CheckpointError> {
         let trainer = self.trainer.as_ref().ok_or(CheckpointError::Unsupported("save_checkpoint called before fit"))?;
         let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
         ckpt::write_header(&mut w, ckpt::KIND_TREE_ESTIMATOR)?;
@@ -243,6 +311,22 @@ impl CostEstimator {
         checkpoint::write_encoder_fingerprint(&mut w, &self.extractor)?;
         trainer.model.params.save_to(&mut w)?;
         trainer.write_training_state(&mut w)?;
+        if with_quant {
+            // Reuse the already-derived int8 weights when present, else
+            // quantize on the fly for the file only (a `&self` save cannot
+            // cache them back).
+            let derived;
+            let quant = match &self.quant {
+                Some(q) => q.as_ref(),
+                None => {
+                    derived = QuantWeights::from_store(&trainer.model.params);
+                    &derived
+                }
+            };
+            checkpoint::write_quant_weights(&mut w, Some(quant))?;
+        } else {
+            checkpoint::write_quant_weights(&mut w, None)?;
+        }
         Ok(w.flush()?)
     }
 
@@ -299,11 +383,16 @@ impl CostEstimator {
                 return Err(CheckpointError::Unsupported("checkpoint was saved without training state"));
             }
         }
+        // v3 optionally trails the per-channel int8 weights; a v3 file
+        // without the block (or any older file) loads full-precision only.
+        let quant =
+            if version >= 3 { checkpoint::read_quant_weights(&mut r, trainer.model.params.len())? } else { None };
         self.model_config = model_config;
         self.trainer = Some(trainer);
         // Same invalidation as re-fit: cached estimates and subtree states
         // belong to the parameters this load just replaced.
         self.invalidate_caches();
+        self.quant = quant.map(Arc::new);
         Ok(())
     }
 }
@@ -379,6 +468,12 @@ pub struct ServingEstimator {
     model: Arc<TreeModel>,
     normalization: TargetNormalization,
     cache: Arc<SubtreeStateCache>,
+    /// The int8 serving tier, when the source estimator had one derived
+    /// ([`CostEstimator::ensure_quantized`]) or loaded from a v3 checkpoint.
+    quant: Option<Arc<QuantWeights>>,
+    /// Subtree cache for the quantized tier — never shared with `cache`,
+    /// because int8 states are not bit-compatible with f32 states.
+    quant_cache: Arc<SubtreeStateCache>,
 }
 
 impl ServingEstimator {
@@ -389,9 +484,76 @@ impl ServingEstimator {
         estimate_batch_memo(&self.model, &self.model.params, &self.normalization, plans, self.cache.as_ref())
     }
 
+    /// True when this handle can serve the int8 tier (and therefore the
+    /// tiered path actually escalates rather than degenerating to f32).
+    pub fn has_quantized_weights(&self) -> bool {
+        self.quant.as_ref().is_some_and(|q| q.n_quantized() > 0)
+    }
+
+    /// Score a batch on the quantized tier only: approximate (per-channel
+    /// int8 weight matmuls) but cheap, memoized against the tier's own
+    /// subtree cache.  Falls back to the full-precision path when the
+    /// handle carries no quantized weights.
+    pub fn estimate_encoded_batch_quant(&self, plans: &[&EncodedPlan]) -> Vec<(f64, f64)> {
+        match &self.quant {
+            Some(quant) => estimate_batch_memo_quant(
+                &self.model,
+                &self.model.params,
+                quant,
+                &self.normalization,
+                plans,
+                self.quant_cache.as_ref(),
+            ),
+            None => self.estimate_encoded_batch(plans),
+        }
+    }
+
+    /// Two-tier scoring for optimizer-in-the-loop serving: every candidate
+    /// is first scored on the cheap int8 tier, then the `top_k` candidates
+    /// with the **lowest** approximate cost — the ones the optimizer is
+    /// actually about to choose between — are re-scored at full precision
+    /// through the memoized f32 path.  Results come back in input order;
+    /// escalated plans carry f32-tier estimates (bit-identical to
+    /// [`ServingEstimator::estimate_encoded_batch`] for those plans), the
+    /// rest keep their quantized estimates.
+    ///
+    /// Degenerate cases: no quantized weights or `top_k >= plans.len()`
+    /// serve the whole batch at full precision; `top_k == 0` stays entirely
+    /// on the quantized tier.
+    pub fn estimate_encoded_batch_tiered(&self, plans: &[&EncodedPlan], top_k: usize) -> Vec<(f64, f64)> {
+        if plans.is_empty() {
+            return Vec::new();
+        }
+        if !self.has_quantized_weights() || top_k >= plans.len() {
+            return self.estimate_encoded_batch(plans);
+        }
+        let mut out = self.estimate_encoded_batch_quant(plans);
+        if top_k == 0 {
+            return out;
+        }
+        // Rank by approximate cost ascending (ties broken by input order for
+        // determinism) and escalate the cheapest-looking top_k.
+        let mut order: Vec<usize> = (0..plans.len()).collect();
+        order.sort_by(|&a, &b| {
+            out[a].0.partial_cmp(&out[b].0).unwrap_or(std::cmp::Ordering::Equal).then_with(|| a.cmp(&b))
+        });
+        let survivors = &order[..top_k];
+        let survivor_plans: Vec<&EncodedPlan> = survivors.iter().map(|&i| plans[i]).collect();
+        let exact = self.estimate_encoded_batch(&survivor_plans);
+        for (&i, e) in survivors.iter().zip(exact) {
+            out[i] = e;
+        }
+        out
+    }
+
     /// The shared subtree-state cache (for hit-rate reporting).
     pub fn cache(&self) -> &SubtreeStateCache {
         self.cache.as_ref()
+    }
+
+    /// The quantized tier's subtree-state cache.
+    pub fn quant_cache(&self) -> &SubtreeStateCache {
+        self.quant_cache.as_ref()
     }
 
     /// The pinned model weights (shared with every clone of this handle).
@@ -505,6 +667,84 @@ mod tests {
         // Re-fitting invalidates the cached states.
         est.fit(&plans);
         assert!(est.subtree_cache().is_empty());
+    }
+
+    #[test]
+    fn tiered_serving_escalates_top_k_to_full_precision() {
+        let (mut est, db) = make_estimator();
+        let plans = executed_plans(&db, 16);
+        est.fit(&plans);
+        assert!(!est.has_quantized_weights(), "quantized tier is opt-in");
+        assert!(est.ensure_quantized());
+        assert!(est.has_quantized_weights());
+        let encoded: Vec<EncodedPlan> = plans.iter().map(|p| est.encode(p)).collect();
+        let refs: Vec<&EncodedPlan> = encoded.iter().collect();
+        let serving = est.serving();
+        assert!(serving.has_quantized_weights());
+
+        let full = serving.estimate_encoded_batch(&refs);
+        let quant = serving.estimate_encoded_batch_quant(&refs);
+        let top_k = 4;
+        let tiered = serving.estimate_encoded_batch_tiered(&refs, top_k);
+
+        // The top_k candidates by approximate cost carry f32-tier estimates
+        // (bit-identical to the full-precision path); the rest keep their
+        // quantized estimates.
+        let mut order: Vec<usize> = (0..refs.len()).collect();
+        order.sort_by(|&a, &b| quant[a].0.partial_cmp(&quant[b].0).expect("finite").then_with(|| a.cmp(&b)));
+        let escalated: std::collections::HashSet<usize> = order[..top_k].iter().copied().collect();
+        for i in 0..refs.len() {
+            if escalated.contains(&i) {
+                assert_eq!(tiered[i], full[i], "escalated plan {i} must serve the f32 estimate");
+            } else {
+                assert_eq!(tiered[i], quant[i], "non-escalated plan {i} must keep its quantized estimate");
+            }
+        }
+
+        // Degenerate top_k values.
+        assert_eq!(serving.estimate_encoded_batch_tiered(&refs, refs.len()), full);
+        assert_eq!(serving.estimate_encoded_batch_tiered(&refs, 0), quant);
+        // A handle without quantized weights serves full precision.
+        let (mut plain, _db2) = make_estimator();
+        plain.fit(&plans);
+        assert!(!plain.serving().has_quantized_weights());
+    }
+
+    #[test]
+    fn v3_checkpoint_roundtrips_quantized_weights() {
+        let (mut est, db) = make_estimator();
+        let plans = executed_plans(&db, 14);
+        est.fit(&plans);
+        est.ensure_quantized();
+        let encoded: Vec<EncodedPlan> = plans.iter().map(|p| est.encode(p)).collect();
+        let refs: Vec<&EncodedPlan> = encoded.iter().collect();
+        let want_quant = bits(&est.serving().estimate_encoded_batch_quant(&refs));
+
+        // Default save carries the int8 block; the reloaded estimator serves
+        // the quantized tier bit-identically without re-quantizing.
+        let path = temp_ckpt("v3-quant");
+        est.save_checkpoint(&path).expect("save");
+        let (mut warm, _warm_db) = make_estimator();
+        warm.load_checkpoint(&path).expect("load");
+        assert!(warm.has_quantized_weights(), "v3 load must restore the quantized tier");
+        let warm_encoded: Vec<EncodedPlan> = plans.iter().map(|p| warm.encode(p)).collect();
+        let warm_refs: Vec<&EncodedPlan> = warm_encoded.iter().collect();
+        assert_eq!(bits(&warm.serving().estimate_encoded_batch_quant(&warm_refs)), want_quant);
+        let _ = std::fs::remove_file(&path);
+
+        // The full-precision save writes a v3 file without the block.
+        let path = temp_ckpt("v3-noquant");
+        est.save_checkpoint_full_precision(&path).expect("save full precision");
+        let (mut fp, _fp_db) = make_estimator();
+        fp.load_checkpoint(&path).expect("load full precision");
+        assert!(!fp.has_quantized_weights(), "full-precision v3 file must not carry the int8 tier");
+        let fp_encoded: Vec<EncodedPlan> = plans.iter().map(|p| fp.encode(p)).collect();
+        assert_eq!(
+            bits(&fp.estimate_encoded_batch_memo(&fp_encoded)),
+            bits(&est.estimate_encoded_batch_memo(&encoded)),
+            "f32 estimates must be unaffected by the missing quant block"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 
     fn temp_ckpt(tag: &str) -> std::path::PathBuf {

@@ -40,7 +40,7 @@ use crate::model::TreeModel;
 use crate::trainer::TargetNormalization;
 use featurize::EncodedPlan;
 use nn::cells::CellOutput;
-use nn::{Graph, NodeId, ParamStore};
+use nn::{Graph, NodeId, ParamStore, QuantWeights};
 use rayon::prelude::*;
 
 /// Plans per parallel group.  Large enough that the per-level matrices fill
@@ -205,6 +205,20 @@ fn estimate_group(
 /// # Panics
 /// Panics if `plans` is empty.
 pub fn forward_batch(model: &TreeModel, store: &ParamStore, g: &mut Graph, plans: &[&EncodedPlan]) -> (NodeId, NodeId) {
+    forward_batch_q(model, store, None, g, plans)
+}
+
+/// Tier-aware [`forward_batch`]: every weight matrix present in `quant` runs
+/// its matmuls on the int8 tier, dequantizing into the same f32 tape states
+/// the full-precision path produces.  With `quant = None` this **is**
+/// [`forward_batch`].
+pub fn forward_batch_q(
+    model: &TreeModel,
+    store: &ParamStore,
+    quant: Option<&QuantWeights>,
+    g: &mut Graph,
+    plans: &[&EncodedPlan],
+) -> (NodeId, NodeId) {
     assert!(!plans.is_empty(), "forward_batch needs at least one plan");
     let mut flat: Vec<FlatNode> = Vec::new();
     let mut roots = Vec::with_capacity(plans.len());
@@ -233,7 +247,7 @@ pub fn forward_batch(model: &TreeModel, store: &ParamStore, g: &mut Graph, plans
         // Batched feature embedding for the level: the op/meta/sample
         // embedding layers run once over column-stacked inputs.
         let feats: Vec<&featurize::NodeFeatures> = level_nodes.iter().map(|&i| &flat[i].encoded.features).collect();
-        let x_batch = model.embed_nodes_batch(g, store, &feats);
+        let x_batch = model.embed_nodes_batch_q(g, store, quant, &feats);
 
         // Batched children states: for each node take its (left, right) child
         // state columns, using zero states for missing children.
@@ -253,7 +267,7 @@ pub fn forward_batch(model: &TreeModel, store: &ParamStore, g: &mut Graph, plans
         let left = CellOutput { g: g.gather_cols(&left_g), r: g.gather_cols(&left_r) };
         let right = CellOutput { g: g.gather_cols(&right_g), r: g.gather_cols(&right_r) };
 
-        let out = model.apply_cell(g, store, x_batch, left, right);
+        let out = model.apply_cell_q(g, store, quant, x_batch, left, right);
         for (col, &i) in level_nodes.iter().enumerate() {
             states[i] = Some(StateRef { g: (out.g, col), r: (out.r, col) });
         }
@@ -262,7 +276,7 @@ pub fn forward_batch(model: &TreeModel, store: &ParamStore, g: &mut Graph, plans
     // Batched estimation heads over all roots at once.
     let root_rs: Vec<(NodeId, usize)> = roots.iter().map(|&r| states[r].expect("root state computed").r).collect();
     let r_batch = g.gather_cols(&root_rs);
-    model.estimate_from_representation(g, store, r_batch)
+    model.estimate_from_representation_q(g, store, quant, r_batch)
 }
 
 /// Flattened view of one node in a memoized batch: either a fresh node to
@@ -348,6 +362,24 @@ pub fn forward_batch_memo(
     plans: &[&EncodedPlan],
     cache: &SubtreeStateCache,
 ) -> (NodeId, NodeId) {
+    forward_batch_memo_q(model, store, None, g, plans, cache)
+}
+
+/// Tier-aware [`forward_batch_memo`].
+///
+/// The caller owns tier/cache separation: a quantized pass must use its own
+/// [`SubtreeStateCache`] (never the full-precision one), because the states
+/// it memoizes are computed through int8 matmuls and are **not**
+/// bit-compatible with the f32 tier's entries.  Within one tier the usual
+/// bit-identity guarantee holds unchanged.
+pub fn forward_batch_memo_q(
+    model: &TreeModel,
+    store: &ParamStore,
+    quant: Option<&QuantWeights>,
+    g: &mut Graph,
+    plans: &[&EncodedPlan],
+    cache: &SubtreeStateCache,
+) -> (NodeId, NodeId) {
     assert!(!plans.is_empty(), "forward_batch_memo needs at least one plan");
     let hidden = model.config.hidden_dim;
     let mut flat: Vec<MemoFlatNode> = Vec::new();
@@ -395,7 +427,7 @@ pub fn forward_batch_memo(
             continue;
         }
         let feats: Vec<&featurize::NodeFeatures> = level_nodes.iter().map(|&i| &flat[i].encoded.features).collect();
-        let x_batch = model.embed_nodes_batch(g, store, &feats);
+        let x_batch = model.embed_nodes_batch_q(g, store, quant, &feats);
 
         let mut left_g = Vec::with_capacity(level_nodes.len());
         let mut left_r = Vec::with_capacity(level_nodes.len());
@@ -413,7 +445,7 @@ pub fn forward_batch_memo(
         let left = CellOutput { g: g.gather_cols(&left_g), r: g.gather_cols(&left_r) };
         let right = CellOutput { g: g.gather_cols(&right_g), r: g.gather_cols(&right_r) };
 
-        let out = model.apply_cell(g, store, x_batch, left, right);
+        let out = model.apply_cell_q(g, store, quant, x_batch, left, right);
         for (col, &i) in level_nodes.iter().enumerate() {
             states[i] = Some(StateRef { g: (out.g, col), r: (out.r, col) });
             let mut sg = Vec::with_capacity(hidden);
@@ -426,7 +458,7 @@ pub fn forward_batch_memo(
 
     let root_rs: Vec<(NodeId, usize)> = roots.iter().map(|&r| states[r].expect("root state computed").r).collect();
     let r_batch = g.gather_cols(&root_rs);
-    model.estimate_from_representation(g, store, r_batch)
+    model.estimate_from_representation_q(g, store, quant, r_batch)
 }
 
 /// Memoized batched estimation: [`estimate_batch`] through
@@ -448,6 +480,53 @@ pub fn estimate_batch_memo(
     for chunk in plans.chunks(GROUP_SIZE) {
         out.extend(with_inference_tape(|g| {
             let (cost_out, card_out) = forward_batch_memo(model, store, g, chunk, cache);
+            denormalize_outputs(g, normalization, cost_out, card_out, chunk.len())
+        }));
+    }
+    out
+}
+
+/// Quantized-tier batched estimation: [`estimate_batch_refs`] through
+/// [`forward_batch_q`].  Approximate (int8 weight matmuls) but cheap — the
+/// first pass of the two-tier serving path.
+pub fn estimate_batch_quant(
+    model: &TreeModel,
+    store: &ParamStore,
+    quant: &QuantWeights,
+    normalization: &TargetNormalization,
+    plans: &[&EncodedPlan],
+) -> Vec<(f64, f64)> {
+    if plans.is_empty() {
+        return Vec::new();
+    }
+    let group = |chunk: &[&EncodedPlan]| {
+        with_inference_tape(|g| {
+            let (cost_out, card_out) = forward_batch_q(model, store, Some(quant), g, chunk);
+            denormalize_outputs(g, normalization, cost_out, card_out, chunk.len())
+        })
+    };
+    if plans.len() <= GROUP_SIZE {
+        return group(plans);
+    }
+    let groups: Vec<Vec<(f64, f64)>> = plans.par_chunks(GROUP_SIZE).map(group).collect();
+    groups.concat()
+}
+
+/// Quantized-tier memoized estimation: [`estimate_batch_memo`] on the int8
+/// tier.  `qcache` must be a cache dedicated to this tier (see
+/// [`forward_batch_memo_q`] on tier/cache separation).
+pub fn estimate_batch_memo_quant(
+    model: &TreeModel,
+    store: &ParamStore,
+    quant: &QuantWeights,
+    normalization: &TargetNormalization,
+    plans: &[&EncodedPlan],
+    qcache: &SubtreeStateCache,
+) -> Vec<(f64, f64)> {
+    let mut out = Vec::with_capacity(plans.len());
+    for chunk in plans.chunks(GROUP_SIZE) {
+        out.extend(with_inference_tape(|g| {
+            let (cost_out, card_out) = forward_batch_memo_q(model, store, Some(quant), g, chunk, qcache);
             denormalize_outputs(g, normalization, cost_out, card_out, chunk.len())
         }));
     }
@@ -730,6 +809,52 @@ mod tests {
         // The second pass embeds exactly one new node per distinct plan (the
         // join root); every scan state is injected from the cache.
         assert_eq!(computed_total - computed_leaves, plans.len() as u64);
+    }
+
+    #[test]
+    fn quantized_batch_tracks_full_precision_and_memoizes_bit_identically() {
+        let (plans, cfg) = samples(12);
+        let model = TreeModel::new(
+            &cfg,
+            ModelConfig { feature_embed_dim: 8, hidden_dim: 12, estimation_hidden_dim: 8, ..Default::default() },
+        );
+        let trainer = Trainer::new(model, &plans, TrainConfig::default());
+        let refs: Vec<&EncodedPlan> = plans.iter().collect();
+        let quant = QuantWeights::from_store(&trainer.model.params);
+        assert!(quant.n_quantized() > 0, "model has weight matrices to quantize");
+
+        let full = estimate_batch(&trainer.model, &trainer.model.params, &trainer.normalization, &plans);
+        let quantized =
+            estimate_batch_quant(&trainer.model, &trainer.model.params, &quant, &trainer.normalization, &refs);
+        assert_eq!(quantized.len(), full.len());
+        for ((fc, fk), (qc, qk)) in full.iter().zip(quantized.iter()) {
+            // int8 weights are approximate; estimates must stay within a
+            // modest log-space band of the f32 tier.
+            assert!((fc.ln() - qc.ln()).abs() < 0.5, "quant cost diverged: {fc} vs {qc}");
+            assert!((fk.ln() - qk.ln()).abs() < 0.5, "quant card diverged: {fk} vs {qk}");
+        }
+
+        // Within the quantized tier the memoized path keeps bit-identity,
+        // against a cache dedicated to that tier.
+        let qcache = crate::memory::SubtreeStateCache::new();
+        let cold = estimate_batch_memo_quant(
+            &trainer.model,
+            &trainer.model.params,
+            &quant,
+            &trainer.normalization,
+            &refs,
+            &qcache,
+        );
+        assert_eq!(quantized, cold, "cold quant-memoized estimates must match the fresh quant path");
+        let warm = estimate_batch_memo_quant(
+            &trainer.model,
+            &trainer.model.params,
+            &quant,
+            &trainer.normalization,
+            &refs,
+            &qcache,
+        );
+        assert_eq!(quantized, warm, "warm quant-memoized estimates must match the fresh quant path");
     }
 
     #[test]

@@ -1,0 +1,73 @@
+//! Component-level profile of the int8 tier's building blocks (pack,
+//! pair-GEMM, gate sweeps) against their f32 counterparts — the dev tool
+//! behind the numbers in `docs/perf.md` §6.  Not a regression gate; the
+//! end-to-end floors live in the `bench` crate's check mode.
+//!
+//! `cargo run -p nn --release --example profile_quant`
+
+use nn::matrix::Matrix;
+use nn::quant::QuantMatrix;
+use nn::simd;
+use std::time::Instant;
+
+fn lcg(n: usize, mut seed: u32) -> Vec<f32> {
+    (0..n)
+        .map(|_| {
+            seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+            (seed >> 8) as f32 / (1u32 << 24) as f32 * 2.0 - 1.0
+        })
+        .collect()
+}
+
+fn time_ns(iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e9 / iters as f64
+}
+
+fn main() {
+    let (rows, depth) = (32usize, 48usize);
+    for n in [1usize, 8, 16, 64] {
+        let w = Matrix::from_vec(rows, depth, lcg(rows * depth, 1));
+        let x = Matrix::from_vec(depth, n, lcg(depth * n, 2));
+        let q = QuantMatrix::quantize(&w);
+        let mut out = Matrix::zeros(rows, n);
+
+        let f32_ns = time_ns(20000, || w.matmul_into(&x, &mut out));
+        let q8_ns = time_ns(20000, || q.matmul_into(&x, &mut out));
+        let pack_ns = time_ns(20000, || {
+            std::hint::black_box(nn::quant::PackedActivations::pack(&x));
+        });
+        let packed = nn::quant::PackedActivations::pack(&x);
+        let gemm_ns = time_ns(20000, || q.matmul_packed(&packed, &mut out));
+
+        // activation sweep at gate shape (rows x n per gate, 4 gates)
+        let mut g0 = lcg(rows * n, 3);
+        let mut g1 = lcg(rows * n, 4);
+        let mut g2 = lcg(rows * n, 5);
+        let mut g3 = lcg(rows * n, 6);
+        let gate_ns = time_ns(20000, || {
+            simd::lstm_gate_sweep(&mut g0, &mut g1, &mut g2, &mut g3);
+        });
+        let gate_fast_ns = time_ns(20000, || {
+            simd::lstm_gate_sweep_fast(&mut g0, &mut g1, &mut g2, &mut g3);
+        });
+
+        // plain tanh pass at hidden-state shape
+        let mut h = lcg(rows * n, 7);
+        let tanh_ns = time_ns(20000, || {
+            for v in h.iter_mut() {
+                *v = v.tanh();
+            }
+        });
+
+        println!(
+            "n={n:>3}  f32 matmul {f32_ns:>9.0} ns   q8 matmul {q8_ns:>9.0} ns ({:.2}x f32; pack {pack_ns:>7.0} \
+             gemm {gemm_ns:>7.0})   gate sweep {gate_ns:>9.0} ns (fast {gate_fast_ns:>8.0} ns)   tanh(32xN) {tanh_ns:>8.0} ns",
+            q8_ns / f32_ns
+        );
+    }
+}

@@ -29,7 +29,13 @@ pub const MAGIC: [u8; 8] = *b"E2ECKPT\0";
 ///   moments, epochs completed, early-stop state) so training resumes
 ///   bit-identically from a checkpoint.  The shared header and every v1
 ///   section layout are unchanged; v1 files remain loadable.
-pub const FORMAT_VERSION: u32 = 2;
+/// * **v3** — adds an optional trailing *quantized-weights* block to the
+///   tree-estimator section (per-channel symmetric int8 codes + f32 scales
+///   for each 2-D weight matrix, produced at publish time) powering the
+///   tiered inference path.  A presence flag makes the block optional: a
+///   v3 file without it loads full-precision only.  v1/v2 files remain
+///   loadable; [`MIN_FORMAT_VERSION`] is unchanged.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Oldest format version this build still reads.
 pub const MIN_FORMAT_VERSION: u32 = 1;
@@ -270,6 +276,23 @@ pub fn read_f32_vec(r: &mut impl Read, len: u64, what: &'static str) -> Result<V
     let mut buf = vec![0u8; (len as usize) * 4];
     read_exact(r, &mut buf, what)?;
     Ok(buf.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
+}
+
+/// Write an `i8` slice as raw bytes (the v3 quantized-weights payload).
+pub fn write_i8_slice(w: &mut impl Write, data: &[i8]) -> Result<(), CheckpointError> {
+    // i8 -> u8 is a bit-preserving reinterpretation.
+    let bytes: Vec<u8> = data.iter().map(|&v| v as u8).collect();
+    Ok(w.write_all(&bytes)?)
+}
+
+/// Read `len` raw `i8`s, bounding `len` against corrupt headers.
+pub fn read_i8_vec(r: &mut impl Read, len: u64, what: &'static str) -> Result<Vec<i8>, CheckpointError> {
+    if len > MAX_TENSOR_LEN {
+        return Err(CheckpointError::Corrupt(format!("{what} of {len} codes exceeds the sanity bound")));
+    }
+    let mut buf = vec![0u8; len as usize];
+    read_exact(r, &mut buf, what)?;
+    Ok(buf.into_iter().map(|b| b as i8).collect())
 }
 
 #[cfg(test)]

@@ -19,6 +19,9 @@
 //!   cell of Section 4.2.2 ([`cells::TreeLstmCell`]).
 //! * [`Adam`] and [`Sgd`] optimizers and the q-error-based loss of
 //!   Section 4.3 ([`loss`]).
+//! * [`simd`] — runtime-dispatched (AVX2 / scalar) microkernels behind the
+//!   matrix hot loops, and [`quant`] — per-channel symmetric int8 weight
+//!   quantization for the tiered (approximate-first) inference path.
 
 pub mod cells;
 pub mod checkpoint;
@@ -29,7 +32,9 @@ pub mod loss;
 pub mod matrix;
 pub mod optim;
 pub mod params;
+pub mod quant;
 pub mod schedule;
+pub mod simd;
 
 pub use cells::{TreeLstmCell, TreeNnCell};
 pub use checkpoint::CheckpointError;
@@ -39,4 +44,6 @@ pub use loss::{qerror_from_normalized, NormalizationStats};
 pub use matrix::Matrix;
 pub use optim::{Adam, Optimizer, Sgd};
 pub use params::{ParamId, ParamStore};
+pub use quant::{QuantMatrix, QuantWeights};
 pub use schedule::{EarlyStop, MiniBatchSchedule};
+pub use simd::DispatchPath;

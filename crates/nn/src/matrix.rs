@@ -11,7 +11,9 @@
 //! [`Matrix::matmul`] runs a cache-blocked kernel: the right-hand operand is
 //! packed one `KC x NC` tile at a time into a contiguous stack buffer (so the
 //! inner loops walk sequential memory regardless of `B`'s width) and the
-//! innermost update is an 8-wide unrolled axpy the compiler turns into SIMD.
+//! innermost update is a runtime-dispatched axpy/dot microkernel
+//! ([`crate::simd`]) — explicit AVX2 where the host supports it, with a
+//! bit-identical 8-wide unrolled scalar fallback.
 //! `matmul_nt` / `matmul_tn` multiply by a transposed operand *without*
 //! materializing the transpose — they are what `Graph::backward` uses for
 //! `dA = dC·Bᵀ` and `dB = Aᵀ·dC`.
@@ -31,49 +33,19 @@ const KC: usize = 64;
 /// typical L1d, leaving room for the output rows streaming through.
 const NC: usize = 64;
 
-/// 8-wide unrolled `out += a * b` over equal-length slices.
+/// `out += a * b` over equal-length slices, runtime-dispatched to the
+/// explicit AVX2 kernel or its bit-identical scalar fallback
+/// ([`crate::simd::axpy`]).
 #[inline(always)]
 fn axpy8(a: f32, b: &[f32], out: &mut [f32]) {
-    debug_assert_eq!(b.len(), out.len());
-    let split = out.len() - out.len() % 8;
-    let (b_main, b_tail) = b.split_at(split);
-    let (o_main, o_tail) = out.split_at_mut(split);
-    for (o, v) in o_main.chunks_exact_mut(8).zip(b_main.chunks_exact(8)) {
-        o[0] += a * v[0];
-        o[1] += a * v[1];
-        o[2] += a * v[2];
-        o[3] += a * v[3];
-        o[4] += a * v[4];
-        o[5] += a * v[5];
-        o[6] += a * v[6];
-        o[7] += a * v[7];
-    }
-    for (o, &v) in o_tail.iter_mut().zip(b_tail.iter()) {
-        *o += a * v;
-    }
+    crate::simd::axpy(a, b, out);
 }
 
-/// 8-accumulator unrolled dot product of equal-length slices.
+/// Dot product of equal-length slices, runtime-dispatched
+/// ([`crate::simd::dot`]).
 #[inline(always)]
 fn dot8(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    let split = a.len() - a.len() % 8;
-    let mut acc = [0.0f32; 8];
-    for (x, y) in a[..split].chunks_exact(8).zip(b[..split].chunks_exact(8)) {
-        acc[0] += x[0] * y[0];
-        acc[1] += x[1] * y[1];
-        acc[2] += x[2] * y[2];
-        acc[3] += x[3] * y[3];
-        acc[4] += x[4] * y[4];
-        acc[5] += x[5] * y[5];
-        acc[6] += x[6] * y[6];
-        acc[7] += x[7] * y[7];
-    }
-    let mut sum: f32 = a[split..].iter().zip(b[split..].iter()).map(|(x, y)| x * y).sum();
-    for v in acc {
-        sum += v;
-    }
-    sum
+    crate::simd::dot(a, b)
 }
 
 /// Dense row-major matrix of `f32` values.
@@ -854,6 +826,53 @@ mod prop_tests {
             for (x, y) in tn.data().iter().zip(reference.data().iter()) {
                 prop_assert!((x - y).abs() < 1e-4, "matmul_tn {x} vs naive {y}");
             }
+        }
+
+        /// Remainder shapes for the dispatched kernels: extents straddling
+        /// the 8-wide vector boundary, single rows/columns, empty shapes,
+        /// and multi-tile depths/widths — every `matmul_*_into` variant
+        /// against the naive oracle.  The normal test lane exercises the
+        /// AVX2 dispatch path (where the host has it); CI's forced-scalar
+        /// lane re-runs this with `E2E_FORCE_SCALAR=1`, and `crate::simd`'s
+        /// own property tests pin the two paths bit-identical.
+        #[test]
+        fn all_matmul_kernels_match_naive_at_remainder_shapes(
+            m in proptest::sample::select(vec![0usize, 1, 2, 7, 8, 9, 15, 17, 65]),
+            k in proptest::sample::select(vec![0usize, 1, 2, 7, 8, 9, 15, 17, 65, 100]),
+            n in proptest::sample::select(vec![0usize, 1, 2, 7, 8, 9, 15, 17, 65, 100]),
+            seed in 0u32..1_000_000,
+        ) {
+            let lcg = |len: usize, mut s: u32| -> Vec<f32> {
+                (0..len).map(|_| {
+                    s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+                    // Small magnitudes keep accumulated rounding differences
+                    // far inside the strict 1e-4 bound even at depth 100.
+                    (s >> 8) as f32 / (1u32 << 24) as f32 * 0.5 - 0.25
+                }).collect()
+            };
+            let close = |got: &Matrix, want: &Matrix, kernel: &str| -> Result<(), String> {
+                prop_assert_eq!((got.rows(), got.cols()), (want.rows(), want.cols()));
+                for (x, y) in got.data().iter().zip(want.data().iter()) {
+                    prop_assert!((x - y).abs() < 1e-4, "{} {} vs naive {} at {}x{}x{}", kernel, x, y, m, k, n);
+                }
+                Ok(())
+            };
+
+            let a = Matrix::from_vec(m, k, lcg(m * k, seed ^ 0x51));
+            let b = Matrix::from_vec(k, n, lcg(k * n, seed ^ 0xa7));
+            let mut out = Matrix::full(m, n, f32::NAN);
+            a.matmul_into(&b, &mut out);
+            close(&out, &a.matmul_naive(&b), "matmul_into")?;
+
+            let bt = Matrix::from_vec(n, k, lcg(n * k, seed ^ 0x1c3));
+            let mut out = Matrix::full(m, n, f32::NAN);
+            a.matmul_nt_into(&bt, &mut out);
+            close(&out, &a.matmul_naive(&bt.transpose()), "matmul_nt_into")?;
+
+            let c = Matrix::from_vec(m, n, lcg(m * n, seed ^ 0x2e5));
+            let mut out = Matrix::full(k, n, f32::NAN);
+            a.matmul_tn_into(&c, &mut out);
+            close(&out, &a.transpose().matmul_naive(&c), "matmul_tn_into")?;
         }
 
         #[test]

@@ -1,0 +1,918 @@
+//! Runtime-dispatched SIMD microkernels for the matrix hot paths.
+//!
+//! The blocked matmul kernels in [`crate::matrix`] were written as 8-wide
+//! unrolled scalar loops the compiler auto-vectorizes under the workspace's
+//! `target-cpu=x86-64-v3` build flag.  This module makes the vectorization
+//! explicit and *runtime-dispatched*: [`active_path`] probes the host once
+//! (`is_x86_feature_detected!("avx2")`) and every kernel routes to either an
+//! explicit AVX2 implementation or the portable scalar fallback.  Setting
+//! `E2E_FORCE_SCALAR=1` (before the first kernel call) pins the scalar path,
+//! which is how CI's forced-scalar lane runs the whole kernel/quant test
+//! suite without SIMD.
+//!
+//! # Bit-compatibility contract
+//!
+//! Both dispatch paths produce **bit-identical** results for every kernel:
+//!
+//! * The f32 AVX2 kernels are compiled with the `avx2,fma` features enabled
+//!   but deliberately use separate multiply + add intrinsics (never
+//!   `_mm256_fmadd_ps`): FMA contracts the intermediate rounding step and
+//!   would change low-order bits, breaking the golden-checkpoint fixtures
+//!   and the memoized-inference bit-identity guarantees whenever AVX2 and
+//!   scalar hosts (or CI lanes) compare results.  The lane layout mirrors
+//!   the scalar 8-wide unroll exactly — [`dot`] keeps eight independent
+//!   accumulators and reduces them in the same order (remainder tail first,
+//!   then lanes 0..8) — so every intermediate f32 rounding step matches.
+//! * The int8 kernels accumulate in `i32`; integer addition is associative,
+//!   so the two paths agree exactly by construction.
+//!
+//! The property tests at the bottom pin both paths against each other on
+//! remainder shapes (lengths not divisible by the vector width, empty
+//! slices), and `matrix::prop_tests` pins the full matmul kernels against
+//! the naive oracle under both dispatch paths.
+
+use std::sync::OnceLock;
+
+/// Which kernel implementation [`active_path`] selected for this process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchPath {
+    /// Explicit AVX2 kernels (x86-64 with AVX2 detected at runtime).
+    Avx2,
+    /// Portable unrolled scalar kernels.
+    Scalar,
+}
+
+impl DispatchPath {
+    /// Stable lowercase name for logs and bench metadata.
+    pub fn name(self) -> &'static str {
+        match self {
+            DispatchPath::Avx2 => "avx2",
+            DispatchPath::Scalar => "scalar",
+        }
+    }
+}
+
+static ACTIVE: OnceLock<DispatchPath> = OnceLock::new();
+
+/// The dispatch path every kernel in this module routes through, decided
+/// once per process: scalar when `E2E_FORCE_SCALAR` is set non-empty (and
+/// not `"0"`), otherwise AVX2 when the host supports it.
+#[inline]
+pub fn active_path() -> DispatchPath {
+    *ACTIVE.get_or_init(|| {
+        let forced = matches!(std::env::var("E2E_FORCE_SCALAR").as_deref(), Ok(v) if !v.is_empty() && v != "0");
+        if !forced && avx2_available() {
+            DispatchPath::Avx2
+        } else {
+            DispatchPath::Scalar
+        }
+    })
+}
+
+/// Name of the active dispatch path (`"avx2"` / `"scalar"`), for the bench
+/// harnesses' host-capability metadata.
+pub fn path_name() -> &'static str {
+    active_path().name()
+}
+
+/// True when the AVX2 kernels can run on this host (independent of the
+/// `E2E_FORCE_SCALAR` override).
+#[inline]
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// f32 axpy: out += a * b
+// ---------------------------------------------------------------------------
+
+/// `out[i] += a * b[i]` over equal-length slices — the inner loop of the
+/// blocked matmul and of `matmul_tn`.
+#[inline]
+pub fn axpy(a: f32, b: &[f32], out: &mut [f32]) {
+    match active_path() {
+        #[cfg(target_arch = "x86_64")]
+        DispatchPath::Avx2 => unsafe { axpy_avx2_impl(a, b, out) },
+        _ => axpy_scalar(a, b, out),
+    }
+}
+
+/// 8-wide unrolled scalar `out += a * b` (the auto-vectorizing form the
+/// blocked matmul shipped with; kept verbatim as the fallback and oracle).
+#[inline]
+pub fn axpy_scalar(a: f32, b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(b.len(), out.len());
+    let split = out.len() - out.len() % 8;
+    let (b_main, b_tail) = b.split_at(split);
+    let (o_main, o_tail) = out.split_at_mut(split);
+    for (o, v) in o_main.chunks_exact_mut(8).zip(b_main.chunks_exact(8)) {
+        o[0] += a * v[0];
+        o[1] += a * v[1];
+        o[2] += a * v[2];
+        o[3] += a * v[3];
+        o[4] += a * v[4];
+        o[5] += a * v[5];
+        o[6] += a * v[6];
+        o[7] += a * v[7];
+    }
+    for (o, &v) in o_tail.iter_mut().zip(b_tail.iter()) {
+        *o += a * v;
+    }
+}
+
+/// Explicit-AVX2 `out += a * b`.
+///
+/// # Panics
+/// Panics when AVX2 is not available on this host.
+#[cfg(target_arch = "x86_64")]
+pub fn axpy_avx2(a: f32, b: &[f32], out: &mut [f32]) {
+    assert!(avx2_available(), "axpy_avx2 called without AVX2 support");
+    unsafe { axpy_avx2_impl(a, b, out) }
+}
+
+/// # Safety
+/// Requires AVX2 (and FMA feature availability; no FMA instruction is
+/// emitted — see the module-level bit-compatibility contract).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn axpy_avx2_impl(a: f32, b: &[f32], out: &mut [f32]) {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(b.len(), out.len());
+    let n = out.len();
+    let split = n - n % 8;
+    let va = _mm256_set1_ps(a);
+    let mut i = 0;
+    while i < split {
+        let vb = _mm256_loadu_ps(b.as_ptr().add(i));
+        let vo = _mm256_loadu_ps(out.as_ptr().add(i));
+        // mul + add, NOT fmadd: bit-identical to the scalar path.
+        let prod = _mm256_mul_ps(va, vb);
+        _mm256_storeu_ps(out.as_mut_ptr().add(i), _mm256_add_ps(vo, prod));
+        i += 8;
+    }
+    for (o, &v) in out[split..].iter_mut().zip(b[split..].iter()) {
+        *o += a * v;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// f32 dot product
+// ---------------------------------------------------------------------------
+
+/// Dot product of equal-length slices — the inner loop of `matmul_nt`.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    match active_path() {
+        #[cfg(target_arch = "x86_64")]
+        DispatchPath::Avx2 => unsafe { dot_avx2_impl(a, b) },
+        _ => dot_scalar(a, b),
+    }
+}
+
+/// 8-accumulator unrolled scalar dot product (the original kernel).  The
+/// reduction order — remainder tail summed first, then the eight lane
+/// accumulators in index order — is part of the bit-compatibility contract.
+#[inline]
+pub fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let split = a.len() - a.len() % 8;
+    let mut acc = [0.0f32; 8];
+    for (x, y) in a[..split].chunks_exact(8).zip(b[..split].chunks_exact(8)) {
+        acc[0] += x[0] * y[0];
+        acc[1] += x[1] * y[1];
+        acc[2] += x[2] * y[2];
+        acc[3] += x[3] * y[3];
+        acc[4] += x[4] * y[4];
+        acc[5] += x[5] * y[5];
+        acc[6] += x[6] * y[6];
+        acc[7] += x[7] * y[7];
+    }
+    let mut sum: f32 = a[split..].iter().zip(b[split..].iter()).map(|(x, y)| x * y).sum();
+    for v in acc {
+        sum += v;
+    }
+    sum
+}
+
+/// Explicit-AVX2 dot product.
+///
+/// # Panics
+/// Panics when AVX2 is not available on this host.
+#[cfg(target_arch = "x86_64")]
+pub fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
+    assert!(avx2_available(), "dot_avx2 called without AVX2 support");
+    unsafe { dot_avx2_impl(a, b) }
+}
+
+/// # Safety
+/// Requires AVX2.  One 8-lane vector accumulator mirrors the scalar path's
+/// eight independent accumulators; the horizontal reduction extracts the
+/// lanes and adds them in the same order the scalar path does.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn dot_avx2_impl(a: &[f32], b: &[f32]) -> f32 {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let split = n - n % 8;
+    let mut acc = _mm256_setzero_ps();
+    let mut i = 0;
+    while i < split {
+        let va = _mm256_loadu_ps(a.as_ptr().add(i));
+        let vb = _mm256_loadu_ps(b.as_ptr().add(i));
+        // mul + add, NOT fmadd: bit-identical to the scalar path.
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
+        i += 8;
+    }
+    let mut lanes = [0.0f32; 8];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+    let mut sum: f32 = a[split..].iter().zip(b[split..].iter()).map(|(x, y)| x * y).sum();
+    for v in lanes {
+        sum += v;
+    }
+    sum
+}
+
+// ---------------------------------------------------------------------------
+// int8 dot product (i8 x i8 -> i32)
+// ---------------------------------------------------------------------------
+
+/// Integer dot product of equal-length `i8` slices, accumulated in `i32` —
+/// the inner kernel of the quantized matmul ([`crate::quant`]).  Exact (no
+/// rounding), so both dispatch paths agree bit-for-bit by construction.
+#[inline]
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    match active_path() {
+        #[cfg(target_arch = "x86_64")]
+        DispatchPath::Avx2 => unsafe { dot_i8_avx2_impl(a, b) },
+        _ => dot_i8_scalar(a, b),
+    }
+}
+
+/// Scalar int8 dot product.
+#[inline]
+pub fn dot_i8_scalar(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut sum = 0i32;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        sum += x as i32 * y as i32;
+    }
+    sum
+}
+
+/// Explicit-AVX2 int8 dot product.
+///
+/// # Panics
+/// Panics when AVX2 is not available on this host.
+#[cfg(target_arch = "x86_64")]
+pub fn dot_i8_avx2(a: &[i8], b: &[i8]) -> i32 {
+    assert!(avx2_available(), "dot_i8_avx2 called without AVX2 support");
+    unsafe { dot_i8_avx2_impl(a, b) }
+}
+
+/// # Safety
+/// Requires AVX2.  32 products per iteration: each 128-bit half of the i8
+/// vectors is sign-extended to i16 and `_mm256_madd_epi16` folds adjacent
+/// i16 products into i32 lanes.  With |q| <= 127 a pair sum is at most
+/// 2 * 127^2, far inside i16-product/i32-lane range, so no saturation can
+/// occur.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dot_i8_avx2_impl(a: &[i8], b: &[i8]) -> i32 {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let split = n - n % 32;
+    let mut acc = _mm256_setzero_si256();
+    let mut i = 0;
+    while i < split {
+        let va = _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i);
+        let vb = _mm256_loadu_si256(b.as_ptr().add(i) as *const __m256i);
+        let a_lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(va));
+        let a_hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(va, 1));
+        let b_lo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(vb));
+        let b_hi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(vb, 1));
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(a_lo, b_lo));
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(a_hi, b_hi));
+        i += 32;
+    }
+    let mut lanes = [0i32; 8];
+    _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+    let mut sum: i32 = lanes.iter().sum();
+    for (&x, &y) in a[split..].iter().zip(b[split..].iter()) {
+        sum += x as i32 * y as i32;
+    }
+    sum
+}
+
+// ---------------------------------------------------------------------------
+// Packed int8 pair-GEMM (the quantized matmul kernel)
+// ---------------------------------------------------------------------------
+
+/// Packed int8 GEMM over pair-interleaved operands — the kernel behind
+/// [`crate::quant::QuantMatrix::matmul_into`].
+///
+/// Layouts (built by `quant::PackedActivations` / `QuantMatrix`):
+///
+/// * `packed_w`: `rows * pairs` i32 words; word `(i, p)` holds weight codes
+///   `w[i][2p]` in its low i16 and `w[i][2p+1]` in its high i16 (zero pad
+///   for odd depth).
+/// * `xp`: `pairs * n_pad * 2` i16 activation codes, interleaved so that
+///   `xp[(p * n_pad + j) * 2 + {0,1}]` are column `j`'s codes for depth
+///   `2p` / `2p+1`; `n_pad` is `n` rounded up to a multiple of 8 (zero pad).
+/// * `x_scales`: `n_pad` per-column dequantization scales (pad value `1.0`).
+///
+/// Each output is `acc as f32 * (w_scales[i] * x_scales[j])` where `acc` is
+/// the exact i32 code dot product.  The AVX2 path keeps one i32 vector
+/// accumulator per 8 output columns (`_mm256_madd_epi16` on a broadcast
+/// weight pair — no per-output horizontal reduction), which is what makes
+/// the int8 tier beat the f32 axpy kernel instead of losing to it; integer
+/// accumulation is associative, so both dispatch paths agree bit-for-bit.
+///
+/// # Panics
+/// Debug-asserts the slice lengths implied by the shape arguments.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_i8_pairs(
+    packed_w: &[i32],
+    rows: usize,
+    pairs: usize,
+    xp: &[i16],
+    n_pad: usize,
+    w_scales: &[f32],
+    x_scales: &[f32],
+    out: &mut [f32],
+    n: usize,
+) {
+    debug_assert_eq!(packed_w.len(), rows * pairs);
+    debug_assert_eq!(xp.len(), pairs * n_pad * 2);
+    debug_assert_eq!(w_scales.len(), rows);
+    debug_assert_eq!(x_scales.len(), n_pad);
+    debug_assert_eq!(out.len(), rows * n);
+    debug_assert!(n_pad >= n && n_pad.is_multiple_of(8));
+    match active_path() {
+        #[cfg(target_arch = "x86_64")]
+        DispatchPath::Avx2 => unsafe {
+            gemm_i8_pairs_avx2_impl(packed_w, rows, pairs, xp, n_pad, w_scales, x_scales, out, n)
+        },
+        _ => gemm_i8_pairs_scalar(packed_w, rows, pairs, xp, n_pad, w_scales, x_scales, out, n),
+    }
+}
+
+/// Scalar reference for [`gemm_i8_pairs`]: identical i32 sums (exact), the
+/// identical dequantization expression.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_i8_pairs_scalar(
+    packed_w: &[i32],
+    rows: usize,
+    pairs: usize,
+    xp: &[i16],
+    n_pad: usize,
+    w_scales: &[f32],
+    x_scales: &[f32],
+    out: &mut [f32],
+    n: usize,
+) {
+    for i in 0..rows {
+        let wrow = &packed_w[i * pairs..(i + 1) * pairs];
+        for j in 0..n {
+            let mut acc = 0i32;
+            for (p, &w) in wrow.iter().enumerate() {
+                let (wlo, whi) = (w as i16 as i32, w >> 16);
+                let base = (p * n_pad + j) * 2;
+                acc += wlo * xp[base] as i32 + whi * xp[base + 1] as i32;
+            }
+            out[i * n + j] = acc as f32 * (w_scales[i] * x_scales[j]);
+        }
+    }
+}
+
+/// # Safety
+/// Requires AVX2.  Eight output columns per i32 vector accumulator: each
+/// weight pair is broadcast with `_mm256_set1_epi32` and `_mm256_madd_epi16`
+/// folds it against eight interleaved activation pairs.  With codes in
+/// [-127, 127] a pair sum is at most `2 * 127^2`, far inside i32-lane range.
+/// The dequantization multiplies in the same order as the scalar path
+/// (`w_scale * x_scale` first, then `acc * that`), so results are
+/// bit-identical.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn gemm_i8_pairs_avx2_impl(
+    packed_w: &[i32],
+    rows: usize,
+    pairs: usize,
+    xp: &[i16],
+    n_pad: usize,
+    w_scales: &[f32],
+    x_scales: &[f32],
+    out: &mut [f32],
+    n: usize,
+) {
+    use std::arch::x86_64::*;
+    let mut jb = 0;
+    while jb < n {
+        let full = jb + 8 <= n;
+        for i in 0..rows {
+            let wrow = packed_w.as_ptr().add(i * pairs);
+            let mut acc = _mm256_setzero_si256();
+            for p in 0..pairs {
+                let vx = _mm256_loadu_si256(xp.as_ptr().add((p * n_pad + jb) * 2) as *const __m256i);
+                let vw = _mm256_set1_epi32(*wrow.add(p));
+                acc = _mm256_add_epi32(acc, _mm256_madd_epi16(vw, vx));
+            }
+            let accf = _mm256_cvtepi32_ps(acc);
+            let vs = _mm256_mul_ps(_mm256_set1_ps(w_scales[i]), _mm256_loadu_ps(x_scales.as_ptr().add(jb)));
+            let vout = _mm256_mul_ps(accf, vs);
+            if full {
+                _mm256_storeu_ps(out.as_mut_ptr().add(i * n + jb), vout);
+            } else {
+                let mut tmp = [0f32; 8];
+                _mm256_storeu_ps(tmp.as_mut_ptr(), vout);
+                out[i * n + jb..i * n + n].copy_from_slice(&tmp[..n - jb]);
+            }
+        }
+        jb += 8;
+    }
+}
+
+/// Quantize a `depth x n` row-major f32 matrix into the pair-interleaved
+/// i16 code layout of [`gemm_i8_pairs`]: code
+/// `round_ties_even(v * inv[j]).clamp(-127, 127)`, stored at
+/// `codes[(p * n_pad + j) * 2 + (k & 1)]` for depth row `k = 2p + (k & 1)`.
+/// `codes` must come in zeroed (pad columns and the odd-depth half stay 0).
+///
+/// Dispatched like every kernel here; the AVX2 path uses `_mm256_round_ps`
+/// to-nearest (ties to even, exactly `f32::round_ties_even`) and min/max
+/// clamps, so both paths produce identical codes for all finite inputs.
+pub fn quantize_interleave(xdata: &[f32], depth: usize, n: usize, n_pad: usize, inv: &[f32], codes: &mut [i16]) {
+    debug_assert_eq!(xdata.len(), depth * n);
+    debug_assert_eq!(inv.len(), n);
+    debug_assert_eq!(codes.len(), depth.div_ceil(2) * n_pad * 2);
+    match active_path() {
+        #[cfg(target_arch = "x86_64")]
+        DispatchPath::Avx2 => unsafe { quantize_interleave_avx2_impl(xdata, depth, n, n_pad, inv, codes) },
+        _ => quantize_interleave_scalar(xdata, depth, n, n_pad, inv, codes),
+    }
+}
+
+/// Scalar reference for [`quantize_interleave`].
+pub fn quantize_interleave_scalar(xdata: &[f32], depth: usize, n: usize, n_pad: usize, inv: &[f32], codes: &mut [i16]) {
+    for k in 0..depth {
+        let row = &xdata[k * n..(k + 1) * n];
+        let base = (k / 2) * n_pad * 2 + (k & 1);
+        for (j, &v) in row.iter().enumerate() {
+            codes[base + j * 2] = (v * inv[j]).round_ties_even().clamp(-127.0, 127.0) as i16;
+        }
+    }
+}
+
+/// # Safety
+/// Requires AVX2.  Two depth rows per sweep: each group of 8 columns is
+/// multiplied, rounded (`_MM_FROUND_TO_NEAREST_INT` — ties to even, the
+/// scalar path's `round_ties_even`), clamped and converted to i32; the two
+/// rows' i32 code words are fused into interleaved i16 pairs with
+/// mask/shift/or (the low half of each i32 *is* the i16 code) and stored as
+/// one 256-bit word.  Column remainders fall back to the scalar formula,
+/// which produces the same integers by construction.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn quantize_interleave_avx2_impl(
+    xdata: &[f32],
+    depth: usize,
+    n: usize,
+    n_pad: usize,
+    inv: &[f32],
+    codes: &mut [i16],
+) {
+    use std::arch::x86_64::*;
+    let lo_mask = _mm256_set1_epi32(0xFFFF);
+    let vmin = _mm256_set1_ps(-127.0);
+    let vmax = _mm256_set1_ps(127.0);
+    let split = n - n % 8;
+    let mut p = 0;
+    while 2 * p < depth {
+        let k = 2 * p;
+        let row0 = xdata.as_ptr().add(k * n);
+        let odd = k + 1 < depth;
+        let mut j = 0;
+        while j < split {
+            let vi = _mm256_loadu_ps(inv.as_ptr().add(j));
+            let quant = |row: *const f32| {
+                let v = _mm256_mul_ps(_mm256_loadu_ps(row.add(j)), vi);
+                let v = _mm256_round_ps(v, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+                let v = _mm256_min_ps(_mm256_max_ps(v, vmin), vmax);
+                _mm256_cvtps_epi32(v)
+            };
+            let q0 = quant(row0);
+            let q1 = if odd { quant(xdata.as_ptr().add((k + 1) * n)) } else { _mm256_setzero_si256() };
+            let pair = _mm256_or_si256(_mm256_and_si256(q0, lo_mask), _mm256_slli_epi32(q1, 16));
+            _mm256_storeu_si256(codes.as_mut_ptr().add((p * n_pad + j) * 2) as *mut __m256i, pair);
+            j += 8;
+        }
+        for k in [k, k + 1] {
+            if k < depth {
+                let row = &xdata[k * n..(k + 1) * n];
+                let base = (k / 2) * n_pad * 2 + (k & 1);
+                for j in split..n {
+                    codes[base + j * 2] = (row[j] * inv[j]).round_ties_even().clamp(-127.0, 127.0) as i16;
+                }
+            }
+        }
+        p += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fused LSTM gate activation sweep
+// ---------------------------------------------------------------------------
+
+/// Exact sigmoid used everywhere in the graph (`Graph::sigmoid`); the fused
+/// sweep must match it bit-for-bit.
+#[inline(always)]
+fn sigmoid(v: f32) -> f32 {
+    1.0 / (1.0 + (-v).exp())
+}
+
+/// Apply the four LSTM gate activations in one fused in-place sweep:
+/// sigmoid over the forget (`f`), input (`k1`) and output (`k2`) gate
+/// pre-activations and tanh over the candidate (`r`), walking all four
+/// equal-length buffers together instead of one `map_into` pass per gate.
+///
+/// The per-element formulas are exactly `Graph::sigmoid` / `Graph::tanh`'s,
+/// so the fused sweep is bit-identical to the four separate column passes
+/// (pinned by `fused_gate_sweep_matches_per_element_passes` below) on every
+/// dispatch path — the transcendentals stay scalar libm calls; the fusion
+/// wins locality and tape nodes, not instruction width.
+///
+/// # Panics
+/// Panics if the buffers disagree in length.
+pub fn lstm_gate_sweep(f: &mut [f32], k1: &mut [f32], r: &mut [f32], k2: &mut [f32]) {
+    assert_eq!(f.len(), k1.len(), "lstm_gate_sweep: gate buffer length mismatch");
+    assert_eq!(f.len(), r.len(), "lstm_gate_sweep: gate buffer length mismatch");
+    assert_eq!(f.len(), k2.len(), "lstm_gate_sweep: gate buffer length mismatch");
+    for (((vf, vk1), vr), vk2) in f.iter_mut().zip(k1.iter_mut()).zip(r.iter_mut()).zip(k2.iter_mut()) {
+        *vf = sigmoid(*vf);
+        *vk1 = sigmoid(*vk1);
+        *vr = vr.tanh();
+        *vk2 = sigmoid(*vk2);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fast approximate activations (the quantized tier's transcendentals)
+// ---------------------------------------------------------------------------
+
+/// Fast rational tanh approximation (degree 13/6 odd rational on the
+/// clamped input, the classic single-precision fit used by Eigen and
+/// XNNPACK; max error a few ULP across the clamp range).
+///
+/// Exists for the **int8 inference tier only**: libm `tanh`/`exp` calls
+/// dominate the forward pass once the matmuls are int8, and the tier is
+/// approximate by contract (per-channel weight quantization already injects
+/// ~1% error), so a ~1e-7 activation approximation is free accuracy-wise.
+/// Pure f32 multiply/add/divide arithmetic with no table lookups or
+/// fused-multiply-add, so results are identical on every dispatch path and
+/// host — the full-precision tier never calls this.
+#[inline(always)]
+pub fn tanh_fast(x: f32) -> f32 {
+    const CLAMP: f32 = 7.905_311f32;
+    const A1: f32 = 4.893_525e-3;
+    const A3: f32 = 6.372_619e-4;
+    const A5: f32 = 1.485_722_4e-5;
+    const A7: f32 = 5.122_297e-8;
+    const A9: f32 = -8.604_672e-11;
+    const A11: f32 = 2.000_188e-13;
+    const A13: f32 = -2.760_768_5e-16;
+    const B0: f32 = 4.893_525e-3;
+    const B2: f32 = 2.268_434_6e-3;
+    const B4: f32 = 1.185_347e-4;
+    const B6: f32 = 1.198_258_4e-6;
+    let x = x.clamp(-CLAMP, CLAMP);
+    let x2 = x * x;
+    let mut p = A13;
+    p = p * x2 + A11;
+    p = p * x2 + A9;
+    p = p * x2 + A7;
+    p = p * x2 + A5;
+    p = p * x2 + A3;
+    p = p * x2 + A1;
+    p *= x;
+    let mut q = B6;
+    q = q * x2 + B4;
+    q = q * x2 + B2;
+    q = q * x2 + B0;
+    p / q
+}
+
+/// Fast sigmoid via the tanh half-angle identity,
+/// `sigmoid(x) = 0.5 + 0.5 * tanh(x / 2)` — same approximation contract as
+/// [`tanh_fast`], quantized tier only.
+#[inline(always)]
+pub fn sigmoid_fast(x: f32) -> f32 {
+    0.5 + 0.5 * tanh_fast(0.5 * x)
+}
+
+/// [`lstm_gate_sweep`] with the fast approximate activations — the int8
+/// tier's gate sweep.  Branch-free per-element arithmetic auto-vectorizes
+/// under the workspace's `target-cpu` flag; determinism does not depend on
+/// it (no reassociation or contraction is licensed).
+///
+/// # Panics
+/// Panics if the buffers disagree in length.
+pub fn lstm_gate_sweep_fast(f: &mut [f32], k1: &mut [f32], r: &mut [f32], k2: &mut [f32]) {
+    assert_eq!(f.len(), k1.len(), "lstm_gate_sweep_fast: gate buffer length mismatch");
+    assert_eq!(f.len(), r.len(), "lstm_gate_sweep_fast: gate buffer length mismatch");
+    assert_eq!(f.len(), k2.len(), "lstm_gate_sweep_fast: gate buffer length mismatch");
+    for v in f.iter_mut() {
+        *v = sigmoid_fast(*v);
+    }
+    for v in k1.iter_mut() {
+        *v = sigmoid_fast(*v);
+    }
+    for v in r.iter_mut() {
+        *v = tanh_fast(*v);
+    }
+    for v in k2.iter_mut() {
+        *v = sigmoid_fast(*v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(n: usize, mut seed: u32) -> Vec<f32> {
+        (0..n)
+            .map(|_| {
+                seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+                (seed >> 8) as f32 / (1u32 << 24) as f32 * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    fn lcg_i8(n: usize, mut seed: u32) -> Vec<i8> {
+        (0..n)
+            .map(|_| {
+                seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+                ((seed >> 16) as i32 % 255 - 127) as i8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn active_path_is_stable_and_named() {
+        let p = active_path();
+        assert_eq!(p, active_path(), "dispatch decision must be cached");
+        assert!(matches!(path_name(), "avx2" | "scalar"));
+        assert_eq!(p.name(), path_name());
+    }
+
+    /// Remainder shapes: lengths straddling every vector-width boundary,
+    /// including empty and single-element slices.
+    const LENGTHS: [usize; 10] = [0, 1, 3, 7, 8, 9, 31, 32, 33, 100];
+
+    #[test]
+    fn avx2_and_scalar_f32_kernels_are_bit_identical() {
+        if !avx2_available() {
+            eprintln!("skipping: host has no AVX2");
+            return;
+        }
+        for &n in &LENGTHS {
+            let a = lcg(n, 7 + n as u32);
+            let b = lcg(n, 1000 + n as u32);
+            let s = 0.37f32;
+
+            let mut out_scalar = lcg(n, 42);
+            let mut out_avx2 = out_scalar.clone();
+            axpy_scalar(s, &a, &mut out_scalar);
+            axpy_avx2(s, &a, &mut out_avx2);
+            assert_eq!(
+                out_scalar.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                out_avx2.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "axpy paths diverge at n={n}"
+            );
+
+            assert_eq!(dot_scalar(&a, &b).to_bits(), dot_avx2(&a, &b).to_bits(), "dot paths diverge at n={n}");
+        }
+    }
+
+    #[test]
+    fn avx2_and_scalar_i8_kernels_agree_exactly() {
+        if !avx2_available() {
+            eprintln!("skipping: host has no AVX2");
+            return;
+        }
+        for &n in &LENGTHS {
+            let a = lcg_i8(n, 3 + n as u32);
+            let b = lcg_i8(n, 900 + n as u32);
+            assert_eq!(dot_i8_scalar(&a, &b), dot_i8_avx2(&a, &b), "dot_i8 paths diverge at n={n}");
+        }
+    }
+
+    #[test]
+    fn dot_i8_extremes_do_not_saturate() {
+        // All-(-127) x all-127 over a madd-pair boundary: the i16 pair sum
+        // 2 * 127 * 127 = 32258 would saturate a hypothetical i16
+        // accumulator; the i32 lanes must carry it exactly.
+        for n in [31usize, 32, 64, 65] {
+            let a = vec![-127i8; n];
+            let b = vec![127i8; n];
+            let want = -(127i32 * 127) * n as i32;
+            assert_eq!(dot_i8(&a, &b), want);
+            assert_eq!(dot_i8_scalar(&a, &b), want);
+            if avx2_available() {
+                assert_eq!(dot_i8_avx2(&a, &b), want);
+            }
+        }
+    }
+
+    /// Reference pair-GEMM directly off the layout definition.
+    #[allow(clippy::too_many_arguments)]
+    fn gemm_pairs_naive(
+        packed_w: &[i32],
+        rows: usize,
+        pairs: usize,
+        xp: &[i16],
+        n_pad: usize,
+        w_scales: &[f32],
+        x_scales: &[f32],
+        n: usize,
+    ) -> Vec<f32> {
+        let mut out = vec![0.0f32; rows * n];
+        gemm_i8_pairs_scalar(packed_w, rows, pairs, xp, n_pad, w_scales, x_scales, &mut out, n);
+        out
+    }
+
+    #[test]
+    fn gemm_i8_pairs_avx2_matches_scalar_bit_for_bit() {
+        if !avx2_available() {
+            eprintln!("skipping: host has no AVX2");
+            return;
+        }
+        for (rows, pairs, n) in [(1usize, 1usize, 1usize), (3, 5, 7), (8, 24, 8), (32, 24, 64), (5, 9, 13)] {
+            let n_pad = n.next_multiple_of(8);
+            let packed_w: Vec<i32> = lcg_i8(rows * pairs * 2, 5)
+                .chunks(2)
+                .map(|p| (p[0] as i16 as u16 as u32 | ((p[1] as i16 as u16 as u32) << 16)) as i32)
+                .collect();
+            let mut xp = vec![0i16; pairs * n_pad * 2];
+            for (i, v) in lcg_i8(pairs * n * 2, 9).iter().enumerate() {
+                // Scatter real codes over the non-pad columns only.
+                let (p, rest) = (i / (n * 2), i % (n * 2));
+                xp[(p * n_pad + rest / 2) * 2 + rest % 2] = *v as i16;
+            }
+            let w_scales: Vec<f32> = lcg(rows, 21).iter().map(|v| v.abs() + 0.01).collect();
+            let mut x_scales = vec![1.0f32; n_pad];
+            for (s, v) in x_scales.iter_mut().zip(lcg(n, 33)) {
+                *s = v.abs() + 0.01;
+            }
+            let scalar = gemm_pairs_naive(&packed_w, rows, pairs, &xp, n_pad, &w_scales, &x_scales, n);
+            let mut avx2 = vec![0.0f32; rows * n];
+            unsafe { gemm_i8_pairs_avx2_impl(&packed_w, rows, pairs, &xp, n_pad, &w_scales, &x_scales, &mut avx2, n) };
+            assert_eq!(
+                scalar.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                avx2.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "pair-GEMM paths diverge at {rows}x{pairs}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantize_interleave_avx2_matches_scalar_exactly() {
+        if !avx2_available() {
+            eprintln!("skipping: host has no AVX2");
+            return;
+        }
+        for (depth, n) in [(1usize, 1usize), (2, 8), (5, 7), (48, 64), (7, 33), (3, 9)] {
+            let n_pad = n.next_multiple_of(8);
+            let x = lcg(depth * n, 17 + depth as u32);
+            let inv: Vec<f32> = lcg(n, 91).iter().map(|v| v.abs() * 100.0).collect();
+            let mut scalar = vec![0i16; depth.div_ceil(2) * n_pad * 2];
+            let mut avx2 = scalar.clone();
+            quantize_interleave_scalar(&x, depth, n, n_pad, &inv, &mut scalar);
+            unsafe { quantize_interleave_avx2_impl(&x, depth, n, n_pad, &inv, &mut avx2) };
+            assert_eq!(scalar, avx2, "quantize paths diverge at {depth}x{n}");
+        }
+    }
+
+    #[test]
+    fn fast_activations_track_libm_within_tolerance() {
+        // The int8 tier's accuracy budget is set by weight quantization
+        // (~1e-2 relative); the activation approximation must sit orders of
+        // magnitude below it.
+        let mut worst_t = 0.0f32;
+        let mut worst_s = 0.0f32;
+        for i in -8000..=8000 {
+            let x = i as f32 * 1e-3;
+            worst_t = worst_t.max((tanh_fast(x) - x.tanh()).abs());
+            worst_s = worst_s.max((sigmoid_fast(x) - 1.0 / (1.0 + (-x).exp())).abs());
+        }
+        assert!(worst_t < 1e-5, "tanh_fast worst abs error {worst_t}");
+        assert!(worst_s < 1e-5, "sigmoid_fast worst abs error {worst_s}");
+        // Range and symmetry invariants downstream ops rely on.
+        assert_eq!(tanh_fast(0.0), 0.0);
+        for x in [-100.0f32, -9.0, -1.3, 0.7, 9.0, 100.0] {
+            assert!(tanh_fast(x).abs() <= 1.0, "tanh_fast({x}) out of range");
+            assert!((0.0..=1.0).contains(&sigmoid_fast(x)), "sigmoid_fast({x}) out of range");
+            assert_eq!(tanh_fast(x).to_bits(), (-tanh_fast(-x)).to_bits(), "tanh_fast asymmetric at {x}");
+        }
+    }
+
+    #[test]
+    fn fast_gate_sweep_matches_fast_scalar_activations() {
+        for &n in &LENGTHS {
+            let src_f = lcg(n, 55);
+            let src_k1 = lcg(n, 66);
+            let src_r = lcg(n, 77);
+            let src_k2 = lcg(n, 88);
+            let (mut f, mut k1, mut r, mut k2) = (src_f.clone(), src_k1.clone(), src_r.clone(), src_k2.clone());
+            lstm_gate_sweep_fast(&mut f, &mut k1, &mut r, &mut k2);
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            let sig = |v: &[f32]| v.iter().map(|&x| sigmoid_fast(x)).collect::<Vec<f32>>();
+            let th = |v: &[f32]| v.iter().map(|&x| tanh_fast(x)).collect::<Vec<f32>>();
+            assert_eq!(bits(&f), bits(&sig(&src_f)), "fast forget gate diverges at n={n}");
+            assert_eq!(bits(&k1), bits(&sig(&src_k1)), "fast input gate diverges at n={n}");
+            assert_eq!(bits(&r), bits(&th(&src_r)), "fast candidate diverges at n={n}");
+            assert_eq!(bits(&k2), bits(&sig(&src_k2)), "fast output gate diverges at n={n}");
+        }
+    }
+
+    #[test]
+    fn fused_gate_sweep_matches_per_element_passes() {
+        for &n in &LENGTHS {
+            let src_f = lcg(n, 11);
+            let src_k1 = lcg(n, 22);
+            let src_r = lcg(n, 33);
+            let src_k2 = lcg(n, 44);
+            let (mut f, mut k1, mut r, mut k2) = (src_f.clone(), src_k1.clone(), src_r.clone(), src_k2.clone());
+            lstm_gate_sweep(&mut f, &mut k1, &mut r, &mut k2);
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            let sig = |v: &[f32]| v.iter().map(|&x| 1.0 / (1.0 + (-x).exp())).collect::<Vec<f32>>();
+            let th = |v: &[f32]| v.iter().map(|&x| x.tanh()).collect::<Vec<f32>>();
+            assert_eq!(bits(&f), bits(&sig(&src_f)), "fused forget gate diverges at n={n}");
+            assert_eq!(bits(&k1), bits(&sig(&src_k1)), "fused input gate diverges at n={n}");
+            assert_eq!(bits(&r), bits(&th(&src_r)), "fused candidate diverges at n={n}");
+            assert_eq!(bits(&k2), bits(&sig(&src_k2)), "fused output gate diverges at n={n}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Dispatched and scalar f32 kernels agree bit-for-bit on random
+        /// lengths (covering every remainder class) and values.
+        #[test]
+        fn dispatched_f32_kernels_bit_match_scalar(
+            n in 0usize..70,
+            seed in 0u32..1_000_000,
+            a in -4.0f32..4.0,
+        ) {
+            let mk = |s: u32| -> Vec<f32> {
+                let mut x = s;
+                (0..n).map(|_| {
+                    x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                    (x >> 8) as f32 / (1u32 << 24) as f32 * 2.0 - 1.0
+                }).collect()
+            };
+            let b = mk(seed);
+            let c = mk(seed ^ 0xdead_beef);
+
+            let mut out_dispatch = c.clone();
+            let mut out_scalar = c.clone();
+            axpy(a, &b, &mut out_dispatch);
+            axpy_scalar(a, &b, &mut out_scalar);
+            prop_assert_eq!(
+                out_dispatch.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                out_scalar.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+            prop_assert_eq!(dot(&b, &c).to_bits(), dot_scalar(&b, &c).to_bits());
+        }
+
+        /// Dispatched and scalar int8 dot products agree exactly.
+        #[test]
+        fn dispatched_i8_dot_matches_scalar(
+            a in proptest::collection::vec(-127i8..=127i8, 0..80),
+            seed in 0u32..1_000_000,
+        ) {
+            let mut s = seed;
+            let b: Vec<i8> = a.iter().map(|_| {
+                s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+                ((s >> 16) as i32 % 255 - 127) as i8
+            }).collect();
+            prop_assert_eq!(dot_i8(&a, &b), dot_i8_scalar(&a, &b));
+            let naive: i32 = a.iter().zip(b.iter()).map(|(&x, &y)| x as i32 * y as i32).sum();
+            prop_assert_eq!(dot_i8(&a, &b), naive);
+        }
+    }
+}

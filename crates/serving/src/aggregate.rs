@@ -98,12 +98,35 @@ struct AggState {
 pub struct BatchAggregator {
     serving: ServingEstimator,
     state: Mutex<AggState>,
+    /// Two-tier wave mode: when set, each coalesced wave runs the quantized
+    /// first pass over every candidate and re-scores only the `top_k`
+    /// cheapest-looking ones at full precision
+    /// ([`ServingEstimator::estimate_encoded_batch_tiered`]).
+    tiered_top_k: Option<usize>,
 }
 
 impl BatchAggregator {
-    /// An aggregator over one tenant's owned serving handle.
+    /// An aggregator over one tenant's owned serving handle (full-precision
+    /// waves; results bit-identical to un-coalesced serving).
     pub fn new(serving: ServingEstimator) -> Self {
-        BatchAggregator { serving, state: Mutex::new(AggState::default()) }
+        BatchAggregator { serving, state: Mutex::new(AggState::default()), tiered_top_k: None }
+    }
+
+    /// An aggregator whose waves run the two-tier path: a cheap int8 pass
+    /// over the whole coalesced wave, then a full-precision re-score of the
+    /// `top_k` candidates with the lowest approximate cost.  Escalated
+    /// candidates get f32-tier (bit-exact) estimates; the rest keep their
+    /// quantized estimates — so unlike [`BatchAggregator::new`], values may
+    /// depend on which requests share a wave (the escalation set is ranked
+    /// per wave).  Falls back to full-precision waves when `serving`
+    /// carries no quantized weights.
+    pub fn new_tiered(serving: ServingEstimator, top_k: usize) -> Self {
+        BatchAggregator { serving, state: Mutex::new(AggState::default()), tiered_top_k: Some(top_k) }
+    }
+
+    /// The per-wave escalation budget, when this aggregator is tiered.
+    pub fn tiered_top_k(&self) -> Option<usize> {
+        self.tiered_top_k
     }
 
     /// The underlying owned serving handle (hit-rate reporting, direct
@@ -158,7 +181,10 @@ impl BatchAggregator {
                     std::mem::take(&mut st.pending)
                 };
                 let refs: Vec<&EncodedPlan> = guard.wave.iter().flat_map(|r| r.plans.as_slice()).collect();
-                let results = self.serving.estimate_encoded_batch(&refs);
+                let results = match self.tiered_top_k {
+                    Some(top_k) => self.serving.estimate_encoded_batch_tiered(&refs, top_k),
+                    None => self.serving.estimate_encoded_batch(&refs),
+                };
                 let mut offset = 0;
                 for req in guard.wave.drain(..) {
                     let n = req.plans.len;
@@ -253,6 +279,30 @@ mod tests {
         let bits = |v: &[(f64, f64)]| v.iter().map(|(c, k)| (c.to_bits(), k.to_bits())).collect::<Vec<_>>();
         assert_eq!(bits(&coalesced), bits(&direct));
         assert!(agg.estimate(&[]).is_empty());
+    }
+
+    #[test]
+    fn tiered_aggregator_waves_match_the_tiered_serving_path() {
+        let (mut est, encoded) = fitted_estimator();
+        assert!(est.ensure_quantized(), "test model must quantize at least one matrix");
+        let top_k = 5;
+        let refs: Vec<&EncodedPlan> = encoded.iter().collect();
+        let direct = est.serving().estimate_encoded_batch_tiered(&refs, top_k);
+        let agg = BatchAggregator::new_tiered(est.serving(), top_k);
+        assert_eq!(agg.tiered_top_k(), Some(top_k));
+        let coalesced = agg.estimate(&encoded);
+        let bits = |v: &[(f64, f64)]| v.iter().map(|(c, k)| (c.to_bits(), k.to_bits())).collect::<Vec<_>>();
+        assert_eq!(bits(&coalesced), bits(&direct));
+        // The escalated candidates carry full-precision bits: at least
+        // `top_k` entries agree exactly with the all-f32 memoized path.
+        let full = est.estimate_encoded_batch_memo(&encoded);
+        let n_exact = coalesced
+            .iter()
+            .zip(&full)
+            .filter(|(a, b)| a.0.to_bits() == b.0.to_bits() && a.1.to_bits() == b.1.to_bits())
+            .count();
+        assert!(n_exact >= top_k, "only {n_exact} of {} entries match full precision, expected >= {top_k}", full.len());
+        assert!(n_exact < full.len(), "quantized tier produced full-precision bits everywhere; tiering is vacuous");
     }
 
     #[test]

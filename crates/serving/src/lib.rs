@@ -33,4 +33,4 @@ mod aggregate;
 mod catalog;
 
 pub use aggregate::BatchAggregator;
-pub use catalog::{BackendFactory, ModelCatalog, Session, TenantBackend, TenantModel};
+pub use catalog::{BackendFactory, ModelCatalog, Session, TenantBackend, TenantModel, DEFAULT_TIERED_TOP_K};

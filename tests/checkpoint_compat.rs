@@ -1,14 +1,20 @@
 //! Backward compatibility of the checkpoint format.
 //!
-//! `tests/fixtures/golden_*_v1.ckpt` are **committed binary fixtures**
-//! written by the format-v1 code (the last commit before the v2 bump) from
-//! a deterministic tiny database and a fixed training run; the expected
-//! estimate bit patterns below were printed by the same run.  The v2 reader
-//! must load them forever — and a fabricated future version must keep
-//! failing with `UnsupportedVersion` — so backward compatibility can never
-//! silently break.  (Regenerating the fixtures is by construction
-//! impossible with current code: the writer only emits the current
-//! version.  Do not replace these files.)
+//! `tests/fixtures/golden_*_v1.ckpt` and `golden_tree_v2.ckpt` are
+//! **committed binary fixtures** written by the format-v1 / format-v2 code
+//! (the last commits before the respective version bumps) from a
+//! deterministic tiny database and a fixed training run; the expected
+//! estimate bit patterns below were printed by the same runs.  The current
+//! reader must load them forever — and a fabricated future version must
+//! keep failing with `UnsupportedVersion` — so backward compatibility can
+//! never silently break.  (Regenerating the v1/v2 fixtures is by
+//! construction impossible with current code: the writer only emits the
+//! current version.  Do not replace these files.)
+//!
+//! `golden_tree_v3.ckpt` was written by the current (v3) writer via the
+//! `#[ignore]`d `generate_v3_golden_fixture` test below; it additionally
+//! carries the per-channel int8 quant section, pinning both the f32 tier
+//! and the quantized tier bit-for-bit.
 
 use e2e_cost_estimator::prelude::*;
 use std::path::PathBuf;
@@ -66,6 +72,32 @@ const GOLDEN_TREE_BITS: [(u64, u64); 3] = [
 
 const GOLDEN_MSCN_BITS: [u64; 3] = [0x40743dd5d073c6b2, 0x40743f3a411a45ee, 0x4074409e754fbce0];
 
+/// Estimate bit patterns recorded at v2-fixture-generation time (v2 writer,
+/// trained with resumable state, no quant section).
+const GOLDEN_TREE_V2_BITS: [(u64, u64); 3] = [
+    (0x403c008c023e9e3a, 0x4076e0c5d180b423),
+    (0x403c008c0274609f, 0x4076e0c5d3c0cae7),
+    (0x403c008c02aa2304, 0x4076e0c5d600e1ac),
+];
+
+/// Full-precision estimate bits recorded when `golden_tree_v3.ckpt` was
+/// generated (v3 writer, quant section present).
+const GOLDEN_TREE_V3_BITS: [(u64, u64); 3] = [
+    (0x403a542420265eb4, 0x406d5111af0b20c6),
+    (0x403a542426cda167, 0x406d511270262719),
+    (0x403a542430c88576, 0x406d51134cd758f9),
+];
+
+/// Quantized-tier estimate bits recorded from the same v3 fixture.  The
+/// three probe plans differ only in low f32 mantissa bits, so the int8
+/// tier legitimately collapses them to one value; the pin is about format
+/// stability, not tier resolution.
+const GOLDEN_TREE_V3_QUANT_BITS: [(u64, u64); 3] = [
+    (0x403a542c8387090b, 0x406d519dc6ce563a),
+    (0x403a542c8387090b, 0x406d519dc6ce563a),
+    (0x403a542c8387090b, 0x406d519dc6ce563a),
+];
+
 #[test]
 fn v2_reader_loads_v1_tree_golden_checkpoint_bit_identically() {
     let db = golden_db();
@@ -90,14 +122,99 @@ fn v1_checkpoints_load_but_refuse_to_resume() {
     est.load_checkpoint(fixture("golden_tree_v1.ckpt")).expect("load");
     assert!(!est.is_resumable());
 
-    // Re-saving the v1-loaded model produces a v2 file *without* training
-    // state; resuming from that is the other typed refusal path.
+    // Re-saving the v1-loaded model produces a current-version file
+    // *without* training state; resuming from that is the other typed
+    // refusal path.
     let resaved = std::env::temp_dir().join(format!("golden-resaved-{}.ckpt", std::process::id()));
-    est.save_checkpoint(&resaved).expect("re-save as v2");
+    est.save_checkpoint(&resaved).expect("re-save as current version");
     let mut fresh = golden_tree_estimator(&db);
     assert!(matches!(fresh.resume_from_checkpoint(&resaved), Err(CheckpointError::Unsupported(_))));
-    fresh.load_checkpoint(&resaved).expect("stateless v2 still loads fine");
+    fresh.load_checkpoint(&resaved).expect("stateless current-version file still loads fine");
     let _ = std::fs::remove_file(&resaved);
+}
+
+#[test]
+fn v3_reader_loads_v2_tree_golden_checkpoint_bit_identically() {
+    let db = golden_db();
+    let plans = golden_plans(&db, 3);
+    let mut est = golden_tree_estimator(&db);
+    est.load_checkpoint(fixture("golden_tree_v2.ckpt")).expect("v2 golden checkpoint must load forever");
+    assert!(est.is_fitted());
+    // v2 has no quant section: the int8 tier is absent until derived.
+    assert!(!est.has_quantized_weights(), "a v2 file must not conjure quantized weights");
+    for (plan, &(cost_bits, card_bits)) in plans.iter().zip(GOLDEN_TREE_V2_BITS.iter()) {
+        let (cost, card) = est.estimate(plan);
+        assert_eq!(cost.to_bits(), cost_bits, "v2 checkpoint no longer serves its recorded cost");
+        assert_eq!(card.to_bits(), card_bits, "v2 checkpoint no longer serves its recorded cardinality");
+    }
+}
+
+#[test]
+fn v3_golden_checkpoint_restores_both_precision_tiers_bit_identically() {
+    let db = golden_db();
+    let plans = golden_plans(&db, 3);
+    let mut est = golden_tree_estimator(&db);
+    est.load_checkpoint(fixture("golden_tree_v3.ckpt")).expect("v3 golden checkpoint must load forever");
+    assert!(est.is_fitted());
+    assert!(est.has_quantized_weights(), "the v3 fixture carries a quant section");
+    for (plan, &(cost_bits, card_bits)) in plans.iter().zip(GOLDEN_TREE_V3_BITS.iter()) {
+        let (cost, card) = est.estimate(plan);
+        assert_eq!(cost.to_bits(), cost_bits, "v3 checkpoint no longer serves its recorded f32 cost");
+        assert_eq!(card.to_bits(), card_bits, "v3 checkpoint no longer serves its recorded f32 cardinality");
+    }
+    let encoded: Vec<_> = plans.iter().map(|p| est.encode(p)).collect();
+    let refs: Vec<_> = encoded.iter().collect();
+    let quant = est.serving().estimate_encoded_batch_quant(&refs);
+    for ((cost, card), &(cost_bits, card_bits)) in quant.iter().zip(GOLDEN_TREE_V3_QUANT_BITS.iter()) {
+        assert_eq!(cost.to_bits(), cost_bits, "v3 checkpoint no longer serves its recorded int8-tier cost");
+        assert_eq!(card.to_bits(), card_bits, "v3 checkpoint no longer serves its recorded int8-tier cardinality");
+    }
+}
+
+#[test]
+fn v3_file_without_quant_section_loads_full_precision() {
+    let db = golden_db();
+    let plans = golden_plans(&db, 3);
+    let mut est = golden_tree_estimator(&db);
+    est.load_checkpoint(fixture("golden_tree_v3.ckpt")).expect("load v3 fixture");
+    let path = std::env::temp_dir().join(format!("golden-v3-noquant-{}.ckpt", std::process::id()));
+    est.save_checkpoint_full_precision(&path).expect("save without quant section");
+    let mut fresh = golden_tree_estimator(&db);
+    fresh.load_checkpoint(&path).expect("a v3 file with an empty quant section must load");
+    assert!(!fresh.has_quantized_weights(), "full-precision save must not restore an int8 tier");
+    for (plan, &(cost_bits, card_bits)) in plans.iter().zip(GOLDEN_TREE_V3_BITS.iter()) {
+        let (cost, card) = fresh.estimate(plan);
+        assert_eq!(cost.to_bits(), cost_bits, "dropping the quant section must not perturb f32 estimates");
+        assert_eq!(card.to_bits(), card_bits);
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Regenerates `golden_tree_v3.ckpt` and prints the bit patterns to pin.
+/// Run manually (`cargo test --test checkpoint_compat -- --ignored
+/// generate_v3`) only when the fixture must be re-cut — i.e. never after
+/// the v4 bump.
+#[test]
+#[ignore]
+fn generate_v3_golden_fixture() {
+    let db = golden_db();
+    let train = golden_plans(&db, 24);
+    let probe = golden_plans(&db, 3);
+    let mut est = golden_tree_estimator(&db);
+    est.fit(&train);
+    assert!(est.ensure_quantized(), "fixture must quantize at least one matrix");
+    est.save_checkpoint(fixture("golden_tree_v3.ckpt")).expect("write fixture");
+    let mut loaded = golden_tree_estimator(&db);
+    loaded.load_checkpoint(fixture("golden_tree_v3.ckpt")).expect("reload");
+    for plan in &probe {
+        let (cost, card) = loaded.estimate(plan);
+        println!("f32   (0x{:016x}, 0x{:016x})", cost.to_bits(), card.to_bits());
+    }
+    let encoded: Vec<_> = probe.iter().map(|p| loaded.encode(p)).collect();
+    let refs: Vec<_> = encoded.iter().collect();
+    for (cost, card) in loaded.serving().estimate_encoded_batch_quant(&refs) {
+        println!("quant (0x{:016x}, 0x{:016x})", cost.to_bits(), card.to_bits());
+    }
 }
 
 /// Review regression: resuming training on a model-only load must refuse
@@ -119,21 +236,21 @@ fn fabricated_future_version_fails_with_unsupported_version() {
     let db = golden_db();
     for (name, patch_offset) in [("golden_tree_v1.ckpt", 8usize), ("golden_mscn_v1.ckpt", 8usize)] {
         let mut bytes = std::fs::read(fixture(name)).expect("read fixture");
-        bytes[patch_offset..patch_offset + 4].copy_from_slice(&3u32.to_le_bytes());
-        let path = std::env::temp_dir().join(format!("golden-v3-{}-{name}", std::process::id()));
-        std::fs::write(&path, &bytes).expect("write fabricated v3");
+        bytes[patch_offset..patch_offset + 4].copy_from_slice(&4u32.to_le_bytes());
+        let path = std::env::temp_dir().join(format!("golden-v4-{}-{name}", std::process::id()));
+        std::fs::write(&path, &bytes).expect("write fabricated v4");
         if name.contains("tree") {
             let mut est = golden_tree_estimator(&db);
             assert!(
-                matches!(est.load_checkpoint(&path), Err(CheckpointError::UnsupportedVersion { found: 3, .. })),
-                "a v3 tree file must be rejected, not guessed at"
+                matches!(est.load_checkpoint(&path), Err(CheckpointError::UnsupportedVersion { found: 4, .. })),
+                "a v4 tree file must be rejected, not guessed at"
             );
         } else {
             let enc = EncodingConfig::from_database(&db, 8, 32);
             let mut est = MscnEstimator::new(db.clone(), enc, MscnConfig::default());
             assert!(
-                matches!(est.load_checkpoint_from(&path), Err(CheckpointError::UnsupportedVersion { found: 3, .. })),
-                "a v3 MSCN file must be rejected, not guessed at"
+                matches!(est.load_checkpoint_from(&path), Err(CheckpointError::UnsupportedVersion { found: 4, .. })),
+                "a v4 MSCN file must be rejected, not guessed at"
             );
         }
         let _ = std::fs::remove_file(&path);
