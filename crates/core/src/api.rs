@@ -120,29 +120,50 @@ impl CostEstimator {
     /// **bit-identical** to never having been interrupted.  Unlike
     /// [`CostEstimator::fit_encoded`], nothing is re-initialized.
     ///
-    /// # Panics
-    /// Panics if there is nothing to resume: no trainer at all, or a
-    /// trainer without resumable training state (e.g. after a model-only
-    /// v1 checkpoint load) — silently restarting training from epoch 0 with
-    /// a fresh optimizer would masquerade as a continuation.  Check
-    /// [`CostEstimator::is_resumable`] first.
-    pub fn fit_resumed_encoded(&mut self, samples: &[EncodedPlan]) -> Vec<EpochStats> {
-        let trainer = self.trainer.as_mut().expect("CostEstimator::fit_resumed_encoded called with nothing to resume");
-        assert!(
-            trainer.is_resumable(),
-            "CostEstimator::fit_resumed_encoded called with nothing to resume: \
-             the checkpoint carried no resumable training state"
-        );
+    /// # Errors
+    /// Returns [`CheckpointError::Unsupported`] when there is nothing to
+    /// resume: no trainer at all, or a trainer without resumable training
+    /// state (e.g. after a model-only v1 checkpoint load) — silently
+    /// restarting training from epoch 0 with a fresh optimizer would
+    /// masquerade as a continuation.  Callers that can retrain from scratch
+    /// (the serving refresh controller) fall back to
+    /// [`CostEstimator::fit_encoded`] on this error instead of aborting.
+    pub fn fit_resumed_encoded(&mut self, samples: &[EncodedPlan]) -> Result<Vec<EpochStats>, CheckpointError> {
+        let trainer = self.trainer.as_mut().ok_or(CheckpointError::Unsupported(
+            "fit_resumed called with nothing to resume: the estimator has never been fitted or loaded",
+        ))?;
+        if !trainer.is_resumable() {
+            return Err(CheckpointError::Unsupported(
+                "fit_resumed called with nothing to resume: the checkpoint carried no resumable training state",
+            ));
+        }
         let stats = trainer.train(samples);
         // Parameters moved: every cached estimate/state is stale.
         self.invalidate_caches();
-        stats
+        Ok(stats)
     }
 
     /// [`CostEstimator::fit_resumed_encoded`] over raw annotated plans.
-    pub fn fit_resumed(&mut self, plans: &[PlanNode]) -> Vec<EpochStats> {
+    pub fn fit_resumed(&mut self, plans: &[PlanNode]) -> Result<Vec<EpochStats>, CheckpointError> {
         let encoded: Vec<EncodedPlan> = plans.iter().map(|p| self.encode(p)).collect();
         self.fit_resumed_encoded(&encoded)
+    }
+
+    /// Raise the total epoch budget by `extra` so a *completed* training run
+    /// can be fine-tuned with [`CostEstimator::fit_resumed_encoded`].
+    ///
+    /// Resumable training counts epochs against `train_config.epochs`; once a
+    /// fit has run them all, `fit_resumed` is a no-op.  Online fine-tuning
+    /// (the serving refresh loop) instead wants "N more epochs on fresh
+    /// data": this bumps the budget on both the estimator's config and the
+    /// live trainer, and clears a tripped early-stop so the new data is
+    /// actually looked at.  Has no effect on what checkpoints round-trip —
+    /// the raised budget is persisted like any other hyper-parameter.
+    pub fn extend_training_epochs(&mut self, extra: usize) {
+        self.train_config.epochs += extra;
+        if let Some(trainer) = self.trainer.as_mut() {
+            trainer.extend_epochs(extra);
+        }
     }
 
     /// True once the model has been trained.
@@ -290,7 +311,7 @@ impl CostEstimator {
     /// path without re-quantizing; see
     /// [`CostEstimator::save_checkpoint_full_precision`] to opt out.)
     pub fn save_checkpoint(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
-        self.save_checkpoint_impl(path.as_ref(), true)
+        self.save_checkpoint_impl(path.as_ref(), true, true)
     }
 
     /// [`CostEstimator::save_checkpoint`] without the v3 quantized-weights
@@ -298,10 +319,20 @@ impl CostEstimator {
     /// and loading it serves full-precision only (until
     /// [`CostEstimator::ensure_quantized`] re-derives the int8 tier).
     pub fn save_checkpoint_full_precision(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
-        self.save_checkpoint_impl(path.as_ref(), false)
+        self.save_checkpoint_impl(path.as_ref(), false, true)
     }
 
-    fn save_checkpoint_impl(&self, path: &Path, with_quant: bool) -> Result<(), CheckpointError> {
+    /// [`CostEstimator::save_checkpoint`] without the resumable training
+    /// state: the file keeps format v3 (including the quantized tier) but a
+    /// load yields a serving-only estimator — [`CostEstimator::fit_resumed`]
+    /// on it reports `Unsupported` instead of continuing training.  The
+    /// deployment artifact for hosts that serve but never train: no Adam
+    /// moments, so roughly a third smaller than the full checkpoint.
+    pub fn save_checkpoint_model_only(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        self.save_checkpoint_impl(path.as_ref(), true, false)
+    }
+
+    fn save_checkpoint_impl(&self, path: &Path, with_quant: bool, with_state: bool) -> Result<(), CheckpointError> {
         let trainer = self.trainer.as_ref().ok_or(CheckpointError::Unsupported("save_checkpoint called before fit"))?;
         let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
         ckpt::write_header(&mut w, ckpt::KIND_TREE_ESTIMATOR)?;
@@ -310,7 +341,13 @@ impl CostEstimator {
         checkpoint::write_vocab(&mut w, self.extractor.config(), self.extractor.use_sample_bitmap)?;
         checkpoint::write_encoder_fingerprint(&mut w, &self.extractor)?;
         trainer.model.params.save_to(&mut w)?;
-        trainer.write_training_state(&mut w)?;
+        if with_state {
+            trainer.write_training_state(&mut w)?;
+        } else {
+            // The absent-state flag: readers see a valid v2 block that
+            // simply carries nothing to resume.
+            ckpt::write_u8(&mut w, 0)?;
+        }
         if with_quant {
             // Reuse the already-derived int8 weights when present, else
             // quantize on the fly for the file only (a `&self` save cannot
@@ -993,7 +1030,7 @@ mod tests {
             resumed.resume_from_checkpoint(&path).expect("resume");
             let _ = std::fs::remove_file(&path);
             assert!(resumed.is_resumable());
-            let tail_stats = resumed.fit_resumed(plans);
+            let tail_stats = resumed.fit_resumed(plans).expect("resume");
 
             assert_eq!(tail_stats.len(), full_stats.len() - k, "resume must run exactly the remaining epochs");
             for (tail, full) in tail_stats.iter().zip(&full_stats[k..]) {

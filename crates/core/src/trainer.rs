@@ -120,6 +120,19 @@ impl Trainer {
         self.progress.is_some()
     }
 
+    /// Raise the total epoch budget by `extra` epochs so a completed run can
+    /// be continued with [`Trainer::train`] (online fine-tuning).  Clears a
+    /// tripped early-stop: the caller is explicitly asking for more epochs,
+    /// typically on *new* data the old validation verdict knows nothing
+    /// about.  The early-stop tracker itself (best metric, patience counter)
+    /// is kept, so stopping can re-trip if the fresh data also plateaus.
+    pub fn extend_epochs(&mut self, extra: usize) {
+        self.config.epochs += extra;
+        if let Some(progress) = self.progress.as_mut() {
+            progress.stopped_early = false;
+        }
+    }
+
     /// Train on `samples`, returning per-epoch statistics.  A
     /// `validation_fraction` slice of the (shuffled) samples is held out and
     /// evaluated after each epoch; with `early_stop_patience` set, training

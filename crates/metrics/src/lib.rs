@@ -10,8 +10,10 @@ pub mod epoch;
 pub mod qerror;
 pub mod summary;
 pub mod table;
+pub mod window;
 
 pub use epoch::EpochStats;
 pub use qerror::{q_error, q_error_log};
 pub use summary::ErrorSummary;
 pub use table::ReportTable;
+pub use window::QErrorWindow;

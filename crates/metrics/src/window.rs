@@ -1,0 +1,243 @@
+//! Sliding-window q-error aggregation for drift detection.
+//!
+//! A serving system cannot afford to recompute workload-wide statistics on
+//! every request; what it needs is a cheap, bounded view of *recent* accuracy
+//! that can be compared against a frozen baseline.  [`QErrorWindow`] keeps the
+//! last `capacity` observed q-errors in a ring, exposes their mean, and flags
+//! drift when the windowed mean degrades past a multiplicative threshold of
+//! the recorded baseline.
+//!
+//! The window is deliberately estimator-agnostic: callers push raw q-errors
+//! (see [`crate::q_error`]) obtained however they like — in the serving
+//! runtime they come from sampled `ExecMode::Count` ground-truth executions
+//! of recently served plans.
+
+use std::collections::VecDeque;
+
+/// A bounded sliding window over observed q-errors with a frozen baseline.
+///
+/// Lifecycle:
+/// 1. push q-errors as ground-truth observations arrive;
+/// 2. once the window has filled, [`QErrorWindow::freeze_baseline`] records
+///    the current mean as the tenant's healthy reference point;
+/// 3. keep pushing — old observations are evicted FIFO;
+/// 4. [`QErrorWindow::is_drifted`] reports whether the current windowed mean
+///    exceeds `baseline * factor`.
+///
+/// After a model refresh, call [`QErrorWindow::clear`] to discard
+/// observations made by the stale model while keeping the baseline, so the
+/// next drift decision is made on fresh evidence only.
+#[derive(Debug, Clone)]
+pub struct QErrorWindow {
+    buf: VecDeque<f64>,
+    capacity: usize,
+    baseline: Option<f64>,
+}
+
+impl QErrorWindow {
+    /// Create a window holding at most `capacity` observations.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "QErrorWindow capacity must be positive");
+        QErrorWindow { buf: VecDeque::with_capacity(capacity), capacity, baseline: None }
+    }
+
+    /// Push one observed q-error, evicting the oldest observation if the
+    /// window is full.  Non-finite values are ignored (a q-error produced by
+    /// [`crate::q_error`] is always finite and `>= 1`); values below 1.0 are
+    /// clamped up to the metric's floor.
+    pub fn push(&mut self, q: f64) {
+        if !q.is_finite() {
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(q.max(crate::qerror::Q_ERROR_FLOOR));
+    }
+
+    /// Number of observations currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no observations are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// True when the window holds `capacity` observations.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.capacity
+    }
+
+    /// Maximum number of observations the window holds.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Mean q-error over the current window, or `None` when empty.
+    ///
+    /// Windows are small (tens to a few thousand entries), so an O(n) sum is
+    /// cheaper and more robust than maintaining an incremental sum that can
+    /// accumulate floating-point cancellation under heavy eviction.
+    pub fn mean(&self) -> Option<f64> {
+        if self.buf.is_empty() {
+            None
+        } else {
+            Some(self.buf.iter().sum::<f64>() / self.buf.len() as f64)
+        }
+    }
+
+    /// The frozen baseline mean, if one has been recorded.
+    pub fn baseline(&self) -> Option<f64> {
+        self.baseline
+    }
+
+    /// Set the baseline explicitly (e.g. restored from a checkpoint or
+    /// computed on a held-out validation set at publish time).
+    pub fn set_baseline(&mut self, baseline: f64) {
+        if baseline.is_finite() {
+            self.baseline = Some(baseline.max(crate::qerror::Q_ERROR_FLOOR));
+        }
+    }
+
+    /// Freeze the current windowed mean as the baseline and return it.
+    /// Returns `None` (and records nothing) when the window is empty.
+    pub fn freeze_baseline(&mut self) -> Option<f64> {
+        let m = self.mean()?;
+        self.baseline = Some(m);
+        Some(m)
+    }
+
+    /// Ratio of the current mean to the baseline (`> 1` means worse than
+    /// baseline).  `None` until both a baseline and observations exist.
+    pub fn degradation(&self) -> Option<f64> {
+        Some(self.mean()? / self.baseline?)
+    }
+
+    /// True when the window is full, a baseline is frozen, and the windowed
+    /// mean exceeds `baseline * factor`.
+    ///
+    /// Requiring a *full* window prevents a refresh from being triggered by
+    /// the first unlucky observation after a [`QErrorWindow::clear`].
+    pub fn is_drifted(&self, factor: f64) -> bool {
+        if !self.is_full() {
+            return false;
+        }
+        match (self.mean(), self.baseline) {
+            (Some(m), Some(b)) => m > b * factor,
+            _ => false,
+        }
+    }
+
+    /// Drop all observations but keep the frozen baseline.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_over_partial_window() {
+        let mut w = QErrorWindow::new(4);
+        assert!(w.mean().is_none());
+        w.push(1.0);
+        w.push(3.0);
+        assert_eq!(w.mean(), Some(2.0));
+        assert!(!w.is_full());
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn eviction_is_fifo_and_bounded() {
+        let mut w = QErrorWindow::new(3);
+        for q in [10.0, 20.0, 30.0] {
+            w.push(q);
+        }
+        assert!(w.is_full());
+        assert_eq!(w.mean(), Some(20.0));
+        // Pushing a fourth value evicts the oldest (10.0), not the newest.
+        w.push(60.0);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.mean(), Some((20.0 + 30.0 + 60.0) / 3.0));
+        // Saturate with a constant: window must fully forget the past.
+        for _ in 0..3 {
+            w.push(2.0);
+        }
+        assert_eq!(w.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn threshold_crossing_fires_only_past_factor() {
+        let mut w = QErrorWindow::new(4);
+        for _ in 0..4 {
+            w.push(2.0);
+        }
+        assert_eq!(w.freeze_baseline(), Some(2.0));
+        // Mean equal to baseline: not drifted at any factor >= 1.
+        assert!(!w.is_drifted(1.0));
+        // Degrade to mean 3.0: 1.5x the baseline.
+        for _ in 0..4 {
+            w.push(3.0);
+        }
+        assert_eq!(w.degradation(), Some(1.5));
+        assert!(w.is_drifted(1.2));
+        assert!(w.is_drifted(1.49));
+        assert!(!w.is_drifted(1.5)); // strict inequality at the threshold
+        assert!(!w.is_drifted(2.0));
+    }
+
+    #[test]
+    fn partial_window_never_drifts() {
+        let mut w = QErrorWindow::new(8);
+        w.set_baseline(1.0);
+        for _ in 0..7 {
+            w.push(100.0);
+        }
+        assert!(!w.is_drifted(1.1), "partial window must not trigger");
+        w.push(100.0);
+        assert!(w.is_drifted(1.1));
+    }
+
+    #[test]
+    fn no_baseline_never_drifts() {
+        let mut w = QErrorWindow::new(2);
+        w.push(50.0);
+        w.push(50.0);
+        assert!(!w.is_drifted(1.0));
+    }
+
+    #[test]
+    fn clear_keeps_baseline() {
+        let mut w = QErrorWindow::new(2);
+        w.push(2.0);
+        w.push(2.0);
+        w.freeze_baseline();
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.baseline(), Some(2.0));
+        assert!(!w.is_drifted(1.0));
+    }
+
+    #[test]
+    fn non_finite_and_sub_floor_inputs_are_sanitised() {
+        let mut w = QErrorWindow::new(4);
+        w.push(f64::NAN);
+        w.push(f64::INFINITY);
+        assert!(w.is_empty());
+        w.push(0.25); // clamped to the q-error floor
+        assert_eq!(w.mean(), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = QErrorWindow::new(0);
+    }
+}

@@ -1,6 +1,7 @@
 //! The hot-swappable model catalog and tenant-scoped sessions.
 
 use crate::aggregate::BatchAggregator;
+use crate::feedback::{FeedbackConfig, ServedTier, TenantFeedback};
 use estimator_core::{CheckpointError, CostEstimator, Estimator, PlanEstimate};
 use featurize::EncodedPlan;
 use parking_lot::RwLock;
@@ -130,6 +131,12 @@ struct Tenant {
     slot: RwLock<Option<Arc<TenantModel>>>,
     generations: AtomicU64,
     factory: RwLock<Option<BackendFactory>>,
+    /// Online-learning capture state ([`ModelCatalog::enable_feedback`]).
+    /// `None` (the default) keeps the hot path feedback-free: sessions pay
+    /// one uncontended read lock per *batch* to find that out.  Deliberately
+    /// outside [`TenantModel`]: the log and registry describe the tenant's
+    /// traffic, so they survive hot-swaps of the model that serves it.
+    feedback: RwLock<Option<Arc<TenantFeedback>>>,
 }
 
 impl Tenant {
@@ -139,6 +146,7 @@ impl Tenant {
             slot: RwLock::new(None),
             generations: AtomicU64::new(0),
             factory: RwLock::new(None),
+            feedback: RwLock::new(None),
         }
     }
 
@@ -244,6 +252,31 @@ impl ModelCatalog {
     pub fn remove(&self, name: &str) -> bool {
         self.tenants.write().remove(name).is_some()
     }
+
+    /// Switch on serving-time feedback capture for a tenant (creating the
+    /// tenant if needed): sessions start recording `(signature, estimate,
+    /// tier)` into a bounded [`crate::FeedbackLog`] and registering encoded
+    /// plans in a bounded [`crate::PlanRegistry`].  Returns the capture
+    /// state, typically handed to a [`crate::RefreshController`].  Calling
+    /// again replaces the state with a fresh (empty) one.
+    pub fn enable_feedback(&self, name: &str, config: FeedbackConfig) -> Arc<TenantFeedback> {
+        let tenant = self.tenant_or_create(name);
+        let feedback = Arc::new(TenantFeedback::new(config));
+        *tenant.feedback.write() = Some(Arc::clone(&feedback));
+        feedback
+    }
+
+    /// The tenant's capture state, if feedback is enabled.
+    pub fn feedback(&self, name: &str) -> Option<Arc<TenantFeedback>> {
+        self.tenant(name).and_then(|t| t.feedback.read().clone())
+    }
+
+    /// Switch feedback capture off again.  Sessions observe it at their
+    /// next call; a controller still holding the `Arc` can drain what was
+    /// captured but sees nothing new.  Returns whether capture was on.
+    pub fn disable_feedback(&self, name: &str) -> bool {
+        self.tenant(name).is_some_and(|t| t.feedback.write().take().is_some())
+    }
 }
 
 /// A client handle scoped to one tenant.  Cheap to clone and `Send + Sync`;
@@ -287,7 +320,10 @@ impl Session {
     /// (the common retrain-and-roll-out case, enforced at checkpoint load)
     /// they remain valid.
     pub fn estimate_encoded(&self, plans: &[EncodedPlan]) -> Option<Vec<(f64, f64)>> {
-        self.model().and_then(|m| m.aggregator().map(|agg| agg.estimate(plans)))
+        let model = self.model()?;
+        let estimates = model.aggregator()?.estimate(plans);
+        self.capture(plans, &estimates, ServedTier::Full);
+        Some(estimates)
     }
 
     /// Two-tier fast path: like [`Session::estimate_encoded`], but waves run
@@ -299,12 +335,36 @@ impl Session {
     /// carries no quantized weights; `None` when no model is published or
     /// the backend is not the tree estimator.
     pub fn estimate_encoded_tiered(&self, plans: &[EncodedPlan]) -> Option<Vec<(f64, f64)>> {
-        self.model().and_then(|m| m.tiered_aggregator().or(m.aggregator()).map(|agg| agg.estimate(plans)))
+        let model = self.model()?;
+        let (aggregator, tier) = match model.tiered_aggregator() {
+            Some(agg) => (agg, ServedTier::Tiered),
+            None => (model.aggregator()?, ServedTier::Full),
+        };
+        let estimates = aggregator.estimate(plans);
+        self.capture(plans, &estimates, tier);
+        Some(estimates)
     }
 
-    /// Encode a plan with the pinned tree model's extractor.
+    /// Encode a plan with the pinned tree model's extractor.  With feedback
+    /// capture enabled, the plan is also registered (annotations cleared)
+    /// under its signature so the refresh loop can execute it for ground
+    /// truth later.
     pub fn encode(&self, plan: &PlanNode) -> Option<EncodedPlan> {
-        self.model().and_then(|m| m.tree().map(|t| t.encode(plan)))
+        let model = self.model()?;
+        let encoded = model.tree()?.encode(plan);
+        if let Some(feedback) = self.tenant.feedback.read().as_ref() {
+            feedback.registry().register(encoded.signature, plan);
+        }
+        Some(encoded)
+    }
+
+    /// Record a served batch into the tenant's feedback log, when capture is
+    /// enabled.  One uncontended `RwLock` read per batch on the hot path;
+    /// the log pushes themselves are sharded ring-buffer appends.
+    fn capture(&self, plans: &[EncodedPlan], estimates: &[(f64, f64)], tier: ServedTier) {
+        if let Some(feedback) = self.tenant.feedback.read().as_ref() {
+            feedback.log().record_batch(plans.iter().map(|p| &p.signature).zip(estimates.iter()), tier);
+        }
     }
 }
 

@@ -28,9 +28,24 @@
 //! model's lifetime is decoupled from its trainer and from the catalog
 //! slot it was published under.  Nothing here blocks on a global lock —
 //! the catalog map is only write-locked to add/remove tenant *names*.
+//!
+//! On top of the frozen-model runtime sits the **online learning loop**
+//! (PR 7): [`ModelCatalog::enable_feedback`] makes a tenant's sessions
+//! record `(plan signature, estimate, tier)` into a bounded, sharded
+//! [`FeedbackLog`] and remember encoded plans in a bounded
+//! [`PlanRegistry`]; a [`RefreshController`], ticked from a background
+//! thread, executes a sampled subset for exact ground truth
+//! (`engine::ExecMode::Count`), watches windowed q-error against a frozen
+//! baseline ([`metrics::QErrorWindow`]), and on drift fine-tunes a training
+//! replica and republishes it through the catalog's ordinary zero-downtime
+//! hot-swap.
 
 mod aggregate;
 mod catalog;
+mod feedback;
+mod refresh;
 
 pub use aggregate::BatchAggregator;
 pub use catalog::{BackendFactory, ModelCatalog, Session, TenantBackend, TenantModel, DEFAULT_TIERED_TOP_K};
+pub use feedback::{FeedbackConfig, FeedbackLog, FeedbackRecord, PlanRegistry, ServedTier, TenantFeedback};
+pub use refresh::{RefreshConfig, RefreshController, RefreshOutcome};

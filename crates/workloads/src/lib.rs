@@ -3,10 +3,12 @@
 //! string-predicate JOB workload), rebuilt in shape over the synthetic IMDB
 //! database.
 
+pub mod drift;
 pub mod enumeration;
 pub mod generator;
 pub mod suite;
 
+pub use drift::{generate_drift_workload, DriftConfig, DriftGenerator, DriftPhase, FACT_TABLES};
 pub use enumeration::{generate_enumeration_workload, EnumerationConfig, EnumerationSample};
 pub use generator::{
     execute_workload, generate_workload, workload_strings, QueryGenerator, QuerySample, WorkloadConfig,

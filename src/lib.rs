@@ -54,15 +54,19 @@ pub mod prelude {
         CheckpointError, CostEstimator, Estimator, EstimatorCapabilities, ModelConfig, PlanEstimate,
         PredicateModelKind, RepresentationCellKind, TaskMode, TrainConfig, TrainableEstimator,
     };
-    pub use featurize::{EncodingConfig, FeatureExtractor};
+    pub use featurize::{EncodedPlan, EncodingConfig, FeatureExtractor};
     pub use imdb::{generate_imdb, Database, GeneratorConfig};
-    pub use metrics::{q_error, EpochStats, ErrorSummary, ReportTable};
+    pub use metrics::{q_error, EpochStats, ErrorSummary, QErrorWindow, ReportTable};
     pub use mscn::{MscnConfig, MscnEstimator, MscnFeaturizer, MscnModel, MscnTrainer};
     pub use pgest::TraditionalEstimator;
     pub use query::{CompareOp, JoinPredicate, LogicalQuery, Operand, PhysicalOp, PlanNode, Predicate};
-    pub use serving::{BatchAggregator, ModelCatalog, Session, TenantBackend};
+    pub use serving::{
+        BatchAggregator, FeedbackConfig, FeedbackLog, ModelCatalog, PlanRegistry, RefreshConfig, RefreshController,
+        RefreshOutcome, ServedTier, Session, TenantBackend, TenantFeedback,
+    };
     pub use strembed::{build_string_encoder, EmbedderConfig, HashBitmapEncoder, StringEncoding};
     pub use workloads::{
-        generate_workload, workload_strings, QuerySample, SuiteConfig, WorkloadConfig, WorkloadKind, WorkloadSuite,
+        generate_drift_workload, generate_workload, workload_strings, DriftConfig, DriftGenerator, DriftPhase,
+        QuerySample, SuiteConfig, WorkloadConfig, WorkloadKind, WorkloadSuite,
     };
 }

@@ -218,17 +218,31 @@ fn generate_v3_golden_fixture() {
 }
 
 /// Review regression: resuming training on a model-only load must refuse
-/// loudly — a silent fresh-optimizer restart from epoch 0 would masquerade
-/// as a continuation of the interrupted run.
+/// with a typed error — a silent fresh-optimizer restart from epoch 0 would
+/// masquerade as a continuation of the interrupted run, and a panic would
+/// abort a serving process that could have fallen back to a full `fit`.
 #[test]
-#[should_panic(expected = "no resumable training state")]
-fn fit_resumed_after_model_only_v1_load_panics_instead_of_retraining() {
+fn fit_resumed_after_model_only_v1_load_returns_unsupported() {
     let db = golden_db();
     let plans = golden_plans(&db, 3);
     let mut est = golden_tree_estimator(&db);
     est.load_checkpoint(fixture("golden_tree_v1.ckpt")).expect("load");
     assert!(!est.is_resumable());
-    let _ = est.fit_resumed(&plans);
+    match est.fit_resumed(&plans) {
+        Err(CheckpointError::Unsupported(msg)) => {
+            assert!(msg.contains("no resumable training state"), "unexpected message: {msg}")
+        }
+        Err(other) => panic!("expected Unsupported, got {other:?}"),
+        Ok(_) => panic!("fit_resumed must refuse a model-only load"),
+    }
+    // A never-fitted estimator refuses the same way (the second expect()
+    // path of the original bug).
+    let mut fresh = golden_tree_estimator(&db);
+    assert!(matches!(fresh.fit_resumed(&plans), Err(CheckpointError::Unsupported(_))));
+    // The typed error leaves the estimator usable: fall back to a full fit,
+    // exactly what the serving refresh controller does.
+    fresh.fit(&plans);
+    assert!(fresh.is_fitted());
 }
 
 #[test]
