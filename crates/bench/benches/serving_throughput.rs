@@ -22,6 +22,16 @@
 //!   effect — aggregate throughput still rises because a subtree any
 //!   session embedded is served to every other session from the cache.
 //!
+//! * **Worker runtime** — the enumeration stream routed through a
+//!   [`serving::BatchAggregator`] attached to a pinned
+//!   [`serving::WorkerPool`] of 1/2/4/8 workers, every oversized wave
+//!   split across the pool's per-worker cache shards (with sibling work
+//!   stealing).  Records aggregate plans/s per pool size, chunk/steal
+//!   counters and scaling efficiency.  On a single-core host (the `cpus`
+//!   field says which) the aggregate cannot rise with pool size — the
+//!   floor there is **anti-collapse**: splitting must not destroy
+//!   throughput against the 1-worker pool.
+//!
 //! * **Warm start** — time-to-first-estimate of a cold fit vs a
 //!   `load_checkpoint` of the same model (the startup path of a serving
 //!   process).  Set `E2E_SERVING_CHECKPOINT=<path>` to persist the trained
@@ -31,14 +41,18 @@
 //! directory).  With `E2E_CHECK` set, regression floors are asserted:
 //! memoization speedup ≥ 3x, node-level hit rate ≥ 0.85, ≥ 1.5x aggregate
 //! throughput at 4 threads, checkpoint warm start ≥ 5x faster than a
-//! cold fit, and the tiered int8 section's quant ≥ 0.3x / tiered ≥ 0.1x
-//! of the memoized f32 stream — the guards CI's smoke job runs.
+//! cold fit, the tiered int8 section's quant ≥ 0.3x / tiered ≥ 0.1x
+//! of the memoized f32 stream, and every worker-pool row ≥ 0.4x of the
+//! 1-worker aggregate with at least one wave actually split — the guards
+//! CI's smoke job runs.
 
 use bench::{time_reps, Pipeline};
 use estimator_core::{PredicateModelKind, RepresentationCellKind, TaskMode};
 use featurize::EncodedPlan;
 use query::PlanNode;
+use serving::{BatchAggregator, WorkerPool};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use workloads::{generate_enumeration_workload, EnumerationConfig, WorkloadKind};
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -266,6 +280,67 @@ fn main() {
         thread_rows.push(ThreadRow { threads, aggregate_plans_per_sec: aggregate, speedup_vs_1: speedup });
     }
 
+    // --- Worker runtime: waves split across a pinned pool. ---
+    // The same enumeration stream, but each query's candidate set goes
+    // through a BatchAggregator attached to a WorkerPool: waves larger
+    // than the split threshold are chunked across the pool (leader chunk
+    // inline, the rest on per-worker cache shards, idle workers stealing).
+    struct WorkerRow {
+        workers: usize,
+        pinned: usize,
+        aggregate_plans_per_sec: f64,
+        speedup_vs_1: f64,
+        chunks_executed: u64,
+        chunks_stolen: u64,
+        waves: u64,
+        waves_split: u64,
+    }
+    let largest_wave = encoded.iter().map(|q| q.len()).max().unwrap_or(0);
+    let split_threshold = env_usize("E2E_SERVING_SPLIT", 16.min(largest_wave.saturating_sub(1)).max(1));
+    let mut worker_rows: Vec<WorkerRow> = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let pool = Arc::new(WorkerPool::new(workers));
+        let agg = BatchAggregator::new(est.serving()).with_workers(Arc::clone(&pool), split_threshold);
+        // Split waves must serve the bits of the unsplit path.
+        {
+            let direct = est.estimate_encoded_batch(&encoded[0]);
+            assert_eq!(agg.estimate(&encoded[0]), direct, "split wave diverged from the unsplit serving path");
+        }
+        let secs = time_reps(
+            reps,
+            || {
+                agg.serving().cache().clear();
+                pool.clear_caches();
+            },
+            || {
+                for _ in 0..rounds {
+                    for q in &encoded {
+                        agg.estimate(q);
+                    }
+                }
+            },
+        );
+        let aggregate = plans_per_session as f64 / secs;
+        let speedup = worker_rows.first().map(|base| aggregate / base.aggregate_plans_per_sec).unwrap_or(1.0);
+        let pool_stats = pool.stats();
+        let waves = agg.wave_stats();
+        println!(
+            "worker pool x{workers} ({} pinned): {aggregate:>12.1} plans/s   ({speedup:.2}x vs 1 worker)   \
+             {} chunks ({} stolen), {}/{} waves split",
+            pool_stats.pinned, pool_stats.executed, pool_stats.stolen, waves.waves_split, waves.waves
+        );
+        worker_rows.push(WorkerRow {
+            workers,
+            pinned: pool_stats.pinned,
+            aggregate_plans_per_sec: aggregate,
+            speedup_vs_1: speedup,
+            chunks_executed: pool_stats.executed,
+            chunks_stolen: pool_stats.stolen,
+            waves: waves.waves,
+            waves_split: waves.waves_split,
+        });
+    }
+
     // --- Warm start: cold fit vs checkpoint load to first estimate. ---
     // "Cold" is exactly the training wall time measured above (single
     // measurement; its first estimate would add microseconds to seconds of
@@ -352,7 +427,31 @@ fn main() {
             r.speedup_vs_1 / r.threads as f64
         );
     }
-    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"worker_runtime\": {{");
+    let _ = writeln!(json, "    \"split_threshold\": {split_threshold},");
+    let _ = writeln!(json, "    \"largest_wave\": {largest_wave},");
+    let _ = writeln!(json, "    \"pools\": [");
+    for (i, r) in worker_rows.iter().enumerate() {
+        let comma = if i + 1 < worker_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "      {{ \"workers\": {}, \"pinned\": {}, \"aggregate_plans_per_sec\": {:.1}, \
+             \"speedup_vs_1\": {:.3}, \"scaling_efficiency\": {:.3}, \"chunks_executed\": {}, \
+             \"chunks_stolen\": {}, \"waves\": {}, \"waves_split\": {} }}{comma}",
+            r.workers,
+            r.pinned,
+            r.aggregate_plans_per_sec,
+            r.speedup_vs_1,
+            r.speedup_vs_1 / r.workers as f64,
+            r.chunks_executed,
+            r.chunks_stolen,
+            r.waves,
+            r.waves_split
+        );
+    }
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }}");
     json.push_str("}\n");
 
     let out_dir = std::env::var("E2E_BENCH_OUT").unwrap_or_else(|_| ".".to_string());
@@ -385,9 +484,29 @@ fn main() {
             tiered_speedup >= 0.1,
             "tiered top-{top_k} pass {tiered_speedup:.2}x of memoized f32 below the 0.1x regression floor"
         );
+        // Worker-runtime floors.  True scaling demands multiple cores, so
+        // the portable floor is anti-collapse: chunking waves across any
+        // pool size must keep at least 0.4x of the 1-worker aggregate
+        // (a lost wakeup, a serializing lock or a stealing livelock lands
+        // far below that).  Splitting itself must actually engage whenever
+        // the stream has a splittable wave.
+        for r in &worker_rows {
+            assert!(
+                r.speedup_vs_1 >= 0.4,
+                "{}-worker pool aggregate collapsed to {:.2}x of the 1-worker pool (floor 0.4x)",
+                r.workers,
+                r.speedup_vs_1
+            );
+            if largest_wave > split_threshold {
+                assert!(
+                    r.waves_split >= 1,
+                    "no wave split despite a {largest_wave}-plan wave (threshold {split_threshold})"
+                );
+            }
+        }
         println!(
             "check mode: serving floors hold (memo >= 3x, hit rate >= 0.85, 4-session >= 1.5x, warm start >= 5x, \
-             quant >= 0.3x memo, tiered >= 0.1x memo)"
+             quant >= 0.3x memo, tiered >= 0.1x memo, worker pools >= 0.4x anti-collapse with waves splitting)"
         );
     }
 }

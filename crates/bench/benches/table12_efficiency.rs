@@ -258,7 +258,12 @@ fn main() {
             );
         }
         for (label, q8_vs_batch, qerr_shift) in &q8_checks {
-            assert!(*q8_vs_batch >= 2.0, "{label}: q8_vs_batch {q8_vs_batch:.2}x below the 2x regression floor");
+            // Recalibrated from 2x when the f32 batch denominator gained
+            // the explicit AVX2+FMA GEMM tier (the int8 rows kept their
+            // absolute throughput; their *relative* edge over f32 shrank
+            // because f32 got ~4-5x faster).  The int8 tier must still
+            // never lose to the f32 batch it escalates from.
+            assert!(*q8_vs_batch >= 1.0, "{label}: q8_vs_batch {q8_vs_batch:.2}x below the 1x regression floor");
             assert!(
                 *qerr_shift <= 0.10,
                 "{label}: int8 tier degrades mean q-error by {:.1}% (> 10% budget)",
@@ -267,7 +272,7 @@ fn main() {
         }
         println!(
             "check mode: speed-up floors hold (batch_vs_per_node >= 5x, batch_vs_reference >= 2x, \
-             q8_vs_batch >= 2x, q-error shift <= 10%)"
+             q8_vs_batch >= 1x, q-error shift <= 10%)"
         );
     }
 }

@@ -41,9 +41,13 @@ pub fn time_reps(reps: usize, mut before: impl FnMut(), mut f: impl FnMut()) -> 
 }
 
 /// Host capability metadata as a single-line JSON object — logical cpus,
-/// the runtime-detected SIMD feature set and which kernel dispatch path
-/// `nn::simd` selected for this process (`"scalar"` under
-/// `E2E_FORCE_SCALAR`).  Every bench harness embeds this in its
+/// the raw runtime-detected SIMD feature set, and the **active dispatch
+/// tier per kernel family**: `"simd_dispatch"` names what `nn::simd`
+/// actually selected for this process (`"avx2+fma"` for the f32 GEMM/gate
+/// kernels, `"avx2"` for the int8 kernels, `"scalar"` for both under
+/// `E2E_FORCE_SCALAR`), which is what governs the recorded numbers —
+/// `target_features` may list capabilities (e.g. `avx512f`) that no kernel
+/// here dispatches on.  Every bench harness embeds this in its
 /// `BENCH_*.json` so recorded numbers carry the hardware they came from.
 pub fn host_capabilities_json() -> String {
     let cpus = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
@@ -63,9 +67,11 @@ pub fn host_capabilities_json() -> String {
     }
     let features = features.iter().map(|f| format!("\"{f}\"")).collect::<Vec<_>>().join(", ");
     format!(
-        "{{ \"cpus\": {cpus}, \"arch\": \"{}\", \"target_features\": [{features}], \"simd_dispatch\": \"{}\" }}",
+        "{{ \"cpus\": {cpus}, \"arch\": \"{}\", \"target_features\": [{features}], \
+         \"simd_dispatch\": {{ \"f32\": \"{}\", \"int8\": \"{}\" }} }}",
         std::env::consts::ARCH,
-        nn::simd::path_name()
+        nn::simd::f32_path_name(),
+        nn::simd::i8_path_name()
     )
 }
 
@@ -211,14 +217,21 @@ mod tests {
     use super::*;
 
     #[test]
-    fn host_capabilities_json_names_the_dispatch_path() {
+    fn host_capabilities_json_names_the_dispatch_path_per_kernel_family() {
         let json = host_capabilities_json();
         assert!(json.contains("\"cpus\":"), "missing cpus: {json}");
         assert!(json.contains("\"target_features\":"), "missing features: {json}");
         assert!(
-            json.contains("\"simd_dispatch\": \"avx2\"") || json.contains("\"simd_dispatch\": \"scalar\""),
-            "missing dispatch path: {json}"
+            json.contains("\"f32\": \"avx2+fma\"") || json.contains("\"f32\": \"scalar\""),
+            "missing f32 dispatch tier: {json}"
         );
+        assert!(
+            json.contains("\"int8\": \"avx2\"") || json.contains("\"int8\": \"scalar\""),
+            "missing int8 dispatch tier: {json}"
+        );
+        // The two families move together: forcing scalar forces both.
+        let scalar = json.contains("\"f32\": \"scalar\"");
+        assert_eq!(scalar, json.contains("\"int8\": \"scalar\""), "kernel families disagree on forced-scalar: {json}");
     }
 
     #[test]

@@ -521,6 +521,23 @@ impl ServingEstimator {
         estimate_batch_memo(&self.model, &self.model.params, &self.normalization, plans, self.cache.as_ref())
     }
 
+    /// [`ServingEstimator::estimate_encoded_batch`] memoizing against a
+    /// caller-supplied cache instead of the handle's own — the worker
+    /// runtime routes each split wave chunk through the executing worker's
+    /// private cache shard.  Results are bit-identical to
+    /// [`ServingEstimator::estimate_encoded_batch`] whatever `cache` holds,
+    /// provided it only ever memoized *this* model's states (the memoized
+    /// path is bit-identical to fresh computation; a cache warmed by a
+    /// different model would violate its ownership contract, not this
+    /// method's).
+    pub fn estimate_encoded_batch_with_cache(
+        &self,
+        plans: &[&EncodedPlan],
+        cache: &SubtreeStateCache,
+    ) -> Vec<(f64, f64)> {
+        estimate_batch_memo(&self.model, &self.model.params, &self.normalization, plans, cache)
+    }
+
     /// True when this handle can serve the int8 tier (and therefore the
     /// tiered path actually escalates rather than degenerating to f32).
     pub fn has_quantized_weights(&self) -> bool {

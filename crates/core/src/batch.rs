@@ -754,8 +754,26 @@ mod tests {
         let (tc, tk) = forward_batch(&model, &model.params, &mut train_g, &refs);
         let mut infer_g = Graph::inference();
         let (ic, ik) = forward_batch(&model, &model.params, &mut infer_g, &refs);
-        assert_eq!(train_g.value(tc), infer_g.value(ic), "cost heads diverge across modes");
-        assert_eq!(train_g.value(tk), infer_g.value(ik), "card heads diverge across modes");
+        // On the scalar path the fused gate sweep is bit-identical to the
+        // train-mode libm activations; on the AVX2 path the FMA rational
+        // sweep perturbs gate values at ulp level, so the heads only agree
+        // within the f32 tier's tolerance contract (docs/perf.md).
+        match nn::simd::active_path() {
+            nn::simd::DispatchPath::Scalar => {
+                assert_eq!(train_g.value(tc), infer_g.value(ic), "cost heads diverge across modes");
+                assert_eq!(train_g.value(tk), infer_g.value(ik), "card heads diverge across modes");
+            }
+            _ => {
+                for (head, (t, i)) in [("cost", (tc, ic)), ("card", (tk, ik))] {
+                    for (a, b) in train_g.value(t).data().iter().zip(infer_g.value(i).data().iter()) {
+                        assert!(
+                            (a - b).abs() <= 1e-5 * (1.0 + b.abs()),
+                            "{head} heads diverge across modes: {a} vs {b}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! Component-level profile of the f32 GEMM tier (B-pack, dispatched kernel,
+//! scalar arm, transposed variants, gate sweeps) — the dev tool behind the
+//! "f32 kernel contract" numbers in `docs/perf.md`.  Not a regression gate;
+//! the end-to-end floors live in the `bench` crate's check mode.
+//!
+//! `cargo run -p nn --release --example profile_matmul`
+//! (`E2E_FORCE_SCALAR=1` profiles the scalar fallbacks through the same
+//! dispatch entry points.)
+
+use nn::matrix::Matrix;
+use nn::simd;
+use std::time::Instant;
+
+fn lcg(n: usize, mut seed: u32) -> Vec<f32> {
+    (0..n)
+        .map(|_| {
+            seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+            (seed >> 8) as f32 / (1u32 << 24) as f32 * 2.0 - 1.0
+        })
+        .collect()
+}
+
+fn time_ns(iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e9 / iters as f64
+}
+
+fn main() {
+    println!("f32 dispatch: {}", simd::f32_path_name());
+    let (rows, depth) = (32usize, 48usize);
+    for n in [1usize, 8, 16, 64] {
+        let w = Matrix::from_vec(rows, depth, lcg(rows * depth, 1));
+        let x = Matrix::from_vec(depth, n, lcg(depth * n, 2));
+        let xt = Matrix::from_vec(n, depth, lcg(n * depth, 8));
+        let wt = Matrix::from_vec(depth, rows, lcg(depth * rows, 9));
+        let mut out = Matrix::zeros(rows, n);
+
+        // Pack alone, then the dispatched kernel (pack included), then the
+        // frozen scalar arm for the speedup denominator.
+        let mut pack_buf: Vec<f32> = Vec::new();
+        let pack_ns = time_ns(20000, || {
+            std::hint::black_box(simd::pack_b_f32(x.data(), depth, n, &mut pack_buf));
+        });
+        let gemm_ns = time_ns(20000, || w.matmul_into(&x, &mut out));
+        let scalar_ns = time_ns(20000, || {
+            simd::gemm_f32_scalar(w.data(), rows, depth, x.data(), n, out.data_mut());
+        });
+
+        // Transposed variants at the same shapes (nt: B given row-major
+        // transposed; tn: A given transposed — the backward-pass layouts).
+        let nt_ns = time_ns(20000, || w.matmul_nt_into(&xt, &mut out));
+        let mut out_tn = Matrix::zeros(rows, n);
+        let tn_ns = time_ns(20000, || wt.matmul_tn_into(&x, &mut out_tn));
+
+        // Fused gate activation sweep at gate shape (rows x n per gate).
+        let mut g0 = lcg(rows * n, 3);
+        let mut g1 = lcg(rows * n, 4);
+        let mut g2 = lcg(rows * n, 5);
+        let mut g3 = lcg(rows * n, 6);
+        let gate_ns = time_ns(20000, || {
+            simd::lstm_gate_sweep(&mut g0, &mut g1, &mut g2, &mut g3);
+        });
+
+        println!(
+            "n={n:>3}  gemm {gemm_ns:>9.0} ns ({:.2}x scalar; pack {pack_ns:>7.0} ns = {:.0}%)   \
+             nt {nt_ns:>9.0} ns   tn {tn_ns:>9.0} ns   gate sweep {gate_ns:>9.0} ns",
+            scalar_ns / gemm_ns,
+            100.0 * pack_ns / gemm_ns
+        );
+    }
+}

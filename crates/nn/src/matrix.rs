@@ -7,46 +7,26 @@
 //!
 //! # Kernels
 //!
-//! The hot path of batched inference is matrix multiplication, so
-//! [`Matrix::matmul`] runs a cache-blocked kernel: the right-hand operand is
-//! packed one `KC x NC` tile at a time into a contiguous stack buffer (so the
-//! inner loops walk sequential memory regardless of `B`'s width) and the
-//! innermost update is a runtime-dispatched axpy/dot microkernel
-//! ([`crate::simd`]) — explicit AVX2 where the host supports it, with a
-//! bit-identical 8-wide unrolled scalar fallback.
-//! `matmul_nt` / `matmul_tn` multiply by a transposed operand *without*
-//! materializing the transpose — they are what `Graph::backward` uses for
-//! `dA = dC·Bᵀ` and `dB = Aᵀ·dC`.
+//! The hot path of batched inference is matrix multiplication.  All three
+//! matmul variants route through the runtime-dispatched GEMM kernels in
+//! [`crate::simd`]: on AVX2+FMA hosts an explicit 8x8 register-blocked
+//! `vfmadd` microkernel over a packed-B panel layout
+//! ([`crate::simd::gemm_f32`]), otherwise the original cache-blocked 8-wide
+//! unrolled scalar kernel (byte-for-byte, so forced-scalar results stay on
+//! the recorded golden bits).  The two paths follow the f32 tier's
+//! tolerance-plus-per-path-determinism contract documented in `crate::simd`
+//! and `docs/perf.md`.  `matmul_nt` / `matmul_tn` multiply by a transposed
+//! operand *without* materializing the transpose — they are what
+//! `Graph::backward` uses for `dA = dC·Bᵀ` and `dB = Aᵀ·dC`.
 //!
 //! Every kernel also has a `*_into` variant writing into a caller-provided
 //! matrix, and the element-wise operations have in-place (`*_assign`,
-//! `*_inplace`) variants; together they let steady-state forward passes reuse
-//! buffers instead of allocating per op (see `Graph`'s buffer recycling).
-//! `matmul_naive` keeps the textbook triple loop as the reference the
-//! property tests compare the blocked kernel against.
+//! `*_inplace`, `*_into`) variants; together they let steady-state forward
+//! passes reuse buffers instead of allocating per op (see `Graph`'s buffer
+//! recycling).  `matmul_naive` keeps the textbook triple loop as the oracle
+//! the property tests compare the dispatched kernels against.
 
 use std::fmt;
-
-/// Depth (K) extent of one packed tile of the right-hand operand.
-const KC: usize = 64;
-/// Width (N) extent of one packed tile; `KC * NC * 4` bytes = 16 KiB, half a
-/// typical L1d, leaving room for the output rows streaming through.
-const NC: usize = 64;
-
-/// `out += a * b` over equal-length slices, runtime-dispatched to the
-/// explicit AVX2 kernel or its bit-identical scalar fallback
-/// ([`crate::simd::axpy`]).
-#[inline(always)]
-fn axpy8(a: f32, b: &[f32], out: &mut [f32]) {
-    crate::simd::axpy(a, b, out);
-}
-
-/// Dot product of equal-length slices, runtime-dispatched
-/// ([`crate::simd::dot`]).
-#[inline(always)]
-fn dot8(a: &[f32], b: &[f32]) -> f32 {
-    crate::simd::dot(a, b)
-}
 
 /// Dense row-major matrix of `f32` values.
 #[derive(Clone, PartialEq)]
@@ -141,12 +121,13 @@ impl Matrix {
         out
     }
 
-    /// Blocked matrix multiplication into a caller-provided output matrix
+    /// Matrix multiplication into a caller-provided output matrix
     /// (overwritten, so `out` may hold stale data from a recycled buffer).
     ///
-    /// Tiles of `other` are packed into a contiguous 16 KiB stack buffer so
-    /// the 8-wide unrolled inner axpy streams sequential memory for any
-    /// operand width.
+    /// Routes through the runtime-dispatched GEMM ([`crate::simd::gemm_f32`]):
+    /// explicit AVX2+FMA 8x8 microkernel over packed-B panels, or the
+    /// original cache-blocked scalar kernel under `E2E_FORCE_SCALAR=1` / on
+    /// hosts without AVX2.
     ///
     /// # Panics
     /// Panics on any dimension mismatch.
@@ -158,51 +139,7 @@ impl Matrix {
         );
         assert_eq!(out.rows, self.rows, "matmul output row mismatch");
         assert_eq!(out.cols, other.cols, "matmul output col mismatch");
-        out.fill_zero();
-        let (m, depth, n) = (self.rows, self.cols, other.cols);
-        if m == 0 || depth == 0 || n == 0 {
-            return;
-        }
-        if depth <= KC && n <= NC {
-            // Single-tile case: `other` already fits in L1, so packing would
-            // only add a copy (and the pack buffer's init).  The estimator's
-            // per-level matrices almost always land here.
-            for i in 0..m {
-                let a_row = &self.data[i * depth..(i + 1) * depth];
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (k, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    axpy8(a, &other.data[k * n..(k + 1) * n], out_row);
-                }
-            }
-            return;
-        }
-        let mut pack = [0.0f32; KC * NC];
-        for kb in (0..depth).step_by(KC) {
-            let kc = KC.min(depth - kb);
-            for nb in (0..n).step_by(NC) {
-                let nc = NC.min(n - nb);
-                // Pack other[kb..kb+kc, nb..nb+nc] row-major into `pack`.
-                for kk in 0..kc {
-                    let src = &other.data[(kb + kk) * n + nb..(kb + kk) * n + nb + nc];
-                    pack[kk * nc..kk * nc + nc].copy_from_slice(src);
-                }
-                for i in 0..m {
-                    let a_row = &self.data[i * depth + kb..i * depth + kb + kc];
-                    let out_row = &mut out.data[i * n + nb..i * n + nb + nc];
-                    for (kk, &a) in a_row.iter().enumerate() {
-                        // One-hot feature vectors make zero coefficients
-                        // common; skipping them skips whole axpy rows.
-                        if a == 0.0 {
-                            continue;
-                        }
-                        axpy8(a, &pack[kk * nc..kk * nc + nc], out_row);
-                    }
-                }
-            }
-        }
+        crate::simd::gemm_f32(&self.data, self.rows, self.cols, &other.data, other.cols, &mut out.data);
     }
 
     /// Reference textbook matmul (unblocked).  Kept as the oracle the
@@ -239,14 +176,7 @@ impl Matrix {
         );
         assert_eq!(out.rows, self.rows, "matmul_nt output row mismatch");
         assert_eq!(out.cols, other.rows, "matmul_nt output col mismatch");
-        let depth = self.cols;
-        for i in 0..self.rows {
-            let a_row = &self.data[i * depth..(i + 1) * depth];
-            let out_row = &mut out.data[i * other.rows..(i + 1) * other.rows];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                *o = dot8(a_row, &other.data[j * depth..(j + 1) * depth]);
-            }
-        }
+        crate::simd::gemm_f32_nt(&self.data, self.rows, self.cols, &other.data, other.rows, &mut out.data);
     }
 
     /// Allocating wrapper over [`Matrix::matmul_nt_into`].
@@ -269,18 +199,7 @@ impl Matrix {
         );
         assert_eq!(out.rows, self.cols, "matmul_tn output row mismatch");
         assert_eq!(out.cols, other.cols, "matmul_tn output col mismatch");
-        out.fill_zero();
-        let (k_out, n) = (self.cols, other.cols);
-        for r in 0..self.rows {
-            let o_row = &other.data[r * n..(r + 1) * n];
-            let a_row = &self.data[r * k_out..(r + 1) * k_out];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                axpy8(a, o_row, &mut out.data[i * n..(i + 1) * n]);
-            }
-        }
+        crate::simd::gemm_f32_tn(&self.data, self.rows, self.cols, &other.data, other.cols, &mut out.data);
     }
 
     /// Allocating wrapper over [`Matrix::matmul_tn_into`].
@@ -474,6 +393,29 @@ impl Matrix {
             let b = bias.data[r];
             for v in &mut self.data[r * self.cols..(r + 1) * self.cols] {
                 *v += b;
+            }
+        }
+    }
+
+    /// Write `self` with a column-vector bias broadcast over its columns
+    /// into `out` (same shape as `self`), in one fused pass — the serving
+    /// forward path's form, replacing a copy-then-`add_bias_assign` pair so
+    /// the GEMM kernels aren't fed by per-call allocations or extra sweeps.
+    ///
+    /// # Panics
+    /// Panics if `bias` is not a `rows x 1` column vector or `out` doesn't
+    /// match `self`'s shape.
+    pub fn add_bias_into(&self, bias: &Matrix, out: &mut Matrix) {
+        assert_eq!(bias.cols, 1, "bias must be a column vector");
+        assert_eq!(bias.rows, self.rows, "bias rows must match matrix rows");
+        assert_eq!(self.rows, out.rows, "add_bias_into: row mismatch");
+        assert_eq!(self.cols, out.cols, "add_bias_into: col mismatch");
+        for r in 0..self.rows {
+            let b = bias.data[r];
+            let src = &self.data[r * self.cols..(r + 1) * self.cols];
+            let dst = &mut out.data[r * self.cols..(r + 1) * self.cols];
+            for (o, &x) in dst.iter_mut().zip(src.iter()) {
+                *o = x + b;
             }
         }
     }
@@ -738,6 +680,9 @@ mod tests {
         assert_eq!(out, a.emax(&b));
         a.map_into(|x| x * x, &mut out);
         assert_eq!(out, a.map(|x| x * x));
+        let bias = Matrix::column(&[1.0, -2.0, 0.5, 3.0, -1.0, 0.25]);
+        a.add_bias_into(&bias, &mut out);
+        assert_eq!(out, a.add_bias(&bias));
     }
 
     #[test]

@@ -22,6 +22,13 @@
 //!   one level-batched, subtree-memoized inference call
 //!   (`estimate_encoded_batch_memo`), amortizing the blocked matmuls
 //!   across sessions exactly like PR 1/PR 3 amortized them within one.
+//! * [`WorkerPool`] — the execution layer under the aggregator: a pinned
+//!   thread-per-core pool with per-worker [`estimator_core::SubtreeStateCache`]
+//!   shards and sibling work stealing.  An aggregator built
+//!   [`BatchAggregator::with_workers`] splits each oversized full-precision
+//!   wave across the pool instead of serializing it behind the leader
+//!   session's thread; results stay bit-identical because the memoized
+//!   batch path is column-independent.
 //!
 //! Ownership is the load-bearing design: `CostEstimator::serving()` hands
 //! out an *owned* `ServingEstimator` (model + cache behind `Arc`s), so a
@@ -44,8 +51,10 @@ mod aggregate;
 mod catalog;
 mod feedback;
 mod refresh;
+mod workers;
 
-pub use aggregate::BatchAggregator;
+pub use aggregate::{BatchAggregator, WaveStats};
 pub use catalog::{BackendFactory, ModelCatalog, Session, TenantBackend, TenantModel, DEFAULT_TIERED_TOP_K};
 pub use feedback::{FeedbackConfig, FeedbackLog, FeedbackRecord, PlanRegistry, ServedTier, TenantFeedback};
 pub use refresh::{RefreshConfig, RefreshController, RefreshOutcome};
+pub use workers::{Job, WorkerContext, WorkerPool, WorkerStats};

@@ -1,0 +1,406 @@
+//! Pinned thread-per-core worker runtime with sharded-cache work stealing.
+//!
+//! [`WorkerPool`] owns a fixed set of worker threads, one queue per worker.
+//! Each worker is pinned to a core where the platform allows it (raw
+//! `sched_setaffinity` on x86_64 Linux; a graceful no-op elsewhere — the
+//! pool works identically, the threads just float), and owns a private
+//! [`SubtreeStateCache`] shard handed to every job it runs through
+//! [`WorkerContext`].  A worker whose own queue is empty **steals** from the
+//! back of its siblings' queues, so one oversized submission spreads across
+//! idle cores instead of serializing behind one thread.
+//!
+//! Numerical safety of stealing: a stolen job runs against the *thief's*
+//! cache shard, not the victim's.  That is only sound because the memoized
+//! batch path is bit-identical to fresh computation regardless of cache
+//! contents (the column-independence contract pinned by
+//! `memoized_inference_is_bit_identical_*` in `estimator_core`) — which
+//! cache a chunk warms changes future hit rates, never a served value.
+//!
+//! Cache ownership: the shards hold model-specific subtree states keyed by
+//! plan signature, so **one pool serves one model generation**.  A tenant
+//! that hot-swaps its model must call [`WorkerPool::clear_caches`] (or
+//! build a fresh pool) before routing waves for the new weights through it,
+//! exactly like `CostEstimator` replaces its own cache on re-fit.
+
+use estimator_core::SubtreeStateCache;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of work: runs once on some worker, with that worker's context.
+pub type Job = Box<dyn FnOnce(&WorkerContext) + Send + 'static>;
+
+/// What a job sees of the worker executing it.
+pub struct WorkerContext {
+    index: usize,
+    cache: Arc<SubtreeStateCache>,
+}
+
+impl WorkerContext {
+    /// Index of the executing worker (stable for the pool's lifetime).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The executing worker's private subtree-state cache shard.
+    pub fn cache(&self) -> &SubtreeStateCache {
+        self.cache.as_ref()
+    }
+}
+
+/// Aggregate execution counters for a pool (monotonic since construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Jobs executed, on any worker.
+    pub executed: u64,
+    /// Jobs a worker took from a *sibling's* queue (subset of `executed`).
+    pub stolen: u64,
+    /// Workers whose core pin succeeded (0 on platforms without affinity).
+    pub pinned: usize,
+}
+
+struct PoolShared {
+    /// One job queue per worker; the owner pops from the front, thieves
+    /// pop from the back (oldest submissions migrate first, keeping the
+    /// owner's cache-warm tail local).
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Per-worker cache shards (mirrors `queues`); cloned into each
+    /// worker's [`WorkerContext`] and reachable here for `clear_caches`.
+    caches: Vec<Arc<SubtreeStateCache>>,
+    /// Wake-up version counter: bumped under its lock on every submit and
+    /// on shutdown, so a worker that scanned every queue empty can sleep
+    /// without losing a wakeup (it re-checks the version it scanned at).
+    version: Mutex<u64>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    executed: AtomicU64,
+    stolen: AtomicU64,
+}
+
+/// A fixed pool of pinned worker threads with per-worker queues, private
+/// cache shards, and sibling work stealing.  See the module docs.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+    next: AtomicU64,
+    pinned: usize,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` pinned threads (`workers` is clamped to at least 1).
+    /// Worker `i` is pinned to core `i % available cores`; on platforms
+    /// without thread affinity the pin is a recorded no-op.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            caches: (0..workers).map(|_| Arc::new(SubtreeStateCache::new())).collect(),
+            version: Mutex::new(0),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            executed: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+        });
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let pin_results: Arc<Vec<AtomicBool>> = Arc::new((0..workers).map(|_| AtomicBool::new(false)).collect());
+        let handles = (0..workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                let pin_results = Arc::clone(&pin_results);
+                std::thread::Builder::new()
+                    .name(format!("serving-worker-{index}"))
+                    .spawn(move || {
+                        pin_results[index].store(pin_to_core(index % cores), Ordering::Release);
+                        worker_loop(&shared, index);
+                    })
+                    .expect("spawn serving worker thread")
+            })
+            .collect();
+        // Pin outcomes land before each worker's first dequeue; a short
+        // settle loop keeps `stats()` deterministic without blocking long.
+        for flag in pin_results.iter() {
+            for _ in 0..1000 {
+                if flag.load(Ordering::Acquire) {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        }
+        let pinned = pin_results.iter().filter(|f| f.load(Ordering::Acquire)).count();
+        WorkerPool { shared, handles, next: AtomicU64::new(0), pinned }
+    }
+
+    /// Number of worker threads.
+    pub fn len(&self) -> usize {
+        self.shared.queues.len()
+    }
+
+    /// Always false — the pool spawns at least one worker.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Enqueue a job on the next worker's queue (round-robin).
+    pub fn submit(&self, job: Job) {
+        let n = self.len() as u64;
+        let target = (self.next.fetch_add(1, Ordering::Relaxed) % n) as usize;
+        self.submit_to(target, job);
+    }
+
+    /// Enqueue a job on a specific worker's queue.  The job still runs on
+    /// *some* worker: siblings steal from this queue when idle.
+    ///
+    /// # Panics
+    /// Panics if `worker >= self.len()`.
+    pub fn submit_to(&self, worker: usize, job: Job) {
+        self.shared.queues[worker].lock().unwrap_or_else(|e| e.into_inner()).push_back(job);
+        let mut v = self.shared.version.lock().unwrap_or_else(|e| e.into_inner());
+        *v += 1;
+        drop(v);
+        self.shared.wake.notify_all();
+    }
+
+    /// Execution counters since construction.
+    pub fn stats(&self) -> WorkerStats {
+        WorkerStats {
+            workers: self.len(),
+            executed: self.shared.executed.load(Ordering::Relaxed),
+            stolen: self.shared.stolen.load(Ordering::Relaxed),
+            pinned: self.pinned,
+        }
+    }
+
+    /// Clear every worker's cache shard — required when re-binding the
+    /// pool to a new model generation (see the module docs).
+    pub fn clear_caches(&self) {
+        for cache in &self.shared.caches {
+            cache.clear();
+        }
+    }
+
+    /// Summed `(hits, misses)` across all worker cache shards.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.shared.caches.iter().map(|c| c.stats()).fold((0, 0), |(h, m), (ch, cm)| (h + ch, m + cm))
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let mut v = self.shared.version.lock().unwrap_or_else(|e| e.into_inner());
+            *v += 1;
+        }
+        self.shared.wake.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Take the next job for `index`: its own queue front first, then a sweep
+/// over siblings' queue backs.  Returns the job and whether it was stolen.
+fn next_job(shared: &PoolShared, index: usize) -> Option<(Job, bool)> {
+    if let Some(job) = shared.queues[index].lock().unwrap_or_else(|e| e.into_inner()).pop_front() {
+        return Some((job, false));
+    }
+    let n = shared.queues.len();
+    for off in 1..n {
+        let victim = (index + off) % n;
+        if let Some(job) = shared.queues[victim].lock().unwrap_or_else(|e| e.into_inner()).pop_back() {
+            return Some((job, true));
+        }
+    }
+    None
+}
+
+fn worker_loop(shared: &PoolShared, index: usize) {
+    let ctx = WorkerContext { index, cache: Arc::clone(&shared.caches[index]) };
+    loop {
+        // Snapshot the version *before* scanning: a submit that lands after
+        // the scan bumps it, so the sleep below can't miss that wakeup.
+        let seen = *shared.version.lock().unwrap_or_else(|e| e.into_inner());
+        let mut ran_any = false;
+        while let Some((job, stolen)) = next_job(shared, index) {
+            ran_any = true;
+            if stolen {
+                shared.stolen.fetch_add(1, Ordering::Relaxed);
+            }
+            shared.executed.fetch_add(1, Ordering::Relaxed);
+            // A panicking job must not kill the worker: result delivery and
+            // panic propagation are the job closure's own responsibility
+            // (the aggregator posts a Failed chunk), this is the backstop
+            // that keeps the queue draining.
+            let _ = catch_unwind(AssertUnwindSafe(|| job(&ctx)));
+        }
+        if ran_any {
+            continue;
+        }
+        // Every queue was empty at the scan.  Exit only on shutdown — and
+        // only after that final empty sweep, so no accepted job is dropped.
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let mut v = shared.version.lock().unwrap_or_else(|e| e.into_inner());
+        while *v == seen && !shared.shutdown.load(Ordering::Acquire) {
+            v = shared.wake.wait(v).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Pin the calling thread to `core`.  Returns whether the pin took effect.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+fn pin_to_core(core: usize) -> bool {
+    // Raw `sched_setaffinity(0, sizeof mask, &mask)` — syscall 203 on
+    // x86_64 Linux; pid 0 means the calling thread.  1024-bit mask, the
+    // kernel's default CPU-set width.
+    let mut mask = [0u64; 16];
+    mask[(core / 64) % mask.len()] |= 1u64 << (core % 64);
+    let ret: i64;
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") 203i64 => ret,
+            in("rdi") 0i64,
+            in("rsi") std::mem::size_of_val(&mask),
+            in("rdx") mask.as_ptr(),
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret == 0
+}
+
+/// No thread-affinity support on this platform: the pool still works, its
+/// threads just float (recorded as `pinned: 0` in [`WorkerStats`]).
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+fn pin_to_core(_core: usize) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn jobs_execute_with_per_worker_context_and_counters() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.len(), 3);
+        assert!(!pool.is_empty());
+        let (tx, rx) = mpsc::channel::<(usize, usize)>();
+        let n_jobs = 48;
+        for _ in 0..n_jobs {
+            let tx = tx.clone();
+            pool.submit(Box::new(move |ctx| {
+                tx.send((ctx.index(), ctx.cache() as *const SubtreeStateCache as usize)).unwrap();
+            }));
+        }
+        let mut seen: Vec<(usize, usize)> = Vec::new();
+        for _ in 0..n_jobs {
+            seen.push(rx.recv_timeout(Duration::from_secs(20)).expect("job completed"));
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.executed, n_jobs as u64);
+        assert_eq!(stats.workers, 3);
+        assert!(stats.pinned <= 3);
+        // Each worker owns exactly one cache shard: the (index, cache ptr)
+        // pairing is a bijection over the workers that ran jobs.
+        let mut shard_of = std::collections::HashMap::new();
+        for (index, cache_ptr) in &seen {
+            assert!(*index < 3);
+            let prev = shard_of.insert(*index, *cache_ptr);
+            assert!(prev.is_none_or(|p| p == *cache_ptr), "worker {index} switched cache shards");
+        }
+        let distinct: std::collections::HashSet<usize> = shard_of.values().copied().collect();
+        assert_eq!(distinct.len(), shard_of.len(), "two workers share a cache shard");
+    }
+
+    #[test]
+    fn idle_workers_steal_from_a_loaded_queue() {
+        let pool = WorkerPool::new(4);
+        let (tx, rx) = mpsc::channel::<usize>();
+        let n_jobs = 32;
+        // Everything lands on worker 0's queue; each job is slow enough
+        // that its siblings go idle and must steal to finish the batch.
+        for _ in 0..n_jobs {
+            let tx = tx.clone();
+            pool.submit_to(
+                0,
+                Box::new(move |ctx| {
+                    std::thread::sleep(Duration::from_millis(2));
+                    tx.send(ctx.index()).unwrap();
+                }),
+            );
+        }
+        let mut ran_on: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        for _ in 0..n_jobs {
+            ran_on.insert(rx.recv_timeout(Duration::from_secs(20)).expect("job completed"));
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.executed, n_jobs as u64);
+        assert!(stats.stolen > 0, "a fully loaded single queue must shed work to idle siblings");
+        assert!(ran_on.len() > 1, "stolen jobs must actually run on sibling workers");
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_its_worker() {
+        let pool = WorkerPool::new(1);
+        pool.submit(Box::new(|_| panic!("job panic must stay contained")));
+        let (tx, rx) = mpsc::channel::<()>();
+        pool.submit(Box::new(move |_| tx.send(()).unwrap()));
+        rx.recv_timeout(Duration::from_secs(20)).expect("worker survived the panicking job");
+        assert_eq!(pool.stats().executed, 2);
+    }
+
+    #[test]
+    fn drop_drains_accepted_jobs_before_join() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let n_jobs = 64;
+        {
+            let pool = WorkerPool::new(2);
+            for _ in 0..n_jobs {
+                let counter = Arc::clone(&counter);
+                pool.submit(Box::new(move |_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }));
+            }
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), n_jobs, "drop must not discard accepted jobs");
+    }
+
+    #[test]
+    fn clear_caches_empties_every_shard() {
+        let pool = WorkerPool::new(2);
+        let (tx, rx) = mpsc::channel::<usize>();
+        for worker in 0..2 {
+            let tx = tx.clone();
+            pool.submit_to(
+                worker,
+                Box::new(move |ctx| {
+                    let state = estimator_core::SubtreeState { g: vec![0.5], r: vec![0.5] };
+                    ctx.cache().insert(0xdead_beef + ctx.index() as u64, Arc::new(state));
+                    tx.send(ctx.cache().len()).unwrap();
+                }),
+            );
+        }
+        for _ in 0..2 {
+            let _ = rx.recv_timeout(Duration::from_secs(20)).expect("insert ran");
+        }
+        pool.clear_caches();
+        let (tx, rx) = mpsc::channel::<usize>();
+        for worker in 0..2 {
+            let tx = tx.clone();
+            pool.submit_to(worker, Box::new(move |ctx| tx.send(ctx.cache().len()).unwrap()));
+        }
+        for _ in 0..2 {
+            assert_eq!(rx.recv_timeout(Duration::from_secs(20)).expect("len ran"), 0, "shard survived clear_caches");
+        }
+    }
+}

@@ -24,6 +24,27 @@ fn fixture(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
 }
 
+/// Assert a pinned f32-tier estimate.  The golden bit patterns were
+/// recorded by the scalar kernels, whose arithmetic is frozen — on the
+/// scalar dispatch path (the `E2E_FORCE_SCALAR=1` CI lane) the pin stays
+/// exact to the bit.  On the AVX2 path the FMA GEMM and gate-sweep kernels
+/// legitimately round differently (the f32 tier's tolerance contract,
+/// docs/perf.md), so the same fixtures are pinned to a relative tolerance
+/// there instead.
+fn assert_estimate_pinned(got: f64, want_bits: u64, what: &str) {
+    use e2e_cost_estimator::nn::simd::{active_path, DispatchPath};
+    let want = f64::from_bits(want_bits);
+    match active_path() {
+        DispatchPath::Scalar => {
+            assert_eq!(got.to_bits(), want_bits, "{what} (scalar path pins exact bits): {got} vs {want}")
+        }
+        _ => assert!(
+            (got - want).abs() <= 1e-4 * (1.0 + want.abs()),
+            "{what} (AVX2 path allows FMA rounding drift): {got} vs {want}"
+        ),
+    }
+}
+
 /// The deterministic context the fixtures were generated under.
 fn golden_db() -> Arc<Database> {
     Arc::new(generate_imdb(GeneratorConfig { n_titles: 200, sample_size: 32, seed: 7 }))
@@ -107,8 +128,8 @@ fn v2_reader_loads_v1_tree_golden_checkpoint_bit_identically() {
     assert!(est.is_fitted());
     for (plan, &(cost_bits, card_bits)) in plans.iter().zip(GOLDEN_TREE_BITS.iter()) {
         let (cost, card) = est.estimate(plan);
-        assert_eq!(cost.to_bits(), cost_bits, "v1 checkpoint no longer serves its recorded cost");
-        assert_eq!(card.to_bits(), card_bits, "v1 checkpoint no longer serves its recorded cardinality");
+        assert_estimate_pinned(cost, cost_bits, "v1 checkpoint no longer serves its recorded cost");
+        assert_estimate_pinned(card, card_bits, "v1 checkpoint no longer serves its recorded cardinality");
     }
 }
 
@@ -144,8 +165,8 @@ fn v3_reader_loads_v2_tree_golden_checkpoint_bit_identically() {
     assert!(!est.has_quantized_weights(), "a v2 file must not conjure quantized weights");
     for (plan, &(cost_bits, card_bits)) in plans.iter().zip(GOLDEN_TREE_V2_BITS.iter()) {
         let (cost, card) = est.estimate(plan);
-        assert_eq!(cost.to_bits(), cost_bits, "v2 checkpoint no longer serves its recorded cost");
-        assert_eq!(card.to_bits(), card_bits, "v2 checkpoint no longer serves its recorded cardinality");
+        assert_estimate_pinned(cost, cost_bits, "v2 checkpoint no longer serves its recorded cost");
+        assert_estimate_pinned(card, card_bits, "v2 checkpoint no longer serves its recorded cardinality");
     }
 }
 
@@ -159,8 +180,8 @@ fn v3_golden_checkpoint_restores_both_precision_tiers_bit_identically() {
     assert!(est.has_quantized_weights(), "the v3 fixture carries a quant section");
     for (plan, &(cost_bits, card_bits)) in plans.iter().zip(GOLDEN_TREE_V3_BITS.iter()) {
         let (cost, card) = est.estimate(plan);
-        assert_eq!(cost.to_bits(), cost_bits, "v3 checkpoint no longer serves its recorded f32 cost");
-        assert_eq!(card.to_bits(), card_bits, "v3 checkpoint no longer serves its recorded f32 cardinality");
+        assert_estimate_pinned(cost, cost_bits, "v3 checkpoint no longer serves its recorded f32 cost");
+        assert_estimate_pinned(card, card_bits, "v3 checkpoint no longer serves its recorded f32 cardinality");
     }
     let encoded: Vec<_> = plans.iter().map(|p| est.encode(p)).collect();
     let refs: Vec<_> = encoded.iter().collect();
@@ -184,8 +205,8 @@ fn v3_file_without_quant_section_loads_full_precision() {
     assert!(!fresh.has_quantized_weights(), "full-precision save must not restore an int8 tier");
     for (plan, &(cost_bits, card_bits)) in plans.iter().zip(GOLDEN_TREE_V3_BITS.iter()) {
         let (cost, card) = fresh.estimate(plan);
-        assert_eq!(cost.to_bits(), cost_bits, "dropping the quant section must not perturb f32 estimates");
-        assert_eq!(card.to_bits(), card_bits);
+        assert_estimate_pinned(cost, cost_bits, "dropping the quant section must not perturb f32 estimates");
+        assert_estimate_pinned(card, card_bits, "dropping the quant section must not perturb f32 estimates");
     }
     let _ = std::fs::remove_file(&path);
 }
@@ -279,10 +300,10 @@ fn v2_reader_loads_v1_mscn_golden_checkpoint_bit_identically() {
     let mut est = MscnEstimator::new(db.clone(), enc, MscnConfig { epochs: 2, hidden_dim: 16, ..Default::default() });
     est.load_checkpoint_from(&fixture("golden_mscn_v1.ckpt")).expect("v1 MSCN golden checkpoint must load forever");
     for (estimate, &want) in est.estimate_many(&plans).iter().zip(GOLDEN_MSCN_BITS.iter()) {
-        assert_eq!(
-            estimate.cardinality.expect("cardinality slot").to_bits(),
+        assert_estimate_pinned(
+            estimate.cardinality.expect("cardinality slot"),
             want,
-            "v1 MSCN checkpoint no longer serves its recorded estimate"
+            "v1 MSCN checkpoint no longer serves its recorded estimate",
         );
     }
 }
