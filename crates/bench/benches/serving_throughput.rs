@@ -13,6 +13,12 @@
 //!   memoization-disabled level-batched path on the identical stream, single
 //!   thread; plus the subtree-cache hit rate (node-level: fraction of
 //!   submitted plan nodes served without a fresh embedding).
+//! * **Encode pipeline** — fresh per-plan featurization (bitmap memo
+//!   disabled: the pre-memo pipeline, bit-identical output) vs. the
+//!   signature-memoized batch encode against the shared encode cache over
+//!   the identical stream, plus the sample-bitmap memo hit rate over one
+//!   fresh-style pass and the end-to-end raw-plans→estimates throughput of
+//!   [`estimator_core::ServingEstimator::estimate_plans`].
 //! * **Concurrent-session scaling** — 1/2/4/8 serving threads, each scoring
 //!   its own full copy of the stream (staggered query offsets, like
 //!   independent clients with recurring templates) against the shared
@@ -39,7 +45,9 @@
 //!
 //! Results go to `BENCH_serving.json` (into `E2E_BENCH_OUT` or the current
 //! directory).  With `E2E_CHECK` set, regression floors are asserted:
-//! memoization speedup ≥ 3x, node-level hit rate ≥ 0.85, ≥ 1.5x aggregate
+//! memoization speedup ≥ 3x, node-level hit rate ≥ 0.85, memoized encode
+//! ≥ 3x the fresh featurization with a bitmap-memo hit rate ≥ 0.8 and a
+//! live end-to-end `estimate_plans` measurement, ≥ 1.5x aggregate
 //! throughput at 4 threads, checkpoint warm start ≥ 5x faster than a
 //! cold fit, the tiered int8 section's quant ≥ 0.3x / tiered ≥ 0.1x
 //! of the memoized f32 stream, and every worker-pool row ≥ 0.4x of the
@@ -192,6 +200,88 @@ fn main() {
         let q = &encoded[0];
         let refs: Vec<&EncodedPlan> = q.iter().collect();
         assert_eq!(serving.estimate_encoded_batch(&refs), est.estimate_encoded_batch(q), "memoized estimates diverged");
+    }
+
+    // --- Encode pipeline: fresh vs signature-memoized featurization. ---
+    // "Fresh" is the pre-memo pipeline: per-plan recursive encode with the
+    // bitmap memo disabled on an extractor clone (bit-identical features,
+    // no reuse of any kind).  "Memoized" batches each query's candidates
+    // through the shared encode cache, cold at stream start — the first
+    // round pays the distinct-subtree encodes, later rounds are almost
+    // entirely signature lookups, exactly like the estimation memo above.
+    let mut fresh_fx = est.extractor().clone();
+    fresh_fx.use_bitmap_memo = false;
+    let secs_encode_fresh = time_reps(
+        reps,
+        || (),
+        || {
+            for _ in 0..rounds {
+                for s in &workload {
+                    for c in &s.candidates {
+                        std::hint::black_box(fresh_fx.encode_plan(c));
+                    }
+                }
+            }
+        },
+    );
+    let secs_encode_memo = time_reps(
+        reps,
+        || serving.encode_cache().clear(),
+        || {
+            for _ in 0..rounds {
+                for s in &workload {
+                    std::hint::black_box(serving.encode_plans(&s.candidates));
+                }
+            }
+        },
+    );
+    let encode_speedup = secs_encode_fresh / secs_encode_memo;
+    let encode_cache_hit_rate = serving.encode_cache().hit_rate();
+    let encode_cache_entries = serving.encode_cache().len();
+    // Bitmap-memo hit rate over one fresh-style pass (memo enabled, cleared
+    // first): across an enumeration stream almost every scan repeats a
+    // (table, predicate) pair some other candidate already swept.
+    est.extractor().clear_bitmap_memo();
+    for s in &workload {
+        for c in &s.candidates {
+            std::hint::black_box(est.extractor().encode_plan(c));
+        }
+    }
+    let bitmap_hit_rate = est.extractor().bitmap_memo_hit_rate();
+    // End-to-end front door: raw PlanNodes in, (cost, cardinality) out,
+    // through one memoized encode+embed pipeline.
+    let secs_end_to_end = time_reps(
+        reps,
+        || {
+            serving.encode_cache().clear();
+            serving.cache().clear();
+        },
+        || {
+            for _ in 0..rounds {
+                for s in &workload {
+                    std::hint::black_box(serving.estimate_plans(&s.candidates));
+                }
+            }
+        },
+    );
+    let end_to_end_plans_per_sec = plans_per_session as f64 / secs_end_to_end;
+    println!(
+        "encode: fresh {:.1} plans/s -> memoized {:.1} plans/s ({encode_speedup:.1}x), \
+         encode-cache hit rate {:.1}% ({encode_cache_entries} entries), bitmap memo hit rate {:.1}%, \
+         end-to-end {end_to_end_plans_per_sec:.1} plans/s",
+        plans_per_session as f64 / secs_encode_fresh,
+        plans_per_session as f64 / secs_encode_memo,
+        encode_cache_hit_rate * 100.0,
+        bitmap_hit_rate * 100.0,
+    );
+    // Memoized featurization must be bit-identical to the fresh pipeline.
+    {
+        let fresh: Vec<EncodedPlan> = workload[0].candidates.iter().map(|c| fresh_fx.encode_plan(c)).collect();
+        let memoized = serving.encode_plans(&workload[0].candidates);
+        assert!(
+            memoized.iter().zip(&fresh).all(|(m, f)| m.as_ref() == f),
+            "memoized encode diverged from fresh featurization"
+        );
     }
 
     // --- Tiered int8 serving: quantized pass + top-k f32 escalation. ---
@@ -395,6 +485,15 @@ fn main() {
     let _ = writeln!(json, "    \"lookup_hits\": {lookup_hits},");
     let _ = writeln!(json, "    \"lookup_misses\": {lookup_misses}");
     let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"encode\": {{");
+    let _ = writeln!(json, "    \"fresh_plans_per_sec\": {:.1},", plans_per_session as f64 / secs_encode_fresh);
+    let _ = writeln!(json, "    \"memoized_plans_per_sec\": {:.1},", plans_per_session as f64 / secs_encode_memo);
+    let _ = writeln!(json, "    \"speedup\": {encode_speedup:.3},");
+    let _ = writeln!(json, "    \"encode_cache_hit_rate\": {encode_cache_hit_rate:.4},");
+    let _ = writeln!(json, "    \"encode_cache_entries\": {encode_cache_entries},");
+    let _ = writeln!(json, "    \"bitmap_memo_hit_rate\": {bitmap_hit_rate:.4},");
+    let _ = writeln!(json, "    \"end_to_end_plans_per_sec\": {end_to_end_plans_per_sec:.1}");
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"tiered\": {{");
     let _ = writeln!(json, "    \"top_k\": {top_k},");
     let _ = writeln!(json, "    \"escalation_fraction\": {escalation_fraction:.4},");
@@ -472,6 +571,14 @@ fn main() {
         if let Some(speedup) = warm_speedup {
             assert!(speedup >= 5.0, "checkpoint warm start only {speedup:.1}x faster than a cold fit (floor 5x)");
         }
+        // Encode-pipeline floors: the signature memo must beat the fresh
+        // pipeline by 3x over the stream (first round cold, later rounds
+        // served from the cache), the bitmap memo must serve at least 80%
+        // of sweeps on a fresh-style pass, and the end-to-end front door
+        // must actually move plans.
+        assert!(encode_speedup >= 3.0, "memoized encode speedup {encode_speedup:.2}x below the 3x regression floor");
+        assert!(bitmap_hit_rate >= 0.8, "bitmap memo hit rate {bitmap_hit_rate:.3} below the 0.8 floor");
+        assert!(end_to_end_plans_per_sec > 0.0, "end-to-end estimate_plans produced no throughput measurement");
         // The f32 baseline here is the *memoized* stream (92%+ subtree hit
         // rate), so the int8 tier competes against cache lookups rather
         // than raw inference; the floors guard against the quant tier or
@@ -505,8 +612,9 @@ fn main() {
             }
         }
         println!(
-            "check mode: serving floors hold (memo >= 3x, hit rate >= 0.85, 4-session >= 1.5x, warm start >= 5x, \
-             quant >= 0.3x memo, tiered >= 0.1x memo, worker pools >= 0.4x anti-collapse with waves splitting)"
+            "check mode: serving floors hold (memo >= 3x, hit rate >= 0.85, encode memo >= 3x, bitmap memo >= 0.8, \
+             4-session >= 1.5x, warm start >= 5x, quant >= 0.3x memo, tiered >= 0.1x memo, worker pools >= 0.4x \
+             anti-collapse with waves splitting)"
         );
     }
 }

@@ -9,7 +9,7 @@
 use crate::backend::{Estimator, EstimatorCapabilities, PlanEstimate, TrainableEstimator};
 use crate::batch::{estimate_batch, estimate_batch_memo, estimate_batch_memo_quant, estimate_batch_quant};
 use crate::checkpoint;
-use crate::memory::{RepresentationMemoryPool, SubtreeStateCache};
+use crate::memory::{EncodedSubtreeCache, RepresentationMemoryPool, SubtreeStateCache};
 use crate::model::{ModelConfig, TaskMode, TreeModel};
 use crate::trainer::{EpochStats, TargetNormalization, TrainConfig, Trainer};
 use featurize::{EncodedPlan, FeatureExtractor};
@@ -23,12 +23,15 @@ use std::sync::Arc;
 
 /// An end-to-end learned cost and cardinality estimator.
 pub struct CostEstimator {
-    extractor: FeatureExtractor,
+    extractor: Arc<FeatureExtractor>,
     trainer: Option<Trainer>,
     model_config: ModelConfig,
     train_config: TrainConfig,
     pool: RepresentationMemoryPool,
     subtree_cache: Arc<SubtreeStateCache>,
+    /// Memoized subtree *encodings* (the featurize front of the serving
+    /// path); swapped together with `subtree_cache` on every invalidation.
+    encode_cache: Arc<EncodedSubtreeCache>,
     /// Per-channel int8 form of the fitted weights (the cheap serving tier);
     /// derived on demand or restored from a v3 checkpoint.
     quant: Option<Arc<QuantWeights>>,
@@ -41,12 +44,13 @@ impl CostEstimator {
     /// Create an estimator with the given feature extractor and configuration.
     pub fn new(extractor: FeatureExtractor, model_config: ModelConfig, train_config: TrainConfig) -> Self {
         CostEstimator {
-            extractor,
+            extractor: Arc::new(extractor),
             trainer: None,
             model_config,
             train_config,
             pool: RepresentationMemoryPool::new(),
             subtree_cache: Arc::new(SubtreeStateCache::new()),
+            encode_cache: Arc::new(EncodedSubtreeCache::new()),
             quant: None,
             quant_cache: Arc::new(SubtreeStateCache::new()),
         }
@@ -59,10 +63,16 @@ impl CostEstimator {
     /// next handle starts empty — nothing computed under the old parameters
     /// can ever serve the new ones, in either direction.  The quantized
     /// weights and their tier cache are dropped too: both derive from the
-    /// parameters that just changed.
+    /// parameters that just changed.  The encoded-subtree cache is swapped
+    /// under the same rule — its entries would actually stay *valid* (they
+    /// depend only on the extractor, which survives refits), but one
+    /// invalidation rule for every serving cache is cheaper to reason about
+    /// than a carve-out, and re-encoding a working set is a few
+    /// milliseconds.
     fn invalidate_caches(&mut self) {
         self.pool.clear();
         self.subtree_cache = Arc::new(SubtreeStateCache::new());
+        self.encode_cache = Arc::new(EncodedSubtreeCache::new());
         self.quant = None;
         self.quant_cache = Arc::new(SubtreeStateCache::new());
     }
@@ -94,6 +104,20 @@ impl CostEstimator {
     /// Encode an annotated physical plan into the model's input format.
     pub fn encode(&self, plan: &PlanNode) -> EncodedPlan {
         self.extractor.encode_plan(plan)
+    }
+
+    /// Encode a batch through the estimator's shared encoded-subtree cache:
+    /// each distinct subtree (within the batch *and* across previous calls
+    /// since the last refit) is featurized exactly once.  Bit-identical to
+    /// [`CostEstimator::encode`] per plan.
+    pub fn encode_plans(&self, plans: &[PlanNode]) -> Vec<Arc<EncodedPlan>> {
+        self.extractor.encode_plans_cached(plans, self.encode_cache.as_ref())
+    }
+
+    /// The memoized-encode cache backing [`CostEstimator::encode_plans`]
+    /// (and every [`ServingEstimator`] handle minted since the last refit).
+    pub fn encode_cache(&self) -> &EncodedSubtreeCache {
+        self.encode_cache.as_ref()
     }
 
     /// Train on already-encoded plans; returns per-epoch statistics.
@@ -256,7 +280,9 @@ impl CostEstimator {
         ServingEstimator {
             model: Arc::clone(&trainer.model),
             normalization: trainer.normalization,
+            extractor: Arc::clone(&self.extractor),
             cache: Arc::clone(&self.subtree_cache),
+            encode_cache: Arc::clone(&self.encode_cache),
             quant: self.quant.clone(),
             quant_cache: Arc::clone(&self.quant_cache),
         }
@@ -458,11 +484,14 @@ impl Estimator for CostEstimator {
         if plans.is_empty() {
             return Vec::new();
         }
-        let encoded: Vec<EncodedPlan> = plans.iter().map(|p| self.encode(p)).collect();
-        // The memoized path: bit-identical to `estimate_encoded_batch`, and
-        // trait-driven serving (catalog sessions, coalesced admission
-        // batches) shares the subtree cache across calls for free.
-        self.estimate_encoded_batch_memo(&encoded)
+        // Memoized on both ends: featurization deduplicates shared subtrees
+        // through the encode cache (bit-identical to fresh `encode`), and
+        // inference memoizes subtree states — trait-driven serving (catalog
+        // sessions, coalesced admission batches) shares both across calls.
+        let encoded = self.encode_plans(plans);
+        let refs: Vec<&EncodedPlan> = encoded.iter().map(|a| a.as_ref()).collect();
+        self.serving()
+            .estimate_encoded_batch(&refs)
             .into_iter()
             .map(|(cost, card)| PlanEstimate {
                 cost: caps.cost.then_some(cost),
@@ -504,7 +533,15 @@ impl TrainableEstimator for CostEstimator {
 pub struct ServingEstimator {
     model: Arc<TreeModel>,
     normalization: TargetNormalization,
+    /// The feature extractor the model was fitted with, so the handle can
+    /// accept raw [`PlanNode`]s and run the whole encode+embed pipeline.
+    extractor: Arc<FeatureExtractor>,
     cache: Arc<SubtreeStateCache>,
+    /// Memoized subtree *encodings*, shared with the source estimator and
+    /// every clone of this handle — swapped alongside `cache` on
+    /// invalidation so a handle always holds a consistent (model, caches)
+    /// set.
+    encode_cache: Arc<EncodedSubtreeCache>,
     /// The int8 serving tier, when the source estimator had one derived
     /// ([`CostEstimator::ensure_quantized`]) or loaded from a v3 checkpoint.
     quant: Option<Arc<QuantWeights>>,
@@ -514,6 +551,25 @@ pub struct ServingEstimator {
 }
 
 impl ServingEstimator {
+    /// The end-to-end front door: encode a batch of **raw plans** through
+    /// the shared encode cache (each distinct subtree featurized once,
+    /// bit-identical to fresh encoding) and score them through the memoized
+    /// batch path; `(cost, cardinality)` per plan, in input order.  This is
+    /// the one-call form of `encode_plans` + `estimate_encoded_batch` an
+    /// optimizer loop wants.
+    pub fn estimate_plans(&self, plans: &[PlanNode]) -> Vec<(f64, f64)> {
+        let encoded = self.encode_plans(plans);
+        let refs: Vec<&EncodedPlan> = encoded.iter().map(|a| a.as_ref()).collect();
+        self.estimate_encoded_batch(&refs)
+    }
+
+    /// Encode a batch of raw plans through the handle's shared encode
+    /// cache: each distinct (subtree, annotations) featurized at most once
+    /// across the batch *and* across every session sharing this handle.
+    pub fn encode_plans(&self, plans: &[PlanNode]) -> Vec<Arc<EncodedPlan>> {
+        self.extractor.encode_plans_cached(plans, self.encode_cache.as_ref())
+    }
+
     /// Score a batch of candidate plans with subtree memoization
     /// ([`crate::batch::estimate_batch_memo`]); `(cost, cardinality)` per
     /// plan, in input order.
@@ -608,6 +664,16 @@ impl ServingEstimator {
     /// The quantized tier's subtree-state cache.
     pub fn quant_cache(&self) -> &SubtreeStateCache {
         self.quant_cache.as_ref()
+    }
+
+    /// The shared encoded-subtree cache (for hit-rate reporting).
+    pub fn encode_cache(&self) -> &EncodedSubtreeCache {
+        self.encode_cache.as_ref()
+    }
+
+    /// The feature extractor this handle encodes raw plans with.
+    pub fn extractor(&self) -> &FeatureExtractor {
+        self.extractor.as_ref()
     }
 
     /// The pinned model weights (shared with every clone of this handle).

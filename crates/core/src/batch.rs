@@ -815,7 +815,7 @@ mod tests {
         let trainer = Trainer::new(model, &plans, TrainConfig::default());
         let cache = crate::memory::SubtreeStateCache::new();
 
-        let leaves: Vec<&EncodedPlan> = plans.iter().flat_map(|p| p.children.iter()).collect();
+        let leaves: Vec<&EncodedPlan> = plans.iter().flat_map(|p| p.children.iter().map(|c| c.as_ref())).collect();
         estimate_batch_memo(&trainer.model, &trainer.model.params, &trainer.normalization, &leaves, &cache);
         let (_, computed_leaves) = cache.node_stats();
 

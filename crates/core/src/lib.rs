@@ -36,7 +36,7 @@ pub use batch::{
     estimate_batch, estimate_batch_memo, estimate_batch_memo_quant, estimate_batch_quant, estimate_batch_refs,
     forward_batch, forward_batch_memo, forward_batch_memo_q, forward_batch_q, reference::estimate_batch_reference,
 };
-pub use memory::{RepresentationMemoryPool, ShardedCache, SubtreeState, SubtreeStateCache};
+pub use memory::{EncodedSubtreeCache, RepresentationMemoryPool, ShardedCache, SubtreeState, SubtreeStateCache};
 pub use model::{ModelConfig, PredicateModelKind, RepresentationCellKind, TaskMode, TreeModel};
 pub use nn::checkpoint::CheckpointError;
 pub use trainer::{EpochStats, TargetNormalization, TrainConfig, Trainer};

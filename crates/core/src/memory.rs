@@ -341,6 +341,85 @@ impl SubtreeStateCache {
     }
 }
 
+/// Per-shard entry bound of the [`EncodedSubtreeCache`]: encoded plans are
+/// 1–2 orders of magnitude larger than subtree states (they carry the full
+/// feature slabs of a subtree), so the bound is correspondingly tighter
+/// than [`DEFAULT_MAX_PER_SHARD`].
+const ENCODED_MAX_PER_SHARD: usize = 2 * 1024;
+
+/// Cache of memoized subtree *encodings* for the featurize front of the
+/// serving path — the encode-side sibling of [`SubtreeStateCache`].
+///
+/// Keys are the memo keys of `FeatureExtractor::encode_plan_cached`
+/// (structural signature mixed with the subtree's annotations), values the
+/// shared `Arc<EncodedPlan>`s; a hit returns the identical bits a fresh
+/// encode would produce, so the cache is purely a throughput device.
+/// Entries depend on the extractor's dictionaries (not on model weights),
+/// but the cache is owned by one `CostEstimator` and swapped alongside the
+/// subtree-state cache on every refit/checkpoint-load — cheap, and it keeps
+/// one invalidation rule for every serving cache.
+#[derive(Debug)]
+pub struct EncodedSubtreeCache {
+    cache: ShardedCache<Arc<featurize::EncodedPlan>>,
+}
+
+impl EncodedSubtreeCache {
+    /// An empty cache with the default capacity bound.
+    pub fn new() -> Self {
+        EncodedSubtreeCache { cache: ShardedCache::with_shard_capacity(ENCODED_MAX_PER_SHARD) }
+    }
+
+    /// An empty cache bounded to `max_per_shard` entries per shard.
+    pub fn with_shard_capacity(max_per_shard: usize) -> Self {
+        EncodedSubtreeCache { cache: ShardedCache::with_shard_capacity(max_per_shard) }
+    }
+
+    /// Number of memoized subtree encodings.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// True when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    /// `(hits, misses)` lookup counters.
+    pub fn stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+
+    /// Fraction of lookups served from the cache (0 before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let (hits, misses) = self.stats();
+        if hits + misses == 0 {
+            return 0.0;
+        }
+        hits as f64 / (hits + misses) as f64
+    }
+
+    /// Drop every memoized encoding and reset the counters.
+    pub fn clear(&self) {
+        self.cache.clear();
+    }
+}
+
+impl Default for EncodedSubtreeCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl featurize::EncodedPlanCache for EncodedSubtreeCache {
+    fn get(&self, key: u64) -> Option<Arc<featurize::EncodedPlan>> {
+        self.cache.get(key)
+    }
+
+    fn insert(&self, key: u64, value: Arc<featurize::EncodedPlan>) {
+        self.cache.insert(key, value);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

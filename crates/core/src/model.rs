@@ -247,11 +247,11 @@ impl TreeModel {
         quant: Option<&QuantWeights>,
         features: &NodeFeatures,
     ) -> NodeId {
-        let op_in = g.input(Matrix::column(&features.operation));
+        let op_in = g.input(Matrix::column(features.operation()));
         let op = self.op_embed.forward_relu_q(g, store, quant, op_in);
-        let meta_in = g.input(Matrix::column(&features.metadata));
+        let meta_in = g.input(Matrix::column(features.metadata()));
         let meta = self.meta_embed.forward_relu_q(g, store, quant, meta_in);
-        let samp_in = g.input(Matrix::column(&features.sample_bitmap));
+        let samp_in = g.input(Matrix::column(features.sample_bitmap()));
         let samp = self.sample_embed.forward_relu_q(g, store, quant, samp_in);
         let pred = self.embed_predicate_q(g, store, quant, &features.predicate);
         g.concat_rows(&[op, meta, samp, pred])
@@ -289,11 +289,11 @@ impl TreeModel {
             }
             g.input(m)
         };
-        let op_in = stack(g, self.op_embed.in_dim(), &|f| &f.operation);
+        let op_in = stack(g, self.op_embed.in_dim(), &|f| f.operation());
         let op = self.op_embed.forward_relu_q(g, store, quant, op_in);
-        let meta_in = stack(g, self.meta_embed.in_dim(), &|f| &f.metadata);
+        let meta_in = stack(g, self.meta_embed.in_dim(), &|f| f.metadata());
         let meta = self.meta_embed.forward_relu_q(g, store, quant, meta_in);
-        let samp_in = stack(g, self.sample_embed.in_dim(), &|f| &f.sample_bitmap);
+        let samp_in = stack(g, self.sample_embed.in_dim(), &|f| f.sample_bitmap());
         let samp = self.sample_embed.forward_relu_q(g, store, quant, samp_in);
         let preds: Vec<&PredicateEncoding> = features.iter().map(|f| &f.predicate).collect();
         let pred = self.embed_predicates_batch_q(g, store, quant, &preds);

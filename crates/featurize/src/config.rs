@@ -7,7 +7,60 @@
 
 use imdb::Database;
 use query::CompareOp;
+use std::borrow::Borrow;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Borrowed view of a `(table, column)` dictionary key, so the hot encode
+/// paths can probe the `HashMap<(String, String), _>` dictionaries with two
+/// `&str`s instead of cloning both strings per lookup.
+///
+/// The `Hash` impl must mirror the derived tuple hash of
+/// `(String, String)` exactly (each `String` hashes as its `str`), so a
+/// probe through the trait object finds entries inserted under owned keys.
+trait PairKey {
+    fn first(&self) -> &str;
+    fn second(&self) -> &str;
+}
+
+impl PairKey for (String, String) {
+    fn first(&self) -> &str {
+        &self.0
+    }
+    fn second(&self) -> &str {
+        &self.1
+    }
+}
+
+impl PairKey for (&str, &str) {
+    fn first(&self) -> &str {
+        self.0
+    }
+    fn second(&self) -> &str {
+        self.1
+    }
+}
+
+impl Hash for dyn PairKey + '_ {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.first().hash(state);
+        self.second().hash(state);
+    }
+}
+
+impl PartialEq for dyn PairKey + '_ {
+    fn eq(&self, other: &Self) -> bool {
+        self.first() == other.first() && self.second() == other.second()
+    }
+}
+
+impl Eq for dyn PairKey + '_ {}
+
+impl<'a> Borrow<dyn PairKey + 'a> for (String, String) {
+    fn borrow(&self) -> &(dyn PairKey + 'a) {
+        self
+    }
+}
 
 /// Fixed encoding dimensions and one-hot position dictionaries.
 #[derive(Debug, Clone)]
@@ -78,9 +131,20 @@ impl EncodingConfig {
         self.sample_bits
     }
 
+    /// One-hot position of `(table, column)`, probed without allocating.
+    pub fn column_position(&self, table: &str, column: &str) -> Option<usize> {
+        self.column_pos.get(&(table, column) as &dyn PairKey).copied()
+    }
+
+    /// One-hot position of the index on `(table, column)`, probed without
+    /// allocating.
+    pub fn index_position(&self, table: &str, column: &str) -> Option<usize> {
+        self.index_pos.get(&(table, column) as &dyn PairKey).copied()
+    }
+
     /// Normalize a numeric operand into `[0, 1]` using the column's range.
     pub fn normalize_numeric(&self, table: &str, column: &str, value: f64) -> f64 {
-        match self.numeric_range.get(&(table.to_string(), column.to_string())) {
+        match self.numeric_range.get(&(table, column) as &dyn PairKey) {
             Some((min, max)) => ((value - min) / (max - min)).clamp(0.0, 1.0),
             None => 0.5,
         }
@@ -115,6 +179,20 @@ mod tests {
         assert_eq!(hi, 1.0);
         assert!(mid > 0.0 && mid < 1.0);
         assert_eq!(cfg.normalize_numeric("title", "unknown", 5.0), 0.5);
+    }
+
+    #[test]
+    fn borrowed_key_probes_match_owned_lookups() {
+        let db = generate_imdb(GeneratorConfig::tiny());
+        let cfg = EncodingConfig::from_database(&db, 8, 32);
+        for ((table, column), &pos) in &cfg.column_pos {
+            assert_eq!(cfg.column_position(table, column), Some(pos));
+        }
+        for ((table, column), &pos) in &cfg.index_pos {
+            assert_eq!(cfg.index_position(table, column), Some(pos));
+        }
+        assert_eq!(cfg.column_position("title", "no_such_column"), None);
+        assert_eq!(cfg.index_position("no_such_table", "id"), None);
     }
 
     #[test]

@@ -4,11 +4,39 @@
 //! Operation, Metadata, Predicate and Sample Bitmap — and the plan tree is
 //! encoded into an [`EncodedPlan`] mirroring its structure, with the true
 //! cost/cardinality attached as training targets.
+//!
+//! Featurization is on the optimizer's critical path (every DP candidate is
+//! encoded before it can be priced), so the hot paths are allocation-
+//! disciplined and memoized:
+//!
+//! * the three fixed-width groups of a node are written into **one
+//!   contiguous slab** ([`NodeFeatures`]) through the `encode_*_into`
+//!   forms, instead of one heap `Vec` per group;
+//! * dictionary probes go through the borrowed-key lookups of
+//!   [`EncodingConfig`] — no `String` clone per lookup;
+//! * the sample bitmap — a full predicate sweep over the table sample, the
+//!   single most expensive encode step — is memoized per
+//!   `(table, predicate signature)` in a sharded map shared by every encode
+//!   path (the sweep's inputs are immutable per extractor, so entries never
+//!   go stale);
+//! * whole sub-plan encodings are memoized by structural signature through
+//!   any [`EncodedPlanCache`] ([`FeatureExtractor::encode_plan_cached`] /
+//!   [`FeatureExtractor::encode_plans`]), so DP enumeration encodes each
+//!   distinct subtree exactly once.
+//!
+//! Every memoized path is **bit-identical** to the fresh
+//! [`FeatureExtractor::encode_plan`]: encoding is deterministic in the plan
+//! and the extractor, and cache keys cover the full subtree content
+//! (structure *and* annotations), so a hit can only ever return exactly the
+//! bits a miss would have computed.
 
 use crate::config::EncodingConfig;
 use imdb::Database;
-use query::{AtomPredicate, CompareOp, Operand, PhysicalOp, PlanNode, Predicate};
-use std::sync::Arc;
+use query::{AtomPredicate, CompareOp, Operand, PhysicalOp, PlanNode, Predicate, SigHasher};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use strembed::StringEncoder;
 
 /// Encoded predicate tree: the min/max pooling model consumes the structure,
@@ -57,19 +85,63 @@ impl PredicateEncoding {
 }
 
 /// The four encoded feature groups of one plan node.
+///
+/// The three fixed-width groups (operation one-hot ⧺ metadata bitmap ⧺
+/// sample bitmap) live in one contiguous slab — a cache-miss node costs one
+/// allocation, not three — and are read back through the slice accessors.
+/// The variable-shape predicate tree keeps its own structure.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NodeFeatures {
-    pub operation: Vec<f32>,
-    pub metadata: Vec<f32>,
+    slab: Vec<f32>,
+    meta_off: u32,
+    samp_off: u32,
     pub predicate: PredicateEncoding,
-    pub sample_bitmap: Vec<f32>,
+}
+
+impl NodeFeatures {
+    /// Assemble from the four separately-encoded groups (test/tooling
+    /// convenience; the extractor's hot path writes the slab directly).
+    pub fn from_groups(
+        operation: Vec<f32>,
+        metadata: Vec<f32>,
+        predicate: PredicateEncoding,
+        sample_bitmap: Vec<f32>,
+    ) -> Self {
+        let meta_off = operation.len() as u32;
+        let samp_off = meta_off + metadata.len() as u32;
+        let mut slab = operation;
+        slab.extend_from_slice(&metadata);
+        slab.extend_from_slice(&sample_bitmap);
+        NodeFeatures { slab, meta_off, samp_off, predicate }
+    }
+
+    /// The operation one-hot.
+    pub fn operation(&self) -> &[f32] {
+        &self.slab[..self.meta_off as usize]
+    }
+
+    /// The metadata bitmap (tables ⧺ columns ⧺ indexes).
+    pub fn metadata(&self) -> &[f32] {
+        &self.slab[self.meta_off as usize..self.samp_off as usize]
+    }
+
+    /// The sample bitmap.
+    pub fn sample_bitmap(&self) -> &[f32] {
+        &self.slab[self.samp_off as usize..]
+    }
 }
 
 /// An encoded plan node: features, children and training targets.
+/// Children are held by `Arc` so that memoized encoding
+/// ([`FeatureExtractor::encode_plan_cached`]) shares cached subtrees
+/// instead of deep-copying them into every parent that reuses them — a
+/// `Clone` of an `EncodedPlan` copies one node's feature slab and bumps
+/// the children's refcounts.  The sharing is safe because an encoded plan
+/// is immutable after construction.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EncodedPlan {
     pub features: NodeFeatures,
-    pub children: Vec<EncodedPlan>,
+    pub children: Vec<Arc<EncodedPlan>>,
     /// True cardinality of this sub-plan (training target).
     pub true_cardinality: f64,
     /// True cumulative cost of this sub-plan (training target).
@@ -92,8 +164,128 @@ impl EncodedPlan {
     }
 }
 
+/// A pluggable cross-call cache of encoded subtrees, keyed by the memo key
+/// of [`FeatureExtractor::encode_plan_cached`] (structural signature mixed
+/// with the subtree's annotations).
+///
+/// `featurize` sits below the crate that owns the production sharded cache,
+/// so the cache is injected through this trait: `estimator_core` implements
+/// it for its `EncodedSubtreeCache`, and [`LocalEncodeCache`] provides the
+/// in-batch dedup used by [`FeatureExtractor::encode_plans`].
+pub trait EncodedPlanCache: Send + Sync {
+    /// Cached encoding under `key`, if present.
+    fn get(&self, key: u64) -> Option<Arc<EncodedPlan>>;
+    /// Store `value` under `key`.
+    fn insert(&self, key: u64, value: Arc<EncodedPlan>);
+}
+
+/// A plain mutex-guarded map cache: the in-batch dedup scope of
+/// [`FeatureExtractor::encode_plans`], or a cheap private cache for tests.
+#[derive(Debug, Default)]
+pub struct LocalEncodeCache {
+    map: Mutex<HashMap<u64, Arc<EncodedPlan>>>,
+}
+
+impl LocalEncodeCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached subtrees.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl EncodedPlanCache for LocalEncodeCache {
+    fn get(&self, key: u64) -> Option<Arc<EncodedPlan>> {
+        self.map.lock().unwrap_or_else(|e| e.into_inner()).get(&key).cloned()
+    }
+
+    fn insert(&self, key: u64, value: Arc<EncodedPlan>) {
+        self.map.lock().unwrap_or_else(|e| e.into_inner()).insert(key, value);
+    }
+}
+
+const BITMAP_MEMO_SHARDS: usize = 16;
+/// Per-shard entry cap; a shard that fills up is dropped wholesale (the memo
+/// is advisory — re-deriving a bitmap is always correct, just slower).
+const BITMAP_MEMO_MAX_PER_SHARD: usize = 8 * 1024;
+
+/// Sharded memo of sample bitmaps keyed by `(table, predicate signature)`.
+///
+/// The bitmap sweep evaluates the scan predicate over every sampled row of
+/// the table — the single most expensive encode step — and its inputs
+/// (table sample, predicate) are immutable per extractor, so the memo never
+/// needs invalidation: entries stay valid across refits, hot-swaps and
+/// `use_sample_bitmap` toggles (the flag is checked before the memo).
+#[derive(Debug)]
+struct BitmapMemo {
+    shards: [Mutex<HashMap<u64, Arc<Vec<f32>>>>; BITMAP_MEMO_SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl BitmapMemo {
+    fn new() -> Self {
+        BitmapMemo {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Shard selection matches the sharded caches elsewhere: middle bits of
+    /// the splitmix-finalized key, so low-bit reuse cannot skew placement.
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, Arc<Vec<f32>>>> {
+        &self.shards[((key >> 32) as usize) & (BITMAP_MEMO_SHARDS - 1)]
+    }
+
+    fn get(&self, key: u64) -> Option<Arc<Vec<f32>>> {
+        let hit = self.shard(key).lock().unwrap_or_else(|e| e.into_inner()).get(&key).cloned();
+        match &hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    fn insert(&self, key: u64, bits: Arc<Vec<f32>>) {
+        let mut shard = self.shard(key).lock().unwrap_or_else(|e| e.into_inner());
+        if shard.len() >= BITMAP_MEMO_MAX_PER_SHARD {
+            shard.clear();
+        }
+        shard.insert(key, bits);
+    }
+
+    fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    fn stats(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+}
+
+thread_local! {
+    /// Scratch for per-item string encodings when averaging IN-list members.
+    static ATOM_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
 /// The feature extractor: encoding configuration + string encoder + database
-/// handle (for sample bitmaps).
+/// handle (for sample bitmaps).  Cloning is cheap and shares the bitmap
+/// memo.
+#[derive(Clone)]
 pub struct FeatureExtractor {
     config: EncodingConfig,
     string_encoder: Arc<dyn StringEncoder>,
@@ -101,17 +293,51 @@ pub struct FeatureExtractor {
     /// When false the sample bitmap is omitted (all zeros) — the `NS`
     /// ("no sample") model variants of Table 6.
     pub use_sample_bitmap: bool,
+    /// When false the bitmap sweep always re-evaluates the predicate over
+    /// the sample (the pre-memo pipeline, bit-identical output) — bench
+    /// baselines flip this on a clone to measure the memo's contribution.
+    pub use_bitmap_memo: bool,
+    bitmap_memo: Arc<BitmapMemo>,
 }
 
 impl FeatureExtractor {
     /// Create an extractor.
     pub fn new(db: Arc<Database>, config: EncodingConfig, string_encoder: Arc<dyn StringEncoder>) -> Self {
-        FeatureExtractor { config, string_encoder, db, use_sample_bitmap: true }
+        FeatureExtractor {
+            config,
+            string_encoder,
+            db,
+            use_sample_bitmap: true,
+            use_bitmap_memo: true,
+            bitmap_memo: Arc::new(BitmapMemo::new()),
+        }
     }
 
     /// The encoding configuration.
     pub fn config(&self) -> &EncodingConfig {
         &self.config
+    }
+
+    /// `(hits, misses)` of the sample-bitmap memo since creation (or the
+    /// last [`FeatureExtractor::clear_bitmap_memo`]).
+    pub fn bitmap_memo_stats(&self) -> (u64, u64) {
+        self.bitmap_memo.stats()
+    }
+
+    /// Hit rate of the sample-bitmap memo (0 when never probed).
+    pub fn bitmap_memo_hit_rate(&self) -> f64 {
+        let (hits, misses) = self.bitmap_memo.stats();
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    }
+
+    /// Drop every memoized bitmap and reset the counters (bench baselines;
+    /// never required for correctness — entries cannot go stale).
+    pub fn clear_bitmap_memo(&self) {
+        self.bitmap_memo.clear();
     }
 
     /// Encode a raw string operand through the extractor's string encoder.
@@ -127,41 +353,52 @@ impl FeatureExtractor {
     /// Encode an atomic predicate into
     /// `column one-hot ⧺ operator one-hot ⧺ numeric slot ⧺ string encoding`.
     pub fn encode_atom(&self, atom: &AtomPredicate) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.config.atom_dim()];
+        self.encode_atom_into(atom, &mut v);
+        v
+    }
+
+    /// Write an atomic predicate's encoding into a **zeroed** slice of
+    /// length [`EncodingConfig::atom_dim`].  Bit-identical to
+    /// [`FeatureExtractor::encode_atom`] without its allocation.
+    pub fn encode_atom_into(&self, atom: &AtomPredicate, out: &mut [f32]) {
         let cfg = &self.config;
-        let mut v = vec![0.0f32; cfg.atom_dim()];
-        if let Some(&pos) = cfg.column_pos.get(&(atom.table.clone(), atom.column.clone())) {
-            v[pos] = 1.0;
+        debug_assert_eq!(out.len(), cfg.atom_dim());
+        if let Some(pos) = cfg.column_position(&atom.table, &atom.column) {
+            out[pos] = 1.0;
         }
         let op_base = cfg.column_pos.len();
-        v[op_base + atom.op.index()] = 1.0;
-        let operand_base = op_base + query::CompareOp::ALL.len();
+        out[op_base + atom.op.index()] = 1.0;
+        let operand_base = op_base + CompareOp::ALL.len();
         match &atom.operand {
             Operand::Num(x) => {
-                v[operand_base] = cfg.normalize_numeric(&atom.table, &atom.column, *x) as f32;
+                out[operand_base] = cfg.normalize_numeric(&atom.table, &atom.column, *x) as f32;
             }
             Operand::Str(s) => {
-                let enc = self.string_encoder.encode(s, atom.op);
-                for (i, x) in enc.iter().take(cfg.string_dim).enumerate() {
-                    v[operand_base + 1 + i] = *x;
-                }
+                let dst = &mut out[operand_base + 1..operand_base + 1 + cfg.string_dim];
+                self.string_encoder.encode_into(s, atom.op, dst);
             }
             Operand::StrList(items) => {
                 // IN lists: average the encodings of the list members.
                 if !items.is_empty() {
-                    let mut acc = vec![0.0f32; cfg.string_dim];
-                    for s in items {
-                        let enc = self.string_encoder.encode(s, atom.op);
-                        for (a, x) in acc.iter_mut().zip(enc.iter()) {
-                            *a += x;
+                    let dst = &mut out[operand_base + 1..operand_base + 1 + cfg.string_dim];
+                    ATOM_SCRATCH.with(|scratch| {
+                        let mut scratch = scratch.borrow_mut();
+                        for s in items {
+                            scratch.clear();
+                            scratch.resize(cfg.string_dim, 0.0);
+                            self.string_encoder.encode_into(s, atom.op, &mut scratch);
+                            for (d, x) in dst.iter_mut().zip(scratch.iter()) {
+                                *d += x;
+                            }
                         }
-                    }
-                    for (i, a) in acc.iter().enumerate() {
-                        v[operand_base + 1 + i] = a / items.len() as f32;
+                    });
+                    for d in dst.iter_mut() {
+                        *d /= items.len() as f32;
                     }
                 }
             }
         }
-        v
     }
 
     /// Encode a (possibly compound) predicate into its tree encoding.
@@ -182,32 +419,40 @@ impl FeatureExtractor {
 
     /// Encode the metadata bitmap of a node (tables ⧺ columns ⧺ indexes).
     pub fn encode_metadata(&self, node: &PlanNode) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.config.metadata_dim()];
+        self.encode_metadata_into(node, &mut v);
+        v
+    }
+
+    /// Write a node's metadata bitmap into a **zeroed** slice of length
+    /// [`EncodingConfig::metadata_dim`].  Bit-identical to
+    /// [`FeatureExtractor::encode_metadata`] without its allocation; every
+    /// dictionary probe uses the borrowed-key lookups.
+    pub fn encode_metadata_into(&self, node: &PlanNode, out: &mut [f32]) {
         let cfg = &self.config;
-        let mut v = vec![0.0f32; cfg.metadata_dim()];
+        debug_assert_eq!(out.len(), cfg.metadata_dim());
         let col_base = cfg.table_pos.len();
         let idx_base = col_base + cfg.column_pos.len();
 
-        let mark_column = |table: &str, column: &str, v: &mut Vec<f32>| {
-            if let Some(&p) = cfg.column_pos.get(&(table.to_string(), column.to_string())) {
-                v[col_base + p] = 1.0;
+        let mark_column = |table: &str, column: &str, out: &mut [f32]| {
+            if let Some(p) = cfg.column_position(table, column) {
+                out[col_base + p] = 1.0;
             }
-            if let Some(&p) = cfg.index_pos.get(&(table.to_string(), column.to_string())) {
-                v[idx_base + p] = 1.0;
+            if let Some(p) = cfg.index_position(table, column) {
+                out[idx_base + p] = 1.0;
             }
         };
 
         match &node.op {
             PhysicalOp::SeqScan { table, predicate } | PhysicalOp::IndexScan { table, predicate, .. } => {
                 if let Some(&p) = cfg.table_pos.get(table) {
-                    v[p] = 1.0;
+                    out[p] = 1.0;
                 }
                 if let PhysicalOp::IndexScan { index_column, .. } = &node.op {
-                    mark_column(table, index_column, &mut v);
+                    mark_column(table, index_column, out);
                 }
                 if let Some(pred) = predicate {
-                    for atom in pred.atoms() {
-                        mark_column(&atom.table, &atom.column, &mut v);
-                    }
+                    pred.for_each_atom(&mut |atom| mark_column(&atom.table, &atom.column, out));
                 }
             }
             PhysicalOp::HashJoin { condition }
@@ -217,55 +462,94 @@ impl FeatureExtractor {
                     [(&condition.left_table, &condition.left_column), (&condition.right_table, &condition.right_column)]
                 {
                     if let Some(&p) = cfg.table_pos.get(t.as_str()) {
-                        v[p] = 1.0;
+                        out[p] = 1.0;
                     }
-                    mark_column(t, c, &mut v);
+                    mark_column(t, c, out);
                 }
             }
             PhysicalOp::Sort { table, columns } => {
                 if let Some(&p) = cfg.table_pos.get(table) {
-                    v[p] = 1.0;
+                    out[p] = 1.0;
                 }
                 for c in columns {
-                    mark_column(table, c, &mut v);
+                    mark_column(table, c, out);
                 }
             }
             PhysicalOp::Aggregate { .. } => {}
         }
-        v
     }
 
     /// Encode the sample bitmap of a node: bit `i` is 1 when sampled row `i`
     /// of the scanned table satisfies the node's predicate.
     pub fn encode_sample_bitmap(&self, node: &PlanNode) -> Vec<f32> {
-        let cfg = &self.config;
+        let mut bits = vec![0.0; self.config.sample_dim()];
+        self.encode_sample_bitmap_into(node, &mut bits);
+        bits
+    }
+
+    /// Write a node's sample bitmap into a **zeroed** slice of length
+    /// [`EncodingConfig::sample_dim`].  Bit-identical to
+    /// [`FeatureExtractor::encode_sample_bitmap`] without its allocations;
+    /// the predicate sweep itself is memoized per
+    /// `(table, predicate signature)`, so across an enumeration every
+    /// distinct scan predicate is evaluated against the sample exactly once.
+    pub fn encode_sample_bitmap_into(&self, node: &PlanNode, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), self.config.sample_dim());
         if !self.use_sample_bitmap {
-            return vec![0.0; cfg.sample_dim()];
+            return;
         }
         let (table, predicate) = match &node.op {
             PhysicalOp::SeqScan { table, predicate } | PhysicalOp::IndexScan { table, predicate, .. } => {
                 (table.as_str(), predicate.as_ref())
             }
-            _ => return vec![0.0; cfg.sample_dim()],
+            _ => return,
         };
-        let Some(pred) = predicate else { return vec![0.0; cfg.sample_dim()] };
+        let Some(pred) = predicate else { return };
         let (Some(sample), Some(tab)) = (self.db.sample(table), self.db.table(table)) else {
-            return vec![0.0; cfg.sample_dim()];
+            return;
         };
-        let mut bits = sample.bitmap(|row| pred.matches_row(tab, row));
-        bits.resize(cfg.sample_dim(), 0.0);
-        bits
+        let key = if self.use_bitmap_memo {
+            let mut h = SigHasher::new();
+            h.write_str(table);
+            pred.hash_signature(&mut h);
+            let key = h.finish();
+            if let Some(bits) = self.bitmap_memo.get(key) {
+                out[..bits.len()].copy_from_slice(&bits);
+                return;
+            }
+            Some(key)
+        } else {
+            None
+        };
+        for (i, &row) in sample.rows().iter().enumerate() {
+            if i >= out.len() {
+                break;
+            }
+            if pred.matches_row(tab, row) {
+                out[i] = 1.0;
+            }
+        }
+        if let Some(key) = key {
+            let width = sample.width().min(out.len());
+            self.bitmap_memo.insert(key, Arc::new(out[..width].to_vec()));
+        }
     }
 
-    /// Encode one node's four feature groups.
+    /// Encode one node's four feature groups: the three fixed-width groups
+    /// go into one contiguous slab, the predicate tree keeps its shape.
     pub fn encode_node(&self, node: &PlanNode) -> NodeFeatures {
-        let mut operation = vec![0.0f32; self.config.operation_dim()];
-        operation[node.op.one_hot_index()] = 1.0;
+        let cfg = &self.config;
+        let meta_off = cfg.operation_dim();
+        let samp_off = meta_off + cfg.metadata_dim();
+        let mut slab = vec![0.0f32; samp_off + cfg.sample_dim()];
+        slab[node.op.one_hot_index()] = 1.0;
+        self.encode_metadata_into(node, &mut slab[meta_off..samp_off]);
+        self.encode_sample_bitmap_into(node, &mut slab[samp_off..]);
         NodeFeatures {
-            operation,
-            metadata: self.encode_metadata(node),
+            slab,
+            meta_off: meta_off as u32,
+            samp_off: samp_off as u32,
             predicate: self.encode_predicate(node.op.predicate()),
-            sample_bitmap: self.encode_sample_bitmap(node),
         }
     }
 
@@ -273,7 +557,7 @@ impl FeatureExtractor {
     /// executed (or estimated) so that `true_cardinality`/`true_cost` are
     /// present; missing annotations become 0.
     pub fn encode_plan(&self, plan: &PlanNode) -> EncodedPlan {
-        let children: Vec<EncodedPlan> = plan.children.iter().map(|c| self.encode_plan(c)).collect();
+        let children: Vec<Arc<EncodedPlan>> = plan.children.iter().map(|c| Arc::new(self.encode_plan(c))).collect();
         // Compose the signature from the already-encoded children's hashes
         // instead of re-walking each subtree once per ancestor.
         let signature = plan.signature_hash_from_children(children.iter().map(|c| c.signature));
@@ -284,6 +568,99 @@ impl FeatureExtractor {
             true_cost: plan.annotations.true_cost.unwrap_or(0.0),
             signature,
         }
+    }
+
+    /// Memoized [`FeatureExtractor::encode_plan`]: each distinct subtree is
+    /// encoded at most once per cache, and a hit returns the shared
+    /// `Arc<EncodedPlan>` without touching the plan's nodes again.
+    ///
+    /// The memo key mixes the structural signature with the subtree's
+    /// annotations (targets are part of an `EncodedPlan`), so structurally
+    /// identical plans with different training targets never alias — the
+    /// result is bit-identical to a fresh encode for *any* plan, annotated
+    /// or not.
+    pub fn encode_plan_cached(&self, plan: &PlanNode, cache: &dyn EncodedPlanCache) -> Arc<EncodedPlan> {
+        let mut stack = Vec::new();
+        self.encode_cached_rec(plan, cache, &mut stack);
+        stack.pop().expect("encode_cached_rec pushes exactly one root entry").0
+    }
+
+    /// Encode a batch with in-batch signature dedup: subtrees shared across
+    /// (or repeated within) the batch are encoded once.  Bit-identical to
+    /// encoding each plan with [`FeatureExtractor::encode_plan`].
+    pub fn encode_plans(&self, plans: &[PlanNode]) -> Vec<EncodedPlan> {
+        let cache = LocalEncodeCache::new();
+        plans.iter().map(|p| EncodedPlan::clone(&self.encode_plan_cached(p, &cache))).collect()
+    }
+
+    /// [`FeatureExtractor::encode_plans`] against a caller-owned cache (the
+    /// serving layer passes its cross-call `EncodedSubtreeCache` here), so
+    /// dedup extends across batches, sessions and rounds.
+    pub fn encode_plans_cached(&self, plans: &[PlanNode], cache: &dyn EncodedPlanCache) -> Vec<Arc<EncodedPlan>> {
+        let mut stack = Vec::new();
+        plans
+            .iter()
+            .map(|p| {
+                self.encode_cached_rec(p, cache, &mut stack);
+                stack.pop().expect("encode_cached_rec pushes exactly one root entry").0
+            })
+            .collect()
+    }
+
+    /// Pushes the encoded subtree and its memo key onto `stack` (exactly one
+    /// entry per call).  The stack is threaded through the recursion instead
+    /// of collecting a per-node `Vec` of children, so a fully warm pass —
+    /// every node a cache hit — performs no heap allocation at all: just
+    /// signature hashing, one probe per node and `Arc` refcount traffic.
+    fn encode_cached_rec(
+        &self,
+        plan: &PlanNode,
+        cache: &dyn EncodedPlanCache,
+        stack: &mut Vec<(Arc<EncodedPlan>, u64)>,
+    ) {
+        let base = stack.len();
+        for c in &plan.children {
+            self.encode_cached_rec(c, cache, stack);
+        }
+        let signature = plan.signature_hash_from_children(stack[base..].iter().map(|(c, _)| c.signature));
+        // The memo key: structural signature ⧺ this node's annotations ⧺
+        // the children's memo keys.  Child keys cover the children's own
+        // annotations recursively, so two trees share a key only when their
+        // entire content — and therefore their entire encoding — agrees.
+        let mut h = SigHasher::new();
+        h.write_u64(signature);
+        match plan.annotations.true_cardinality {
+            Some(v) => {
+                h.write_u8(1);
+                h.write_f64(v);
+            }
+            None => h.write_u8(0),
+        }
+        match plan.annotations.true_cost {
+            Some(v) => {
+                h.write_u8(1);
+                h.write_f64(v);
+            }
+            None => h.write_u8(0),
+        }
+        for (_, child_key) in &stack[base..] {
+            h.write_u64(*child_key);
+        }
+        let key = h.finish();
+        if let Some(hit) = cache.get(key) {
+            stack.truncate(base);
+            stack.push((hit, key));
+            return;
+        }
+        let encoded = Arc::new(EncodedPlan {
+            features: self.encode_node(plan),
+            children: stack.drain(base..).map(|(c, _)| c).collect(),
+            true_cardinality: plan.annotations.true_cardinality.unwrap_or(0.0),
+            true_cost: plan.annotations.true_cost.unwrap_or(0.0),
+            signature,
+        });
+        cache.insert(key, Arc::clone(&encoded));
+        stack.push((encoded, key));
     }
 }
 
@@ -320,18 +697,35 @@ mod tests {
     fn operation_one_hot_is_exclusive() {
         let fx = extractor();
         let feats = fx.encode_node(&scan_with_pred());
-        assert_eq!(feats.operation.iter().sum::<f32>(), 1.0);
-        assert_eq!(feats.operation[0], 1.0); // SeqScan
+        assert_eq!(feats.operation().iter().sum::<f32>(), 1.0);
+        assert_eq!(feats.operation()[0], 1.0); // SeqScan
     }
 
     #[test]
     fn metadata_marks_table_and_columns() {
         let fx = extractor();
         let feats = fx.encode_node(&scan_with_pred());
-        let table_bits: f32 = feats.metadata[..fx.config().table_pos.len()].iter().sum();
+        let table_bits: f32 = feats.metadata()[..fx.config().table_pos.len()].iter().sum();
         assert_eq!(table_bits, 1.0);
-        let col_bits: f32 = feats.metadata[fx.config().table_pos.len()..].iter().sum();
+        let col_bits: f32 = feats.metadata()[fx.config().table_pos.len()..].iter().sum();
         assert!(col_bits >= 1.0);
+    }
+
+    #[test]
+    fn node_slab_groups_have_configured_widths() {
+        let fx = extractor();
+        let feats = fx.encode_node(&scan_with_pred());
+        assert_eq!(feats.operation().len(), fx.config().operation_dim());
+        assert_eq!(feats.metadata().len(), fx.config().metadata_dim());
+        assert_eq!(feats.sample_bitmap().len(), fx.config().sample_dim());
+        // The groups are one contiguous slab; from_groups round-trips them.
+        let rebuilt = NodeFeatures::from_groups(
+            feats.operation().to_vec(),
+            feats.metadata().to_vec(),
+            feats.predicate.clone(),
+            feats.sample_bitmap().to_vec(),
+        );
+        assert_eq!(rebuilt, feats);
     }
 
     #[test]
@@ -361,6 +755,29 @@ mod tests {
         assert!(v[str_base..].iter().any(|&x| x != 0.0), "string slots all zero");
         // Column one-hot set exactly once.
         assert_eq!(v[..fx.config().column_pos.len()].iter().sum::<f32>(), 1.0);
+    }
+
+    #[test]
+    fn in_list_atom_averages_member_encodings() {
+        let fx = extractor();
+        let items = vec!["(presents)".to_string(), "(co-production)".to_string()];
+        let listed = fx.encode_atom(&AtomPredicate::new(
+            "movie_companies",
+            "note",
+            CompareOp::In,
+            Operand::StrList(items.clone()),
+        ));
+        let singles: Vec<Vec<f32>> = items
+            .iter()
+            .map(|s| {
+                fx.encode_atom(&AtomPredicate::new("movie_companies", "note", CompareOp::In, Operand::Str(s.clone())))
+            })
+            .collect();
+        let str_base = fx.config().column_pos.len() + 9 + 1;
+        for i in str_base..fx.config().atom_dim() {
+            let mean = (singles[0][i] + singles[1][i]) / 2.0;
+            assert_eq!(listed[i].to_bits(), mean.to_bits(), "slot {i} is not the member average");
+        }
     }
 
     #[test]
@@ -397,21 +814,54 @@ mod tests {
     }
 
     #[test]
-    fn encoded_plan_mirrors_tree_and_targets() {
-        let db = Arc::new(generate_imdb(GeneratorConfig::tiny()));
-        let cfg = EncodingConfig::from_database(&db, 16, 64);
-        let fx = FeatureExtractor::new(db.clone(), cfg, Arc::new(HashBitmapEncoder::new(16)));
+    fn bitmap_memo_hits_on_repeated_predicates_with_identical_bits() {
+        let fx = extractor();
+        let node = scan_with_pred();
+        let first = fx.encode_sample_bitmap(&node);
+        let (h0, m0) = fx.bitmap_memo_stats();
+        assert_eq!((h0, m0), (0, 1), "first sweep must miss the memo");
+        let second = fx.encode_sample_bitmap(&node);
+        assert_eq!(fx.bitmap_memo_stats(), (1, 1), "second sweep must hit");
+        assert_eq!(
+            first.iter().map(|b| b.to_bits()).collect::<Vec<_>>(),
+            second.iter().map(|b| b.to_bits()).collect::<Vec<_>>()
+        );
+        // Same predicate behind a different scan operator shares the entry.
+        let index_scan = PlanNode::leaf(PhysicalOp::IndexScan {
+            table: "movie_companies".into(),
+            index_column: "id".into(),
+            predicate: match &node.op {
+                PhysicalOp::SeqScan { predicate, .. } => predicate.clone(),
+                _ => unreachable!(),
+            },
+        });
+        let third = fx.encode_sample_bitmap(&index_scan);
+        assert_eq!(fx.bitmap_memo_stats(), (2, 1));
+        assert_eq!(first, third);
+        fx.clear_bitmap_memo();
+        assert_eq!(fx.bitmap_memo_stats(), (0, 0));
+    }
 
+    fn executed_join(db: &Arc<Database>, year: f64) -> PlanNode {
         let scan_t = PlanNode::leaf(PhysicalOp::SeqScan {
             table: "title".into(),
-            predicate: Some(Predicate::atom("title", "production_year", CompareOp::Gt, Operand::Num(2000.0))),
+            predicate: Some(Predicate::atom("title", "production_year", CompareOp::Gt, Operand::Num(year))),
         });
         let scan_mc = PlanNode::leaf(PhysicalOp::SeqScan { table: "movie_companies".into(), predicate: None });
         let mut join = PlanNode::inner(
             PhysicalOp::HashJoin { condition: JoinPredicate::new("movie_companies", "movie_id", "title", "id") },
             vec![scan_t, scan_mc],
         );
-        execute_plan(&db, &mut join, &CostModel::default());
+        execute_plan(db, &mut join, &CostModel::default());
+        join
+    }
+
+    #[test]
+    fn encoded_plan_mirrors_tree_and_targets() {
+        let db = Arc::new(generate_imdb(GeneratorConfig::tiny()));
+        let cfg = EncodingConfig::from_database(&db, 16, 64);
+        let fx = FeatureExtractor::new(db.clone(), cfg, Arc::new(HashBitmapEncoder::new(16)));
+        let join = executed_join(&db, 2000.0);
         let encoded = fx.encode_plan(&join);
         assert_eq!(encoded.size(), 3);
         assert_eq!(encoded.height(), 2);
@@ -422,5 +872,52 @@ mod tests {
         assert!(encoded.true_cost > 0.0);
         assert_eq!(encoded.children.len(), 2);
         assert!(matches!(encoded.children[1].features.predicate, PredicateEncoding::None));
+    }
+
+    #[test]
+    fn encode_plans_dedups_and_matches_fresh_encoding() {
+        let db = Arc::new(generate_imdb(GeneratorConfig::tiny()));
+        let cfg = EncodingConfig::from_database(&db, 16, 64);
+        let fx = FeatureExtractor::new(db.clone(), cfg, Arc::new(HashBitmapEncoder::new(16)));
+        // Two identical plans plus one sharing only the scan subtrees.
+        let plans = vec![executed_join(&db, 2000.0), executed_join(&db, 2000.0), executed_join(&db, 1980.0)];
+        let fresh: Vec<EncodedPlan> = plans.iter().map(|p| fx.encode_plan(p)).collect();
+        let batched = fx.encode_plans(&plans);
+        assert_eq!(batched, fresh, "batched memoized encode must equal fresh per-plan encode");
+
+        // Through an explicit cache the two identical roots share one Arc.
+        let cache = LocalEncodeCache::new();
+        let arcs = fx.encode_plans_cached(&plans, &cache);
+        assert!(Arc::ptr_eq(&arcs[0], &arcs[1]), "identical plans must dedup to one cached encoding");
+        assert!(!Arc::ptr_eq(&arcs[0], &arcs[2]));
+        // 3 distinct subtrees per plan; the second is fully shared, the
+        // third shares only the un-annotated predicate-free mc scan (its
+        // annotated title scan differs by year, and executed annotations
+        // differ per plan).
+        assert!(cache.len() < 9, "cache holds fewer entries than total nodes ({})", cache.len());
+        assert_eq!(EncodedPlan::clone(&arcs[2]), fresh[2]);
+    }
+
+    #[test]
+    fn annotated_twins_never_alias_in_the_encode_cache() {
+        let db = Arc::new(generate_imdb(GeneratorConfig::tiny()));
+        let cfg = EncodingConfig::from_database(&db, 16, 64);
+        let fx = FeatureExtractor::new(db.clone(), cfg, Arc::new(HashBitmapEncoder::new(16)));
+        let executed = executed_join(&db, 2000.0);
+        fn clear_annotations(node: &mut PlanNode) {
+            node.annotations = Default::default();
+            for c in &mut node.children {
+                clear_annotations(c);
+            }
+        }
+        let mut bare = executed.clone();
+        clear_annotations(&mut bare);
+        assert_eq!(executed.signature_hash(), bare.signature_hash(), "twins must collide structurally");
+        let cache = LocalEncodeCache::new();
+        let a = fx.encode_plan_cached(&executed, &cache);
+        let b = fx.encode_plan_cached(&bare, &cache);
+        assert!(a.true_cost > 0.0);
+        assert_eq!(b.true_cost, 0.0, "un-annotated twin must not inherit cached targets");
+        assert_eq!(EncodedPlan::clone(&b), fx.encode_plan(&bare));
     }
 }

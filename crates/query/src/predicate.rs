@@ -225,6 +225,19 @@ impl Predicate {
         }
     }
 
+    /// Visit every atomic predicate in depth-first order without collecting
+    /// them into a `Vec` — the allocation-free form of [`Predicate::atoms`]
+    /// for hot encode paths.
+    pub fn for_each_atom<'a>(&'a self, f: &mut impl FnMut(&'a AtomPredicate)) {
+        match self {
+            Predicate::Atom(a) => f(a),
+            Predicate::And(l, r) | Predicate::Or(l, r) => {
+                l.for_each_atom(f);
+                r.for_each_atom(f);
+            }
+        }
+    }
+
     /// Number of atomic predicates.
     pub fn num_atoms(&self) -> usize {
         match self {

@@ -358,6 +358,25 @@ impl Session {
         Some(encoded)
     }
 
+    /// Batch form of [`Session::encode`] through the pinned tree model's
+    /// shared encoded-subtree cache: every distinct (subtree, annotations)
+    /// across the batch — and across concurrent sessions of this tenant —
+    /// is featurized at most once, with results bit-identical to
+    /// [`Session::encode`] per plan.  Feedback registration is preserved:
+    /// with capture enabled, each plan is registered under its signature
+    /// exactly as the one-at-a-time path does.  `None` when no model is
+    /// published or the backend is not the tree estimator.
+    pub fn encode_batch(&self, plans: &[PlanNode]) -> Option<Vec<EncodedPlan>> {
+        let model = self.model()?;
+        let encoded = model.tree()?.encode_plans(plans);
+        if let Some(feedback) = self.tenant.feedback.read().as_ref() {
+            for (enc, plan) in encoded.iter().zip(plans) {
+                feedback.registry().register(enc.signature, plan);
+            }
+        }
+        Some(encoded.into_iter().map(|e| EncodedPlan::clone(&e)).collect())
+    }
+
     /// Record a served batch into the tenant's feedback log, when capture is
     /// enabled.  One uncontended `RwLock` read per batch on the hot path;
     /// the log pushes themselves are sharded ring-buffer appends.
@@ -508,6 +527,36 @@ mod tests {
         let (hits_after, misses_after) = b_tree.subtree_cache().stats();
         assert!(hits_after > hits_before, "b's warm entries must still hit");
         assert_eq!(misses_after, misses_before, "a's traffic must not have evicted b's entries");
+    }
+
+    #[test]
+    fn encode_batch_matches_one_at_a_time_and_registers_feedback() {
+        let db = Arc::new(generate_imdb(GeneratorConfig::tiny()));
+        let plans = executed_plans(&db, 10);
+        let mut est = make_estimator(&db, 7);
+        est.fit(&plans);
+        let catalog = ModelCatalog::new();
+        let feedback = catalog.enable_feedback("t", crate::FeedbackConfig::default());
+        catalog.publish("t", TenantBackend::tree(est));
+        let session = catalog.session("t").expect("t");
+
+        let batch = session.encode_batch(&plans).expect("batch");
+        assert_eq!(batch.len(), plans.len());
+        // Bit-identical to the one-at-a-time path, plan for plan.
+        for (plan, batched) in plans.iter().zip(&batch) {
+            let one = session.encode(plan).expect("one");
+            assert_eq!(one, *batched, "memoized batch encode must match Session::encode");
+        }
+        // Feedback registration preserved: every plan is executable again.
+        for enc in &batch {
+            assert!(feedback.registry().get(enc.signature).is_some(), "batch encode must register each plan");
+        }
+        // The shared encode cache was actually warmed by the batch.
+        let model = catalog.current("t").expect("t");
+        let tree = model.tree().expect("tree");
+        assert!(!tree.encode_cache().is_empty(), "batch encode must populate the shared encode cache");
+        let (hits, _misses) = tree.encode_cache().stats();
+        assert!(hits > 0, "shared scans across the batch must hit the encode cache");
     }
 
     #[test]

@@ -19,6 +19,17 @@ pub trait StringEncoder: Send + Sync {
     fn dim(&self) -> usize;
     /// Encode a query string used with the given operator.
     fn encode(&self, s: &str, op: CompareOp) -> Vec<f32>;
+
+    /// Write the encoding into the first `min(dim, out.len())` slots of a
+    /// **zeroed** `out`, producing exactly the bits of
+    /// [`StringEncoder::encode`] truncated to `out.len()`.  The default
+    /// delegates to `encode`; allocation-free encoders override it so hot
+    /// featurization paths skip the per-call `Vec`.
+    fn encode_into(&self, s: &str, op: CompareOp, out: &mut [f32]) {
+        for (slot, x) in out.iter_mut().zip(self.encode(s, op)) {
+            *slot = x;
+        }
+    }
 }
 
 /// Hash-bitmap encoding: set bit `hash(c) % dim` for every character of the
@@ -41,16 +52,23 @@ impl StringEncoder for HashBitmapEncoder {
         self.dim
     }
 
-    fn encode(&self, s: &str, _op: CompareOp) -> Vec<f32> {
+    fn encode(&self, s: &str, op: CompareOp) -> Vec<f32> {
         let mut bits = vec![0.0; self.dim];
+        self.encode_into(s, op, &mut bits);
+        bits
+    }
+
+    fn encode_into(&self, s: &str, _op: CompareOp, out: &mut [f32]) {
         for c in s.chars() {
             // FNV-1a style per-character hash; stable across runs.
             let mut h = 0xcbf29ce484222325u64;
             h ^= c as u64;
             h = h.wrapping_mul(0x100000001b3);
-            bits[(h % self.dim as u64) as usize] = 1.0;
+            let slot = (h % self.dim as u64) as usize;
+            if let Some(bit) = out.get_mut(slot) {
+                *bit = 1.0;
+            }
         }
-        bits
     }
 }
 
